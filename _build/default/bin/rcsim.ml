@@ -1,0 +1,449 @@
+(* rcsim: the routing-convergence study CLI.
+
+   Subcommands:
+     run       one scenario under one protocol, with optional event tracing
+     fig       regenerate one of the paper's figures (3, 4, 5, 6, 7)
+     topo      inspect/export the regular-mesh topology family
+     anatomy   narrated single-failure walkthrough (the paper's Figure 1)
+     compare   all protocols side by side on one configuration
+     multiflow several flows and overlapping failures (paper future work)
+     transfer  a reliable go-back-N transfer across the failure
+     loops     run a scenario and report transient forwarding-loop episodes *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let degree_arg =
+  let doc = "Interior node degree of the mesh (3..12)." in
+  Arg.(value & opt int 4 & info [ "d"; "degree" ] ~docv:"DEGREE" ~doc)
+
+let rows_arg =
+  let doc = "Mesh rows." in
+  Arg.(value & opt int 7 & info [ "rows" ] ~docv:"N" ~doc)
+
+let cols_arg =
+  let doc = "Mesh columns." in
+  Arg.(value & opt int 7 & info [ "cols" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master RNG seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_arg =
+  let doc = "Simulation runs per data point (the paper uses 10)." in
+  Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "CBR sending rate in packets per second." in
+  Arg.(value & opt float 200. & info [ "rate" ] ~docv:"PPS" ~doc)
+
+let protocol_arg =
+  let doc = "Routing protocol: RIP, DBF, BGP, BGP-3, BGP-pd, or LS." in
+  Arg.(value & opt string "DBF" & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+
+let degrees_arg =
+  let doc = "Node degrees to sweep." in
+  Arg.(value & opt (list int) [ 3; 4; 5; 6; 7; 8 ] & info [ "degrees" ] ~docv:"D,D,..." ~doc)
+
+let config_of ~rows ~cols ~degree ~seed ~rate =
+  {
+    Convergence.Config.default with
+    rows;
+    cols;
+    degree;
+    seed;
+    send_rate_pps = rate;
+  }
+
+let engine_of_name name =
+  match Convergence.Engine_registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (try: %s)" name
+         (String.concat ", "
+            (List.map Convergence.Engine_registry.name Convergence.Engine_registry.all)))
+
+(* ---------- run ---------- *)
+
+let csv_arg =
+  let doc = "Also write the results as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let trace_arg =
+    let doc = "Print every forwarding-path change after the failure." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let action protocol degree rows cols seed rate trace csv =
+    match engine_of_name protocol with
+    | Error e -> `Error (false, e)
+    | Ok engine ->
+      let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+      let events =
+        if trace then
+          {
+            Convergence.Runner.no_events with
+            on_path_change =
+              (fun ~flow:_ t p ->
+                if t >= cfg.Convergence.Config.failure_time then
+                  Fmt.pr "t=%7.2f  path %a@."
+                    (t -. cfg.Convergence.Config.warmup)
+                    Convergence.Observer.pp p);
+            on_failure =
+              (fun t (u, v) ->
+                Fmt.pr "t=%7.2f  LINK %d-%d FAILS@."
+                  (t -. cfg.Convergence.Config.warmup)
+                  u v);
+          }
+        else Convergence.Runner.no_events
+      in
+      let run = Convergence.Engine_registry.run ~events cfg engine in
+      Fmt.pr "%a@." Convergence.Report.run_details run;
+      (match csv with
+      | Some path -> Convergence.Export.to_file (Convergence.Export.run_csv [ run ]) ~path
+      | None -> ());
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
+       $ rate_arg $ trace_arg $ csv_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one failure scenario under one routing protocol")
+    term
+
+(* ---------- fig ---------- *)
+
+let fig_cmd =
+  let which_arg =
+    let doc = "Figure number: 3, 4, 5, 6 or 7." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let action which runs degrees rows cols seed rate csv =
+    if not (List.mem which [ 3; 4; 5; 6; 7 ]) then
+      `Error (false, "figure must be 3, 4, 5, 6 or 7")
+    else begin
+      let base = config_of ~rows ~cols ~degree:4 ~seed ~rate in
+      let sweep = Convergence.Experiments.{ degrees; runs; base } in
+      let progress line = Fmt.epr "  .. %s@." line in
+      let grid =
+        Convergence.Experiments.run_grid ~progress sweep
+          Convergence.Engine_registry.paper_four
+      in
+      let scalar ~title ~unit_label data =
+        Fmt.pr "%a@." (Convergence.Report.scalar_table ~title ~unit_label) data
+      in
+      let series ~title ~unit_label ~mode data =
+        Fmt.pr "%a@."
+          (fun ppf d ->
+            Convergence.Report.series_table ~title ~unit_label
+              ~warmup:base.Convergence.Config.warmup ~window:(0., 60.) ~mode ppf d)
+          data
+      in
+      (match which with
+      | 3 ->
+        scalar ~title:"Figure 3: packet drops due to no route"
+          ~unit_label:"packets, mean over runs" (Convergence.Experiments.fig3 grid)
+      | 4 ->
+        scalar ~title:"Figure 4: TTL expirations"
+          ~unit_label:"packets, mean over runs" (Convergence.Experiments.fig4 grid)
+      | 5 ->
+        List.iter
+          (fun d ->
+            if List.mem d degrees then
+              series
+                ~title:(Printf.sprintf "Figure 5: throughput, degree %d" d)
+                ~unit_label:"packets/s" ~mode:`Rate
+                (Convergence.Experiments.fig5 grid ~degree:d))
+          [ 3; 4; 6 ]
+      | 6 ->
+        scalar ~title:"Figure 6(a): forwarding-path convergence"
+          ~unit_label:"seconds" (Convergence.Experiments.fig6a grid);
+        scalar ~title:"Figure 6(b): network routing convergence"
+          ~unit_label:"seconds" (Convergence.Experiments.fig6b grid)
+      | _ ->
+        List.iter
+          (fun d ->
+            if List.mem d degrees then
+              series
+                ~title:(Printf.sprintf "Figure 7: packet delay, degree %d" d)
+                ~unit_label:"seconds" ~mode:`Mean
+                (Convergence.Experiments.fig7 grid ~degree:d))
+          [ 4; 5; 6 ]);
+      (match csv with
+      | Some path ->
+        Convergence.Export.to_file (Convergence.Export.grid_csv grid) ~path
+      | None -> ());
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ which_arg $ runs_arg $ degrees_arg $ rows_arg $ cols_arg
+       $ seed_arg $ rate_arg $ csv_arg))
+  in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures") term
+
+(* ---------- topo ---------- *)
+
+let topo_cmd =
+  let dot_arg =
+    let doc = "Emit Graphviz DOT instead of a summary." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let action degree rows cols dot =
+    let topo = Netsim.Mesh.generate ~rows ~cols ~degree in
+    if dot then print_string (Netsim.Dot.to_dot topo)
+    else Fmt.pr "%a@." Netsim.Dot.summary topo;
+    `Ok ()
+  in
+  let term = Term.(ret (const action $ degree_arg $ rows_arg $ cols_arg $ dot_arg)) in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Inspect or export a regular mesh from the paper's family")
+    term
+
+(* ---------- anatomy ---------- *)
+
+let anatomy_cmd =
+  let action protocol seed =
+    match engine_of_name protocol with
+    | Error e -> `Error (false, e)
+    | Ok engine ->
+      Fmt.pr
+        "The paper's Figure 1 scenario: a single link failure on the\n\
+         sender->receiver path, narrated. Topology: 4x4 mesh, degree 4.@.@.";
+      let cfg =
+        {
+          Convergence.Config.quick with
+          rows = 4;
+          cols = 4;
+          degree = 4;
+          seed;
+          send_rate_pps = 100.;
+        }
+      in
+      let events =
+        {
+          Convergence.Runner.on_failure =
+            (fun t (u, v) ->
+              Fmt.pr "t=%7.2f  link %d-%d fails (detected %.1f s later)@."
+                (t -. cfg.Convergence.Config.warmup)
+                u v cfg.Convergence.Config.detection_delay);
+          on_path_change =
+            (fun ~flow:_ t p ->
+              Fmt.pr "t=%7.2f  forwarding path is now %a@."
+                (t -. cfg.Convergence.Config.warmup)
+                Convergence.Observer.pp p);
+          on_route_change = (fun _ _ _ -> ());
+        }
+      in
+      let run = Convergence.Engine_registry.run ~events cfg engine in
+      Fmt.pr "@.%a@." Convergence.Report.run_details run;
+      `Ok ()
+  in
+  let term = Term.(ret (const action $ protocol_arg $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "anatomy"
+       ~doc:"Narrated walkthrough of packet delivery during convergence (paper Fig. 1)")
+    term
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let action degree rows cols seed rate runs =
+    let base = config_of ~rows ~cols ~degree ~seed ~rate in
+    let sweep = Convergence.Experiments.{ degrees = [ degree ]; runs; base } in
+    let show engine =
+      let cell = Convergence.Experiments.run_cell sweep degree engine in
+      Fmt.pr "%a@." Convergence.Report.summary_line
+        cell.Convergence.Experiments.summary
+    in
+    List.iter show Convergence.Engine_registry.all;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret (const action $ degree_arg $ rows_arg $ cols_arg $ seed_arg $ rate_arg $ runs_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"All six protocol engines side by side on one setup")
+    term
+
+(* ---------- multiflow ---------- *)
+
+let multiflow_cmd =
+  let flows_arg =
+    let doc = "Number of concurrent first-row to last-row CBR flows." in
+    Arg.(value & opt int 4 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let failures_arg =
+    let doc = "Number of link failures (5 s apart, one per flow round-robin)." in
+    Arg.(value & opt int 2 & info [ "failures" ] ~docv:"N" ~doc)
+  in
+  let action protocol degree rows cols seed rate nflows nfailures =
+    match engine_of_name protocol with
+    | Error e -> `Error (false, e)
+    | Ok engine ->
+      let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+      let flows = List.init nflows (fun _ -> Convergence.Runner.default_flow) in
+      let failures =
+        List.init nfailures (fun i ->
+            {
+              Convergence.Runner.fail_at =
+                cfg.Convergence.Config.failure_time +. (float_of_int i *. 5.);
+              target = Convergence.Runner.Flow_path (i mod nflows);
+              heal_after = None;
+            })
+      in
+      let m = Convergence.Engine_registry.run_multi ~flows ~failures cfg engine in
+      Fmt.pr "%a@." Convergence.Metrics.pp_multi m;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
+       $ rate_arg $ flows_arg $ failures_arg))
+  in
+  Cmd.v
+    (Cmd.info "multiflow"
+       ~doc:"Several flows and overlapping failures (the paper's future work)")
+    term
+
+(* ---------- transfer ---------- *)
+
+let transfer_cmd =
+  let size_arg =
+    let doc = "Transfer size in packets." in
+    Arg.(value & opt int 8000 & info [ "packets" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc = "Sliding-window size." in
+    Arg.(value & opt int 16 & info [ "window" ] ~docv:"W" ~doc)
+  in
+  let rto_arg =
+    let doc = "Retransmission timeout in seconds." in
+    Arg.(value & opt float 0.5 & info [ "rto" ] ~docv:"SECONDS" ~doc)
+  in
+  let action protocol degree rows cols seed size window rto =
+    match engine_of_name protocol with
+    | Error e -> `Error (false, e)
+    | Ok engine ->
+      let cfg = config_of ~rows ~cols ~degree ~seed ~rate:200. in
+      let failures =
+        [
+          {
+            Convergence.Runner.fail_at = cfg.Convergence.Config.failure_time;
+            target = Convergence.Runner.Flow_path 0;
+            heal_after = None;
+          };
+        ]
+      in
+      let tc =
+        {
+          Convergence.Runner.default_transport with
+          window;
+          rto;
+          total_packets = size;
+        }
+      in
+      let o = Convergence.Engine_registry.run_transport ~failures tc cfg engine in
+      let finish =
+        match o.Convergence.Runner.t_completed_at with
+        | Some t ->
+          Printf.sprintf "%.1f s after transfer start"
+            (t -. cfg.Convergence.Config.traffic_start)
+        | None -> "not finished by sim_end"
+      in
+      Fmt.pr
+        "transfer: %d/%d packets acknowledged; completion %s;@ retransmissions \
+         %d, duplicates at receiver %d@."
+        o.Convergence.Runner.t_completed size finish
+        o.Convergence.Runner.t_retransmissions o.Convergence.Runner.t_duplicates;
+      Fmt.pr "%a@." Convergence.Metrics.pp_multi o.Convergence.Runner.t_multi;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
+       $ size_arg $ window_arg $ rto_arg))
+  in
+  Cmd.v
+    (Cmd.info "transfer"
+       ~doc:"A reliable go-back-N transfer across the failure (future work)")
+    term
+
+(* ---------- loops ---------- *)
+
+let loops_cmd =
+  let action protocol degree rows cols seed rate =
+    match engine_of_name protocol with
+    | Error e -> `Error (false, e)
+    | Ok engine ->
+      let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+      let history = ref [] in
+      let events =
+        {
+          Convergence.Runner.no_events with
+          on_path_change = (fun ~flow:_ t p -> history := (t, p) :: !history);
+        }
+      in
+      let run = Convergence.Engine_registry.run ~events cfg engine in
+      let episodes = Convergence.Loop_analysis.episodes !history in
+      if episodes = [] then
+        Fmt.pr
+          "no transient forwarding loops on the flow's path (TTL drops: %d)@."
+          run.Convergence.Metrics.drops_ttl
+      else begin
+        Fmt.pr "%d loop episode(s) on the flow's path:@." (List.length episodes);
+        List.iter
+          (fun e ->
+            Fmt.pr "  %a@."
+              (fun ppf e ->
+                Fmt.pf ppf "loop %a from t=%.2f to t=%.2f (>= %.2f s)"
+                  Netsim.Types.pp_path e.Convergence.Loop_analysis.cycle
+                  (e.Convergence.Loop_analysis.started -. cfg.Convergence.Config.warmup)
+                  (e.Convergence.Loop_analysis.ended -. cfg.Convergence.Config.warmup)
+                  (Convergence.Loop_analysis.duration e))
+              e)
+          episodes;
+        Fmt.pr "TTL expirations: %d; packets that escaped a loop: %d@."
+          run.Convergence.Metrics.drops_ttl run.Convergence.Metrics.looped_delivered
+      end;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
+       $ rate_arg))
+  in
+  Cmd.v
+    (Cmd.info "loops"
+       ~doc:"Identify transient forwarding-loop episodes in one scenario")
+    term
+
+let () =
+  let doc =
+    "packet delivery during routing convergence (reproduction of Pei et al., DSN 2003)"
+  in
+  let info = Cmd.info "rcsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            fig_cmd;
+            topo_cmd;
+            anatomy_cmd;
+            compare_cmd;
+            multiflow_cmd;
+            transfer_cmd;
+            loops_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Convergence Dessim Fmt List Printf

@@ -1,0 +1,1 @@
+examples/mrai_granularity.ml: Convergence Fmt

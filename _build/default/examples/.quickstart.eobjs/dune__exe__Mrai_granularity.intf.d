@@ -1,0 +1,1 @@
+examples/mrai_granularity.mli:

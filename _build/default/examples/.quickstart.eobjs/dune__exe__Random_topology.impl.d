@@ -1,0 +1,1 @@
+examples/random_topology.ml: Array Convergence Dessim Fmt List Netsim Protocols

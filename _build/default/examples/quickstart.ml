@@ -1,0 +1,24 @@
+(* Quickstart: run the paper's canonical scenario once.
+
+   A 7x7 regular mesh of degree 4 runs Distributed Bellman-Ford; a CBR flow
+   crosses it from the first row to the last; at t = 400 s one link on the
+   flow's path fails. The run report shows every packet's fate and the two
+   convergence delays the paper measures.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let cfg = Convergence.Config.default in
+  Fmt.pr "Scenario:@.  %a@.@." Convergence.Config.pp cfg;
+  let run = Convergence.Engine_registry.run cfg Convergence.Engine_registry.dbf in
+  Fmt.pr "%a@.@." Convergence.Report.run_details run;
+  let delivered_pct =
+    100. *. float_of_int run.Convergence.Metrics.delivered
+    /. float_of_int run.Convergence.Metrics.sent
+  in
+  Fmt.pr
+    "DBF delivered %.2f%% of all packets across the failure: it switched to a@.\
+     cached alternate path %g s after the failure was detected (the paper's@.\
+     zero-time switch-over), so only packets already in flight on the dead@.\
+     link were lost.@."
+    delivered_pct run.Convergence.Metrics.fwd_convergence

@@ -1,0 +1,1 @@
+lib/core/engine_registry.ml: List Protocols Runner String

@@ -1,0 +1,1 @@
+lib/core/engine_registry.mli: Config Metrics Netsim Protocols Runner

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Config Dessim Engine_registry List Metrics Option Printf Protocols Runner

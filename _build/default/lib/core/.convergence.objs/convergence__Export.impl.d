@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Dessim Experiments Fun List Metrics Printf String

@@ -1,0 +1,1 @@
+lib/core/loop_analysis.ml: Fmt List Netsim Observer

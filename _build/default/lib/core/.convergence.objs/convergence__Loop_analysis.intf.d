@@ -1,0 +1,1 @@
+lib/core/loop_analysis.mli: Fmt Netsim Observer

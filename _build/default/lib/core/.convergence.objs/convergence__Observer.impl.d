@@ -1,0 +1,1 @@
+lib/core/observer.ml: Fmt Int List Netsim Set

@@ -1,0 +1,1 @@
+lib/core/report.ml: Dessim Fmt List Metrics String

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Config Dessim Float Hashtbl List Metrics Netsim Observer Option Printf Protocols

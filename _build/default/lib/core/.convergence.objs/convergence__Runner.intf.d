@@ -1,0 +1,1 @@
+lib/core/runner.mli: Config Dessim Metrics Netsim Observer Protocols

@@ -1,0 +1,50 @@
+(** Scenario configuration.
+
+    Every value the paper's Section 5 fixes (or that OCR reconstruction had to
+    supply — see DESIGN.md) is a field here, so experiments can be re-run
+    under different assumptions. Times are absolute simulation seconds. *)
+
+type t = {
+  rows : int;  (** mesh rows (paper: 7) *)
+  cols : int;  (** mesh columns (paper: 7) *)
+  degree : int;  (** interior node degree (paper sweeps 3..8) *)
+  bandwidth_bps : float;  (** link transmission rate (paper: 1 Mbps) *)
+  prop_delay : float;  (** link propagation delay (paper: 10 ms) *)
+  queue_capacity : int;  (** per-link FIFO capacity in packets (200) *)
+  detection_delay : float;  (** failure-detection latency at both ends (0.5 s) *)
+  data_packet_bytes : int;
+      (** data packet size (100 B, so the 200 pps flow uses ~16% of a 1 Mbps
+          link; a larger size would oversubscribe the paper's links) *)
+  ttl : int;  (** initial TTL (paper: 127) *)
+  send_rate_pps : float;  (** CBR sending rate (200 packets/s) *)
+  traffic_start : float;  (** when the sender starts (350 s) *)
+  warmup : float;  (** normalization offset for reported time axes (390 s) *)
+  failure_time : float;  (** when the chosen link fails (400 s) *)
+  sim_end : float;  (** simulation horizon (800 s) *)
+  seed : int;  (** master RNG seed for the run *)
+}
+
+val default : t
+(** The paper's setup: 7x7 mesh, degree 4, 1 Mbps / 10 ms links, queue 200,
+    TTL 127, 200 pps from t=350 s, failure at t=400 s, end at t=800 s. *)
+
+val quick : t
+(** A scaled-down variant for unit/integration tests: 5x5 mesh, 50 pps,
+    failure at t=330 s, end at t=460 s. The warm-up cannot shrink much below
+    the default's: standard BGP needs roughly [diameter * MRAI] seconds to
+    converge initially, and the post-failure tail must cover a full RIP
+    periodic cycle. The event count (what actually costs wall-clock time) is
+    ~20x smaller than the default's. *)
+
+val with_degree : int -> t -> t
+val with_seed : int -> t -> t
+
+val nodes : t -> int
+(** [rows * cols]. *)
+
+val duration_after_warmup : t -> float
+
+val validate : t -> (unit, string) result
+(** Checks ordering of the time fields and positivity of rates and sizes. *)
+
+val pp : t Fmt.t

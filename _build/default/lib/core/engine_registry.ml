@@ -1,0 +1,51 @@
+type t =
+  | Engine :
+      (module Protocols.Proto_intf.PROTOCOL with type config = 'c) * 'c * string
+      -> t
+
+let name (Engine (_, _, label)) = label
+
+let rip = Engine ((module Protocols.Rip), Protocols.Rip.default_config, "RIP")
+
+let dbf = Engine ((module Protocols.Dbf), Protocols.Dbf.default_config, "DBF")
+
+let bgp = Engine ((module Protocols.Bgp), Protocols.Bgp.default_config, "BGP")
+
+let bgp3 = Engine ((module Protocols.Bgp), Protocols.Bgp.fast_config, "BGP-3")
+
+let bgp_per_dest =
+  Engine
+    ( (module Protocols.Bgp),
+      { Protocols.Bgp.default_config with mrai_scope = Protocols.Bgp.Per_destination },
+      "BGP-pd" )
+
+let bgp3_rfd =
+  Engine
+    ( (module Protocols.Bgp),
+      { Protocols.Bgp.fast_config with rfd = Some Protocols.Bgp.default_rfd },
+      "BGP-3+RFD" )
+
+let ls = Engine ((module Protocols.Ls), Protocols.Ls.default_config, "LS")
+
+let paper_four = [ rip; dbf; bgp; bgp3 ]
+
+let all = [ rip; dbf; bgp; bgp3; bgp_per_dest; bgp3_rfd; ls ]
+
+let find label =
+  let target = String.lowercase_ascii label in
+  List.find_opt (fun e -> String.lowercase_ascii (name e) = target) all
+
+let run ?topology ?src ?dst ?events ?fail_link ?restore_after cfg
+    (Engine ((module P), pcfg, label)) =
+  let module R = Runner.Make (P) in
+  R.run ~label ?topology ?src ?dst ?events ?fail_link ?restore_after cfg pcfg
+
+let run_multi ?topology ?events ~flows ~failures cfg
+    (Engine ((module P), pcfg, label)) =
+  let module R = Runner.Make (P) in
+  R.run_multi ~label ?topology ?events ~flows ~failures cfg pcfg
+
+let run_transport ?topology ?events ?src ?dst ~failures tc cfg
+    (Engine ((module P), pcfg, label)) =
+  let module R = Runner.Make (P) in
+  R.run_transport ~label ?topology ?events ?src ?dst ~failures tc cfg pcfg

@@ -1,0 +1,74 @@
+(** First-class protocol engines: a protocol module packed with the
+    configuration the paper runs it under, so sweeps can iterate over
+    heterogeneous protocols uniformly. *)
+
+type t =
+  | Engine :
+      (module Protocols.Proto_intf.PROTOCOL with type config = 'c) * 'c * string
+      -> t
+
+val name : t -> string
+
+val rip : t
+(** RIP with RFC 2453 defaults. *)
+
+val dbf : t
+(** Distributed Bellman-Ford with the same timers as RIP. *)
+
+val bgp : t
+(** BGP, MRAI mean 30 s, per-neighbor. *)
+
+val bgp3 : t
+(** The paper's specially parameterized BGP: MRAI mean 3 s. *)
+
+val bgp_per_dest : t
+(** BGP, MRAI mean 30 s, per-(neighbor, destination) — the ablation the paper
+    speculates about in Section 5.2. *)
+
+val bgp3_rfd : t
+(** BGP-3 with route flap damping enabled (the intro's [4]/[15] mechanism). *)
+
+val ls : t
+(** Link-state (future-work extension). *)
+
+val paper_four : t list
+(** The four engines of the paper's figures: RIP, DBF, BGP, BGP-3. *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by display name. *)
+
+val run :
+  ?topology:Netsim.Topology.t ->
+  ?src:Netsim.Types.node_id ->
+  ?dst:Netsim.Types.node_id ->
+  ?events:Runner.events ->
+  ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
+  ?restore_after:float ->
+  Config.t ->
+  t ->
+  Metrics.run
+(** Execute the paper's single-flow scenario under the given engine. *)
+
+val run_multi :
+  ?topology:Netsim.Topology.t ->
+  ?events:Runner.events ->
+  flows:Runner.flow_spec list ->
+  failures:Runner.failure_spec list ->
+  Config.t ->
+  t ->
+  Metrics.multi
+(** Execute a multi-flow, multi-failure scenario under the given engine. *)
+
+val run_transport :
+  ?topology:Netsim.Topology.t ->
+  ?events:Runner.events ->
+  ?src:Netsim.Types.node_id ->
+  ?dst:Netsim.Types.node_id ->
+  failures:Runner.failure_spec list ->
+  Runner.transport_config ->
+  Config.t ->
+  t ->
+  Runner.transport_outcome
+(** Execute a reliable-transport transfer under the given engine. *)

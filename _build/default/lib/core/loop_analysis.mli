@@ -1,0 +1,36 @@
+(** Transient-loop identification from forwarding traces.
+
+    The paper's methodology (Section 2): "studying the forwarding and routing
+    trace files, thus we can identify the causes of routing loops in each
+    circumstance". This module turns a history of sampled forwarding paths
+    (or an individual packet's journey) into loop {e episodes}: which routers
+    formed the cycle, when it appeared, and how long it lasted — the paper's
+    point that looping duration (lengthened by damping/MRAI timers) is what
+    turns a transient inconsistency into TTL expirations. *)
+
+type episode = {
+  cycle : Netsim.Types.node_id list;
+      (** the looping routers, normalized to start at the smallest id, in
+          forwarding order; e.g. [[2; 7; 12]] means 2 -> 7 -> 12 -> 2 *)
+  started : float;  (** first sample that showed this cycle *)
+  ended : float;  (** last consecutive sample that still showed it *)
+}
+
+val duration : episode -> float
+
+val cycle_of_path : Observer.path_result -> Netsim.Types.node_id list option
+(** [cycle_of_path p] is the normalized cycle when [p] is [Looping], [None]
+    otherwise. *)
+
+val cycle_of_packet : Netsim.Types.node_id list -> Netsim.Types.node_id list option
+(** [cycle_of_packet visits] extracts the first cycle from a packet's visited
+    routers (in travel order), if it revisited one. *)
+
+val episodes :
+  (float * Observer.path_result) list -> episode list
+(** [episodes history] extracts loop episodes from path samples (any order;
+    they are sorted by time). Consecutive samples showing the same cycle are
+    merged into one episode; an episode ends when a sample shows a different
+    path. Episodes are returned in chronological order. *)
+
+val pp_episode : episode Fmt.t

@@ -1,0 +1,135 @@
+(** Per-run outcomes and their aggregation over seeds.
+
+    A {!run} captures everything the paper reports for a single simulation:
+    packet fates broken down by drop reason, the receiver's throughput and
+    delay time series, convergence delays, and the forwarding-path history. A
+    {!summary} averages a set of runs (the paper uses 10 per data point). *)
+
+type run = {
+  protocol : string;
+  degree : int;
+  seed : int;
+  src : Netsim.Types.node_id;
+  dst : Netsim.Types.node_id;
+  sent : int;
+  delivered : int;
+  drops_no_route : int;
+  drops_ttl : int;
+  drops_queue : int;
+  drops_link : int;  (** dropped on/over the failed link before detection *)
+  looped_delivered : int;  (** delivered packets that escaped a loop *)
+  looped_dropped : int;  (** dropped packets that had looped *)
+  ctrl_messages : int;
+  ctrl_bytes : int;
+  ctrl_lost : int;  (** control messages lost to the link failure *)
+  throughput : Dessim.Series.t;  (** received packets per 1 s bucket *)
+  delay : Dessim.Series.t;  (** per-bucket mean end-to-end delay *)
+  fwd_convergence : float;
+      (** forwarding-path convergence delay: failure -> sender/receiver path
+          permanently equal to its final value (paper Fig. 6a) *)
+  routing_convergence : float;
+      (** network routing convergence: failure -> last best-route change at
+          any router (paper Fig. 6b) *)
+  transient_paths : int;
+      (** distinct sender->receiver forwarding paths observed between failure
+          and forwarding convergence *)
+  failed_link : (Netsim.Types.node_id * Netsim.Types.node_id) option;
+  pre_failure_path : Netsim.Types.node_id list;
+  final_path : Netsim.Types.node_id list;
+  final_path_complete : bool;
+}
+
+val total_drops : run -> int
+
+val conservation_ok : run -> bool
+(** [sent = delivered + drops + in-flight-at-end]; in-flight is inferred, so
+    this checks the other counters are consistent (non-negative residue no
+    larger than what the pipe could hold). *)
+
+val in_flight : run -> int
+
+val pp_run : run Fmt.t
+
+(** Averages over a list of runs for one (protocol, degree) cell. *)
+type summary = {
+  s_protocol : string;
+  s_degree : int;
+  s_runs : int;
+  mean_sent : float;
+  mean_delivered : float;
+  mean_drops_no_route : float;
+  mean_drops_ttl : float;
+  mean_drops_queue : float;
+  mean_drops_link : float;
+  mean_fwd_convergence : float;
+  stddev_fwd_convergence : float;
+  mean_routing_convergence : float;
+  stddev_routing_convergence : float;
+  mean_transient_paths : float;
+  mean_ctrl_messages : float;
+  mean_looped_delivered : float;
+  avg_throughput : Dessim.Series.t;  (** per-bucket mean over runs *)
+  avg_delay : Dessim.Series.t;
+}
+
+val summarize : run list -> summary
+(** @raise Invalid_argument on the empty list or mixed protocol/degree. *)
+
+(** {2 Multi-flow, multi-failure outcomes}
+
+    The paper's future work (Section 6) extends the study to "multiple pairs
+    of data sources and destinations, as well as multiple failures which can
+    potentially overlay with each other in time". A {!multi} captures one
+    such run: per-flow delivery outcomes plus run-global control-plane
+    accounting. *)
+
+type flow = {
+  f_src : Netsim.Types.node_id;
+  f_dst : Netsim.Types.node_id;
+  f_sent : int;
+  f_delivered : int;
+  f_drops_no_route : int;
+  f_drops_ttl : int;
+  f_drops_queue : int;
+  f_drops_link : int;
+  f_looped_delivered : int;
+  f_looped_dropped : int;
+  f_throughput : Dessim.Series.t;
+  f_delay : Dessim.Series.t;
+  f_fwd_convergence : float;
+  f_transient_paths : int;
+  f_pre_failure_path : Netsim.Types.node_id list;
+  f_final_path : Netsim.Types.node_id list;
+  f_final_path_complete : bool;
+}
+
+type multi = {
+  m_protocol : string;
+  m_degree : int;
+  m_seed : int;
+  m_flows : flow list;
+  m_ctrl_messages : int;
+  m_ctrl_bytes : int;
+  m_ctrl_lost : int;
+  m_routing_convergence : float;
+      (** measured from the {e first} failure to the last route change *)
+  m_failed_links : (Netsim.Types.node_id * Netsim.Types.node_id) list;
+}
+
+val flow_delivery_ratio : flow -> float
+(** [delivered / sent]; [1.] when nothing was sent. *)
+
+val flow_total_drops : flow -> int
+
+val multi_sent : multi -> int
+
+val multi_delivered : multi -> int
+
+val pp_flow : flow Fmt.t
+
+val pp_multi : multi Fmt.t
+
+val run_of_multi : multi -> run
+(** Flatten a single-flow, at-most-one-failure [multi] into the classic
+    {!run} shape. @raise Invalid_argument when there is not exactly one
+    flow. *)

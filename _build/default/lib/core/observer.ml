@@ -1,0 +1,34 @@
+type path_result =
+  | Complete of Netsim.Types.node_id list
+  | Broken of Netsim.Types.node_id list
+  | Looping of Netsim.Types.node_id list
+
+let current_path ~next_hop ~src ~dst =
+  let module Iset = Set.Make (Int) in
+  let rec walk seen acc node =
+    if node = dst then Complete (List.rev (node :: acc))
+    else if Iset.mem node seen then Looping (List.rev (node :: acc))
+    else
+      match next_hop node with
+      | None -> Broken (List.rev (node :: acc))
+      | Some nh -> walk (Iset.add node seen) (node :: acc) nh
+  in
+  walk Iset.empty [] src
+
+let is_complete = function Complete _ -> true | Broken _ | Looping _ -> false
+
+let nodes_of = function Complete p | Broken p | Looping p -> p
+
+let equal a b =
+  match (a, b) with
+  | Complete p, Complete q | Broken p, Broken q | Looping p, Looping q -> p = q
+  | (Complete _ | Broken _ | Looping _), _ -> false
+
+let hops = function
+  | Complete p -> Some (List.length p - 1)
+  | Broken _ | Looping _ -> None
+
+let pp ppf = function
+  | Complete p -> Fmt.pf ppf "complete %a" Netsim.Types.pp_path p
+  | Broken p -> Fmt.pf ppf "broken %a" Netsim.Types.pp_path p
+  | Looping p -> Fmt.pf ppf "looping %a" Netsim.Types.pp_path p

@@ -1,0 +1,34 @@
+(** Forwarding-path inspection.
+
+    Follows the per-router [next_hop] decisions from a source toward a
+    destination, classifying the resulting transient forwarding path exactly
+    as the paper's trace analysis does: it either completes, hits a router
+    with no route, or enters a loop. *)
+
+type path_result =
+  | Complete of Netsim.Types.node_id list
+      (** reaches the destination; the list includes both endpoints *)
+  | Broken of Netsim.Types.node_id list
+      (** ends at a router (last element) that has no next hop *)
+  | Looping of Netsim.Types.node_id list
+      (** revisits a router; the list ends with the first repeated node *)
+
+val current_path :
+  next_hop:(Netsim.Types.node_id -> Netsim.Types.node_id option) ->
+  src:Netsim.Types.node_id ->
+  dst:Netsim.Types.node_id ->
+  path_result
+(** [current_path ~next_hop ~src ~dst] walks the forwarding graph. [next_hop
+    n] is router [n]'s choice for the destination. Termination is guaranteed
+    by loop detection. *)
+
+val is_complete : path_result -> bool
+
+val nodes_of : path_result -> Netsim.Types.node_id list
+
+val equal : path_result -> path_result -> bool
+
+val hops : path_result -> int option
+(** [hops r] is the hop count for a [Complete] path. *)
+
+val pp : path_result Fmt.t

@@ -1,0 +1,667 @@
+type events = {
+  on_route_change : float -> Netsim.Types.node_id -> Netsim.Types.node_id -> unit;
+  on_path_change : flow:int -> float -> Observer.path_result -> unit;
+  on_failure : float -> Netsim.Types.node_id * Netsim.Types.node_id -> unit;
+}
+
+let no_events = {
+  on_route_change = (fun _ _ _ -> ());
+  on_path_change = (fun ~flow:_ _ _ -> ());
+  on_failure = (fun _ _ -> ());
+}
+
+type flow_spec = {
+  flow_src : Netsim.Types.node_id option;
+  flow_dst : Netsim.Types.node_id option;
+  flow_rate : float option;
+  flow_start : float option;
+}
+
+let default_flow =
+  { flow_src = None; flow_dst = None; flow_rate = None; flow_start = None }
+
+type failure_target =
+  | Flow_path of int
+  | Link of Netsim.Types.node_id * Netsim.Types.node_id
+  | Random_link
+
+type failure_spec = {
+  fail_at : float;
+  target : failure_target;
+  heal_after : float option;
+}
+
+type transport_config = {
+  window : int;
+  rto : float;
+  total_packets : int;
+  ack_bytes : int;
+}
+
+let default_transport =
+  { window = 16; rto = 1.; total_packets = 0; ack_bytes = 40 }
+
+type transport_outcome = {
+  t_completed : int;
+  t_retransmissions : int;
+  t_duplicates : int;
+  t_completed_at : float option;
+  t_goodput : Dessim.Series.t;
+  t_multi : Metrics.multi;
+}
+
+module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
+  type payload =
+    | Data of Netsim.Packet.t
+    | Ctrl of { from : Netsim.Types.node_id; msg : P.message }
+
+  (* Per-flow measurement state. *)
+  type flow_state = {
+    idx : int;
+    src : Netsim.Types.node_id;
+    dst : Netsim.Types.node_id;
+    rate : float;
+    start : float;
+    mutable sent : int;
+    mutable delivered : int;
+    mutable drops_no_route : int;
+    mutable drops_ttl : int;
+    mutable drops_queue : int;
+    mutable drops_link : int;
+    mutable looped_delivered : int;
+    mutable looped_dropped : int;
+    throughput : Dessim.Series.t;
+    delay : Dessim.Series.t;
+    mutable path_samples : (float * Observer.path_result) list;  (* newest first *)
+    mutable pre_failure_path : Netsim.Types.node_id list;
+  }
+
+  (* Every data packet carries a handler deciding what its delivery or loss
+     means: CBR flows count packets, transport endpoints run their protocol
+     logic. Registered per packet id, removed when the packet dies. *)
+  type packet_handler = {
+    h_deliver : Netsim.Packet.t -> unit;
+    h_drop : Netsim.Packet.t -> Netsim.Types.drop_reason -> unit;
+  }
+
+  type state = {
+    cfg : Config.t;
+    sched : Dessim.Scheduler.t;
+    topo : Netsim.Topology.t;
+    links : (int * int, payload Netsim.Link.t) Hashtbl.t;
+    mutable routers : P.t array;
+    flows : flow_state array;
+    handlers : (int, packet_handler) Hashtbl.t;  (* packet id -> handler *)
+    events : events;
+    mutable ctrl_messages : int;
+    mutable ctrl_bytes : int;
+    mutable ctrl_lost : int;
+    mutable first_failure_at : float option;
+    mutable last_route_change : float;
+    mutable failed_links : (int * int) list;  (* newest first *)
+    mutable next_packet_id : int;
+  }
+
+  let link st u v =
+    match Hashtbl.find_opt st.links (u, v) with
+    | Some l -> l
+    | None -> invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
+
+  let next_hop_of st n ~dst = P.next_hop st.routers.(n) ~dst
+
+  let sample_path st (f : flow_state) =
+    Observer.current_path
+      ~next_hop:(fun n -> next_hop_of st n ~dst:f.dst)
+      ~src:f.src ~dst:f.dst
+
+  let record_path_sample st (f : flow_state) =
+    let now = Dessim.Scheduler.now st.sched in
+    let path = sample_path st f in
+    let changed =
+      match f.path_samples with
+      | (_, last) :: _ -> not (Observer.equal last path)
+      | [] -> true
+    in
+    if changed then begin
+      f.path_samples <- (now, path) :: f.path_samples;
+      st.events.on_path_change ~flow:f.idx now path
+    end
+
+  let on_route_changed st router dst =
+    let now = Dessim.Scheduler.now st.sched in
+    st.events.on_route_change now router dst;
+    (match st.first_failure_at with
+    | Some t0 when now >= t0 -> st.last_route_change <- now
+    | Some _ | None -> ());
+    Array.iter (fun f -> if f.dst = dst then record_path_sample st f) st.flows
+
+  let handler_of st (p : Netsim.Packet.t) =
+    match Hashtbl.find_opt st.handlers p.id with
+    | Some h ->
+      Hashtbl.remove st.handlers p.id;
+      h
+    | None -> invalid_arg "Runner: packet without handler"
+
+  let deliver_data st (p : Netsim.Packet.t) = (handler_of st p).h_deliver p
+
+  let drop_data st (p : Netsim.Packet.t) (reason : Netsim.Types.drop_reason) =
+    (handler_of st p).h_drop p reason
+
+  let rec forward st node (p : Netsim.Packet.t) =
+    Netsim.Packet.visit p node;
+    if node = p.dst then deliver_data st p
+    else
+      match next_hop_of st node ~dst:p.dst with
+      | None -> drop_data st p Netsim.Types.No_route
+      | Some nh ->
+        if p.ttl <= 0 then drop_data st p Netsim.Types.Ttl_expired
+        else begin
+          p.ttl <- p.ttl - 1;
+          (* Rejections are accounted by the link's [dropped] callback. *)
+          ignore
+            (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits (Data p))
+        end
+
+  and on_arrival st at_node payload =
+    match payload with
+    | Data p -> forward st at_node p
+    | Ctrl { from; msg } -> P.on_message st.routers.(at_node) ~from msg
+
+  let on_link_drop st payload reason =
+    match payload with
+    | Data p -> drop_data st p reason
+    | Ctrl _ -> st.ctrl_lost <- st.ctrl_lost + 1
+
+  let make_links st =
+    let cfg = st.cfg in
+    let directed (u, v) =
+      let l =
+        Netsim.Link.create ~sched:st.sched ~bandwidth_bps:cfg.Config.bandwidth_bps
+          ~prop_delay:cfg.Config.prop_delay
+          ~queue_capacity:cfg.Config.queue_capacity
+          ~deliver:(fun payload -> on_arrival st v payload)
+          ~dropped:(fun payload reason -> on_link_drop st payload reason)
+          ()
+      in
+      Hashtbl.replace st.links (u, v) l
+    in
+    let both (u, v) =
+      directed (u, v);
+      directed (v, u)
+    in
+    List.iter both (Netsim.Topology.edges st.topo)
+
+  let make_routers st pcfg master_rng =
+    let n = Netsim.Topology.node_count st.topo in
+    let make id =
+      let rng = Dessim.Rng.split master_rng in
+      let actions =
+        {
+          Protocols.Proto_intf.now = (fun () -> Dessim.Scheduler.now st.sched);
+          send =
+            (fun neighbor msg ->
+              st.ctrl_messages <- st.ctrl_messages + 1;
+              st.ctrl_bytes <- st.ctrl_bytes + (P.message_size_bits msg / 8);
+              ignore
+                (Netsim.Link.send (link st id neighbor)
+                   ~reliable:P.uses_reliable_transport
+                   ~size_bits:(P.message_size_bits msg)
+                   (Ctrl { from = id; msg })));
+          after = (fun delay fn -> Dessim.Scheduler.after st.sched ~delay fn);
+          route_changed = (fun dst -> on_route_changed st id dst);
+        }
+      in
+      P.create pcfg ~rng ~id
+        ~neighbors:(Netsim.Topology.neighbors st.topo id)
+        ~actions
+    in
+    st.routers <- Array.init n make;
+    Array.iter P.start st.routers
+
+  (* Create a packet at [src] bound for [dst], register its handler, and push
+     it into the forwarding plane. Returns the packet id. *)
+  let launch_packet st ~handler ~src ~dst ~size_bits =
+    let id = st.next_packet_id in
+    st.next_packet_id <- id + 1;
+    let p =
+      Netsim.Packet.create ~id ~src ~dst ~size_bits ~ttl:st.cfg.Config.ttl
+        ~sent_at:(Dessim.Scheduler.now st.sched)
+    in
+    Hashtbl.replace st.handlers id handler;
+    forward st src p;
+    id
+
+  let start_traffic st (f : flow_state) =
+    let cfg = st.cfg in
+    let interval = 1. /. f.rate in
+    let handler =
+      {
+        h_deliver =
+          (fun p ->
+            let now = Dessim.Scheduler.now st.sched in
+            f.delivered <- f.delivered + 1;
+            Dessim.Series.add f.throughput ~time:now 1.;
+            Dessim.Series.add f.delay ~time:now (now -. p.Netsim.Packet.sent_at);
+            if Netsim.Packet.looped p then
+              f.looped_delivered <- f.looped_delivered + 1);
+        h_drop =
+          (fun p reason ->
+            (match reason with
+            | Netsim.Types.No_route -> f.drops_no_route <- f.drops_no_route + 1
+            | Netsim.Types.Ttl_expired -> f.drops_ttl <- f.drops_ttl + 1
+            | Netsim.Types.Queue_overflow -> f.drops_queue <- f.drops_queue + 1
+            | Netsim.Types.Link_down -> f.drops_link <- f.drops_link + 1);
+            if Netsim.Packet.looped p then
+              f.looped_dropped <- f.looped_dropped + 1);
+      }
+    in
+    let rec send_one () =
+      let now = Dessim.Scheduler.now st.sched in
+      if now < cfg.Config.sim_end then begin
+        f.sent <- f.sent + 1;
+        ignore
+          (launch_packet st ~handler ~src:f.src ~dst:f.dst
+             ~size_bits:(8 * cfg.Config.data_packet_bytes));
+        ignore (Dessim.Scheduler.after st.sched ~delay:interval send_one)
+      end
+    in
+    ignore (Dessim.Scheduler.schedule st.sched ~at:f.start send_one)
+
+  let path_link_candidates path =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      | [ _ ] | [] -> []
+    in
+    pairs path
+
+  let pick_failure_link st rng = function
+    | Link (u, v) ->
+      if not (Netsim.Topology.has_edge st.topo u v) then
+        invalid_arg (Printf.sprintf "Runner: cannot fail nonexistent link %d-%d" u v);
+      (u, v)
+    | Random_link ->
+      let live =
+        List.filter
+          (fun (u, v) -> Netsim.Link.is_up (link st u v))
+          (Netsim.Topology.edges st.topo)
+      in
+      if live = [] then invalid_arg "Runner: no live link left to fail";
+      Dessim.Rng.pick rng live
+    | Flow_path i ->
+      if i < 0 || i >= Array.length st.flows then
+        invalid_arg "Runner: failure targets a nonexistent flow";
+      let f = st.flows.(i) in
+      let path = Observer.nodes_of (sample_path st f) in
+      let live =
+        List.filter
+          (fun (u, v) -> Netsim.Link.is_up (link st u v))
+          (path_link_candidates path)
+      in
+      (match live with
+      | [] -> (
+        (* Degenerate: no usable forwarding path; fall back to the
+           topological shortest path so the experiment still runs. *)
+        match Netsim.Topology.shortest_path st.topo f.src f.dst with
+        | Some (a :: b :: _) -> (a, b)
+        | Some _ | None -> invalid_arg "Runner: no path between src and dst")
+      | candidates -> Dessim.Rng.pick rng candidates)
+
+  let inject_failure st rng (spec : failure_spec) =
+    let cfg = st.cfg in
+    let act () =
+      (* The first failure defines the measurement origin: freeze every
+         flow's pre-failure path. *)
+      if st.first_failure_at = None then begin
+        st.first_failure_at <- Some (Dessim.Scheduler.now st.sched);
+        Array.iter
+          (fun f -> f.pre_failure_path <- Observer.nodes_of (sample_path st f))
+          st.flows
+      end;
+      let u, v = pick_failure_link st rng spec.target in
+      st.failed_links <- (u, v) :: st.failed_links;
+      st.events.on_failure (Dessim.Scheduler.now st.sched) (u, v);
+      Netsim.Link.fail (link st u v);
+      Netsim.Link.fail (link st v u);
+      ignore
+        (Dessim.Scheduler.after st.sched ~delay:cfg.Config.detection_delay
+           (fun () ->
+             P.on_link_down st.routers.(u) ~neighbor:v;
+             P.on_link_down st.routers.(v) ~neighbor:u;
+             (* The failure may have changed the forwarding picture even if
+                no best route changed yet (e.g. RIP still points at the dead
+                link); sample so the history has a failure-time snapshot. *)
+             Array.iter (record_path_sample st) st.flows));
+      match spec.heal_after with
+      | None -> ()
+      | Some delay ->
+        ignore
+          (Dessim.Scheduler.after st.sched ~delay (fun () ->
+               Netsim.Link.restore (link st u v);
+               Netsim.Link.restore (link st v u);
+               P.on_link_up st.routers.(u) ~neighbor:v;
+               P.on_link_up st.routers.(v) ~neighbor:u))
+    in
+    ignore (Dessim.Scheduler.schedule st.sched ~at:spec.fail_at act)
+
+  (* Forwarding-path convergence delay (paper Section 5.4): the time from the
+     first failure until the flow's path last becomes equal to its final
+     (post-convergence) value. *)
+  let fwd_convergence_of st (f : flow_state) =
+    match st.first_failure_at with
+    | None -> 0.
+    | Some failure -> (
+      match f.path_samples with
+      | [] -> 0.
+      | (_, final) :: _ as samples ->
+        (* Walk newest -> oldest while samples still equal the final path;
+           the last one reached is when the path became final. Consecutive
+           samples differ by construction, so in practice this inspects the
+           newest sample only — kept general for robustness. *)
+        let rec converged_at acc = function
+          | (t, p) :: rest when Observer.equal p final && t >= failure ->
+            converged_at t rest
+          | _ -> acc
+        in
+        let t_final = converged_at failure samples in
+        Float.max 0. (t_final -. failure))
+
+  let transient_paths_of st (f : flow_state) =
+    match st.first_failure_at with
+    | None -> 0
+    | Some failure ->
+      let after_failure =
+        List.filter (fun (t, _) -> t >= failure) f.path_samples
+      in
+      let distinct =
+        List.fold_left
+          (fun acc (_, p) ->
+            if List.exists (Observer.equal p) acc then acc else p :: acc)
+          [] after_failure
+      in
+      List.length distinct
+
+  let flow_outcome st (f : flow_state) =
+    let final = sample_path st f in
+    {
+      Metrics.f_src = f.src;
+      f_dst = f.dst;
+      f_sent = f.sent;
+      f_delivered = f.delivered;
+      f_drops_no_route = f.drops_no_route;
+      f_drops_ttl = f.drops_ttl;
+      f_drops_queue = f.drops_queue;
+      f_drops_link = f.drops_link;
+      f_looped_delivered = f.looped_delivered;
+      f_looped_dropped = f.looped_dropped;
+      f_throughput = f.throughput;
+      f_delay = f.delay;
+      f_fwd_convergence = fwd_convergence_of st f;
+      f_transient_paths = transient_paths_of st f;
+      f_pre_failure_path = f.pre_failure_path;
+      f_final_path = Observer.nodes_of final;
+      f_final_path_complete = Observer.is_complete final;
+    }
+
+  (* Build the whole simulation world (topology, links, routers, per-flow
+     measurement slots) without starting any traffic. Returns the state and
+     the master RNG, positioned identically regardless of what traffic will
+     run on top — so a CBR run and a transport run over the same seed see the
+     same flow endpoints and failure choices. *)
+  let prepare ?topology ~events ~flows (cfg : Config.t) (pcfg : P.config) =
+    (match Config.validate cfg with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Runner.run: " ^ msg));
+    if flows = [] then invalid_arg "Runner.run: no flows";
+    let rng = Dessim.Rng.create cfg.Config.seed in
+    let topo =
+      match topology with
+      | Some t -> t
+      | None ->
+        Netsim.Mesh.generate ~rows:cfg.Config.rows ~cols:cfg.Config.cols
+          ~degree:cfg.Config.degree
+    in
+    let buckets =
+      int_of_float (Float.ceil (Config.duration_after_warmup cfg)) |> max 1
+    in
+    let resolve_flow idx (spec : flow_spec) =
+      let pick_from candidates = function
+        | Some n -> n
+        | None -> Dessim.Rng.pick rng candidates
+      in
+      let src =
+        pick_from
+          (Netsim.Mesh.first_row ~rows:cfg.Config.rows ~cols:cfg.Config.cols)
+          spec.flow_src
+      in
+      let dst =
+        pick_from
+          (Netsim.Mesh.last_row ~rows:cfg.Config.rows ~cols:cfg.Config.cols)
+          spec.flow_dst
+      in
+      {
+        idx;
+        src;
+        dst;
+        rate = Option.value spec.flow_rate ~default:cfg.Config.send_rate_pps;
+        start = Option.value spec.flow_start ~default:cfg.Config.traffic_start;
+        sent = 0;
+        delivered = 0;
+        drops_no_route = 0;
+        drops_ttl = 0;
+        drops_queue = 0;
+        drops_link = 0;
+        looped_delivered = 0;
+        looped_dropped = 0;
+        throughput = Dessim.Series.create ~start:cfg.Config.warmup ~width:1. ~buckets;
+        delay = Dessim.Series.create ~start:cfg.Config.warmup ~width:1. ~buckets;
+        path_samples = [];
+        pre_failure_path = [];
+      }
+    in
+    let st =
+      {
+        cfg;
+        sched = Dessim.Scheduler.create ();
+        topo;
+        links = Hashtbl.create 256;
+        routers = [||];
+        flows = Array.of_list (List.mapi resolve_flow flows);
+        handlers = Hashtbl.create 1024;
+        events;
+        ctrl_messages = 0;
+        ctrl_bytes = 0;
+        ctrl_lost = 0;
+        first_failure_at = None;
+        last_route_change = 0.;
+        failed_links = [];
+        next_packet_id = 0;
+      }
+    in
+    make_links st;
+    make_routers st pcfg rng;
+    (st, rng)
+
+  let collect_multi ?label st =
+    let routing_convergence =
+      match st.first_failure_at with
+      | None -> 0.
+      | Some t0 -> Float.max 0. (st.last_route_change -. t0)
+    in
+    {
+      Metrics.m_protocol = (match label with Some l -> l | None -> P.name);
+      m_degree = st.cfg.Config.degree;
+      m_seed = st.cfg.Config.seed;
+      m_flows = Array.to_list (Array.map (flow_outcome st) st.flows);
+      m_ctrl_messages = st.ctrl_messages;
+      m_ctrl_bytes = st.ctrl_bytes;
+      m_ctrl_lost = st.ctrl_lost;
+      m_routing_convergence = routing_convergence;
+      m_failed_links = List.rev st.failed_links;
+    }
+
+  let run_multi ?label ?topology ?(events = no_events) ~flows ~failures
+      (cfg : Config.t) (pcfg : P.config) =
+    let st, rng = prepare ?topology ~events ~flows cfg pcfg in
+    Array.iter (start_traffic st) st.flows;
+    List.iter (inject_failure st rng) failures;
+    Dessim.Scheduler.run ~until:cfg.Config.sim_end st.sched;
+    collect_multi ?label st
+
+  let run ?label ?topology ?src ?dst ?events ?fail_link ?restore_after
+      (cfg : Config.t) (pcfg : P.config) =
+    let flow = { default_flow with flow_src = src; flow_dst = dst } in
+    let failure =
+      {
+        fail_at = cfg.Config.failure_time;
+        target = (match fail_link with Some (u, v) -> Link (u, v) | None -> Flow_path 0);
+        heal_after = restore_after;
+      }
+    in
+    Metrics.run_of_multi
+      (run_multi ?label ?topology ?events ~flows:[ flow ] ~failures:[ failure ]
+         cfg pcfg)
+
+  (* ---------- reliable transport on top of the data plane ---------- *)
+
+  (* Sender/receiver pair implementing a fixed-size sliding window with
+     cumulative ACKs and go-back-to-base timeout retransmission — the "simple
+     flow control with a maximal window size and retransmission after
+     timeout" workload of Shankar et al. (the paper's reference [25]), and a
+     first step toward the paper's future-work TCP study. *)
+  let start_transport st (f : flow_state) (tc : transport_config) =
+    if tc.window <= 0 then invalid_arg "Runner: transport window";
+    if tc.rto <= 0. then invalid_arg "Runner: transport rto";
+    let goodput =
+      let buckets =
+        int_of_float (Float.ceil (st.cfg.Config.sim_end -. f.start)) |> max 1
+      in
+      Dessim.Series.create ~start:f.start ~width:1. ~buckets
+    in
+    let outcome =
+      ref
+        {
+          t_completed = 0;
+          t_retransmissions = 0;
+          t_duplicates = 0;
+          t_completed_at = None;
+          t_goodput = goodput;
+          t_multi =
+            {
+              Metrics.m_protocol = "";
+              m_degree = 0;
+              m_seed = 0;
+              m_flows = [];
+              m_ctrl_messages = 0;
+              m_ctrl_bytes = 0;
+              m_ctrl_lost = 0;
+              m_routing_convergence = 0.;
+              m_failed_links = [];
+            };
+        }
+    in
+    (* Sender state. *)
+    let send_base = ref 0 in
+    let next_seq = ref 0 in
+    let rto_handle = ref None in
+    (* Receiver state. *)
+    let rcv_next = ref 0 in
+    let out_of_order = Hashtbl.create 64 in
+    let cancel_rto () =
+      match !rto_handle with
+      | Some h ->
+        Dessim.Scheduler.cancel h;
+        rto_handle := None
+      | None -> ()
+    in
+    let finished () = tc.total_packets > 0 && !send_base >= tc.total_packets in
+    let limit () =
+      if tc.total_packets > 0 then min tc.total_packets (!send_base + tc.window)
+      else !send_base + tc.window
+    in
+    let null_drop _ _ = () in
+    let rec send_ack () =
+      (* Cumulative ACK: carries [rcv_next] via a side table keyed by packet
+         id (the simulator's packets have no payload field). *)
+      let cum = !rcv_next in
+      let handler =
+        { h_deliver = (fun _ -> on_ack cum); h_drop = null_drop }
+      in
+      ignore
+        (launch_packet st ~handler ~src:f.dst ~dst:f.src
+           ~size_bits:(8 * tc.ack_bytes))
+    and on_data seq =
+      if seq = !rcv_next then begin
+        incr rcv_next;
+        while Hashtbl.mem out_of_order !rcv_next do
+          Hashtbl.remove out_of_order !rcv_next;
+          incr rcv_next
+        done
+      end
+      else if seq > !rcv_next then Hashtbl.replace out_of_order seq ()
+      else outcome := { !outcome with t_duplicates = !outcome.t_duplicates + 1 };
+      send_ack ()
+    and send_data ~retransmit seq =
+      if retransmit then
+        outcome :=
+          { !outcome with t_retransmissions = !outcome.t_retransmissions + 1 };
+      f.sent <- f.sent + 1;
+      let handler =
+        { h_deliver = (fun _ -> on_data seq); h_drop = null_drop }
+      in
+      ignore
+        (launch_packet st ~handler ~src:f.src ~dst:f.dst
+           ~size_bits:(8 * st.cfg.Config.data_packet_bytes))
+    and arm_rto () =
+      cancel_rto ();
+      if not (finished ()) then
+        rto_handle :=
+          Some
+            (Dessim.Scheduler.after st.sched ~delay:tc.rto (fun () ->
+                 rto_handle := None;
+                 if not (finished ()) then begin
+                   (* Timeout: go-back-N — resend every outstanding packet,
+                      so one timeout after the route heals recovers the whole
+                      lost window in about one RTT. *)
+                   for seq = !send_base to !next_seq - 1 do
+                     send_data ~retransmit:true seq
+                   done;
+                   arm_rto ()
+                 end))
+    and fill_window () =
+      while !next_seq < limit () do
+        send_data ~retransmit:false !next_seq;
+        incr next_seq
+      done;
+      if !next_seq > !send_base && !rto_handle = None then arm_rto ()
+    and on_ack cum =
+      if cum > !send_base then begin
+        let now = Dessim.Scheduler.now st.sched in
+        let progress = cum - !send_base in
+        for _ = 1 to progress do
+          Dessim.Series.add goodput ~time:now 1.
+        done;
+        send_base := cum;
+        outcome :=
+          {
+            !outcome with
+            t_completed = cum;
+            t_completed_at =
+              (if finished () && !outcome.t_completed_at = None then Some now
+               else !outcome.t_completed_at);
+          };
+        if finished () then cancel_rto () else arm_rto ();
+        fill_window ()
+      end
+    in
+    ignore (Dessim.Scheduler.schedule st.sched ~at:f.start fill_window);
+    outcome
+
+  let run_transport ?label ?topology ?(events = no_events) ?src ?dst ~failures
+      (tc : transport_config) (cfg : Config.t) (pcfg : P.config) =
+    let flow = { default_flow with flow_src = src; flow_dst = dst } in
+    let st, rng = prepare ?topology ~events ~flows:[ flow ] cfg pcfg in
+    let outcome = start_transport st st.flows.(0) tc in
+    List.iter (inject_failure st rng) failures;
+    Dessim.Scheduler.run ~until:cfg.Config.sim_end st.sched;
+    { !outcome with t_multi = collect_multi ?label st }
+end

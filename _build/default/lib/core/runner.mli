@@ -1,0 +1,129 @@
+(** The simulation harness: wires a topology, links, one protocol instance per
+    router, CBR data flows, and link-failure injection, then measures
+    everything {!Metrics} records.
+
+    Two entry points:
+    - {!Make.run} is the paper's scenario — one flow (first row to last row),
+      one failure on that flow's path at [failure_time];
+    - {!Make.run_multi} is the paper's future-work generalization — any
+      number of flows and any number of (possibly overlapping, possibly
+      transient) link failures.
+
+    Timeline of the paper scenario (defaults in parentheses):
+    - [t = 0]: protocols start, warm up, and converge;
+    - [traffic_start] (350 s): the sender begins CBR traffic toward the
+      receiver (sender on the mesh's first row, receiver on the last row,
+      both chosen by the run's RNG);
+    - [failure_time] (400 s): a randomly chosen link on the {e current}
+      sender->receiver forwarding path fails; both endpoints detect it
+      [detection_delay] later;
+    - [sim_end] (800 s): measurement stops. *)
+
+type events = {
+  on_route_change : float -> Netsim.Types.node_id -> Netsim.Types.node_id -> unit;
+      (** [on_route_change time router dst] *)
+  on_path_change : flow:int -> float -> Observer.path_result -> unit;
+      (** a flow's forwarding path after each relevant route change *)
+  on_failure : float -> Netsim.Types.node_id * Netsim.Types.node_id -> unit;
+}
+
+val no_events : events
+
+type flow_spec = {
+  flow_src : Netsim.Types.node_id option;  (** [None]: random first-row router *)
+  flow_dst : Netsim.Types.node_id option;  (** [None]: random last-row router *)
+  flow_rate : float option;  (** [None]: the config's [send_rate_pps] *)
+  flow_start : float option;  (** [None]: the config's [traffic_start] *)
+}
+
+val default_flow : flow_spec
+
+type failure_target =
+  | Flow_path of int
+      (** a random link on the current forwarding path of the i-th flow *)
+  | Link of Netsim.Types.node_id * Netsim.Types.node_id  (** a pinned link *)
+  | Random_link  (** a random live link of the topology *)
+
+type failure_spec = {
+  fail_at : float;
+  target : failure_target;
+  heal_after : float option;  (** restore the link this long after failing *)
+}
+
+type transport_config = {
+  window : int;  (** max unacknowledged packets in flight *)
+  rto : float;  (** retransmission timeout in seconds *)
+  total_packets : int;  (** transfer size; [0] = saturate until [sim_end] *)
+  ack_bytes : int;
+}
+
+val default_transport : transport_config
+(** window 16, RTO 1 s, unlimited transfer, 40-byte ACKs. *)
+
+type transport_outcome = {
+  t_completed : int;  (** packets acknowledged in order *)
+  t_retransmissions : int;
+  t_duplicates : int;  (** data packets that arrived more than once *)
+  t_completed_at : float option;
+      (** when the whole [total_packets] transfer finished, if it did *)
+  t_goodput : Dessim.Series.t;
+      (** newly acknowledged packets per 1 s bucket, at the sender *)
+  t_multi : Metrics.multi;
+      (** control-plane and failure bookkeeping of the underlying run *)
+}
+
+module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
+  val run_multi :
+    ?label:string ->
+    ?topology:Netsim.Topology.t ->
+    ?events:events ->
+    flows:flow_spec list ->
+    failures:failure_spec list ->
+    Config.t ->
+    P.config ->
+    Metrics.multi
+  (** [run_multi ~flows ~failures cfg pcfg] executes one simulation.
+      Convergence metrics are measured relative to the {e first} failure.
+
+      @raise Invalid_argument when [Config.validate] rejects [cfg], when
+      [flows] is empty, or when a [Flow_path] index is out of range. *)
+
+  val run :
+    ?label:string ->
+    ?topology:Netsim.Topology.t ->
+    ?src:Netsim.Types.node_id ->
+    ?dst:Netsim.Types.node_id ->
+    ?events:events ->
+    ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
+    ?restore_after:float ->
+    Config.t ->
+    P.config ->
+    Metrics.run
+  (** The paper's single-flow scenario: equivalent to {!run_multi} with one
+      flow and one failure at [cfg.failure_time] targeting that flow's path
+      (or [?fail_link] when pinned). *)
+
+  (** {2 End-to-end reliable transport}
+
+      A sliding-window sender with cumulative ACKs and timeout retransmission
+      — the "simple flow control with a maximal window size and
+      retransmission after timeout" workload of the paper's reference [25],
+      and a first step toward its future-work end-to-end TCP study. Data
+      packets and ACKs ride the same simulated links and are recovered from
+      convergence-period losses by the transport, so the metric shifts from
+      raw delivery to {e goodput} and {e completion time}. *)
+
+  val run_transport :
+    ?label:string ->
+    ?topology:Netsim.Topology.t ->
+    ?events:events ->
+    ?src:Netsim.Types.node_id ->
+    ?dst:Netsim.Types.node_id ->
+    failures:failure_spec list ->
+    transport_config ->
+    Config.t ->
+    P.config ->
+    transport_outcome
+  (** [run_transport ~failures tc cfg pcfg] runs one transport connection
+      (starting at [cfg.traffic_start]) across the usual scenario. *)
+end

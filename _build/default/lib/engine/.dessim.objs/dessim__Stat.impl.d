@@ -1,0 +1,1 @@
+lib/engine/stat.ml: Array Float List

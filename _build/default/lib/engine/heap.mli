@@ -1,0 +1,32 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    The heap orders elements by time first and, for equal times, by an integer
+    sequence number. Schedulers use the sequence number to guarantee FIFO
+    delivery of simultaneous events, which keeps simulations deterministic. *)
+
+type 'a t
+(** A mutable min-heap of payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** [length t] is the number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty t] is [length t = 0]. *)
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [add t ~time ~seq x] inserts [x] with key [(time, seq)]. *)
+
+val min_elt : 'a t -> (float * int * 'a) option
+(** [min_elt t] is the smallest-keyed element without removing it. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** [pop t] removes and returns the smallest-keyed element. *)
+
+val clear : 'a t -> unit
+(** [clear t] removes every element. *)
+
+val to_sorted_list : 'a t -> (float * int * 'a) list
+(** [to_sorted_list t] drains [t] and returns its elements in key order. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every simulation run owns its own generator seeded from the run index, so
+    experiments are bit-reproducible and independent of [Stdlib.Random]. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int -> t
+(** [create seed] is a generator seeded with [seed]. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]. Streams of the
+    parent and child are statistically independent. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. [x] must be positive. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick t xs] is a uniformly chosen element of [xs].
+    @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)

@@ -1,0 +1,59 @@
+type handle = { mutable cancelled : bool }
+
+type event = { h : handle; fn : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; next_seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule: at=%g is before now=%g" at t.clock);
+  let h = { cancelled = false } in
+  Heap.add t.queue ~time:at ~seq:t.next_seq { h; fn };
+  t.next_seq <- t.next_seq + 1;
+  h
+
+let after t ~delay fn =
+  if delay < 0.0 then invalid_arg "Scheduler.after: negative delay";
+  schedule t ~at:(t.clock +. delay) fn
+
+let cancel h = h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _seq, ev) ->
+    t.clock <- time;
+    if not ev.h.cancelled then begin
+      t.fired <- t.fired + 1;
+      ev.fn ()
+    end;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let rec loop () =
+      match Heap.min_elt t.queue with
+      | Some (time, _, _) when time <= horizon ->
+        ignore (step t);
+        loop ()
+      | Some _ | None -> if t.clock < horizon then t.clock <- horizon
+    in
+    loop ()
+
+let events_processed t = t.fired

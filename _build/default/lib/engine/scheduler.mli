@@ -1,0 +1,53 @@
+(** Discrete-event scheduler.
+
+    The scheduler maintains a simulation clock and a queue of timed callbacks.
+    Events scheduled for the same instant fire in the order they were
+    scheduled, which makes runs deterministic for a fixed seed. *)
+
+type t
+(** A scheduler with its own clock, starting at time [0.0]. *)
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : unit -> t
+(** [create ()] is a fresh scheduler at time [0.0] with no pending events. *)
+
+val now : t -> float
+(** [now t] is the current simulation time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] arranges for [f ()] to run at absolute time [at].
+
+    @raise Invalid_argument if [at] is earlier than [now t]. *)
+
+val after : t -> delay:float -> (unit -> unit) -> handle
+(** [after t ~delay f] is [schedule t ~at:(now t +. delay) f].
+
+    @raise Invalid_argument if [delay] is negative. *)
+
+val cancel : handle -> unit
+(** [cancel h] prevents the event behind [h] from firing. Cancelling an event
+    that already fired (or was already cancelled) is a no-op. *)
+
+val is_cancelled : handle -> bool
+(** [is_cancelled h] is true once [cancel h] has been called. *)
+
+val pending : t -> int
+(** [pending t] is the number of queued events, including cancelled ones that
+    have not yet been discarded. *)
+
+val step : t -> bool
+(** [step t] fires the next event, advancing the clock to its timestamp.
+    Returns [false] when the queue is empty. Cancelled events are skipped
+    (still consuming a [step]) without invoking their callback. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] fires events until the queue is empty. With [~until], stops before
+    any event later than [until] and leaves the clock at [until] (or at the
+    last fired event if the queue emptied first, whichever is later never
+    exceeding [until]). *)
+
+val events_processed : t -> int
+(** [events_processed t] counts events fired since creation (cancelled events
+    excluded). *)

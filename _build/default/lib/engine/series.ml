@@ -1,0 +1,52 @@
+type t = {
+  start : float;
+  width : float;
+  counts : float array;
+  sums : float array;
+}
+
+let create ~start ~width ~buckets =
+  if width <= 0. then invalid_arg "Series.create: width must be positive";
+  if buckets <= 0 then invalid_arg "Series.create: buckets must be positive";
+  { start; width; counts = Array.make buckets 0.; sums = Array.make buckets 0. }
+
+let start t = t.start
+
+let width t = t.width
+
+let buckets t = Array.length t.counts
+
+let bucket_of_time t time =
+  let i = int_of_float (Float.floor ((time -. t.start) /. t.width)) in
+  if time < t.start || i >= Array.length t.counts then None else Some i
+
+let time_of_bucket t i = t.start +. (float_of_int i *. t.width)
+
+let add t ~time v =
+  match bucket_of_time t time with
+  | None -> ()
+  | Some i ->
+    t.counts.(i) <- t.counts.(i) +. 1.;
+    t.sums.(i) <- t.sums.(i) +. v
+
+let count t i = int_of_float (Float.round t.counts.(i))
+
+let frac_count t i = t.counts.(i)
+
+let sum t i = t.sums.(i)
+
+let rate t i = t.counts.(i) /. t.width
+
+let mean t i = if t.counts.(i) = 0. then 0. else t.sums.(i) /. t.counts.(i)
+
+let accumulate ~into src =
+  if
+    into.start <> src.start || into.width <> src.width
+    || Array.length into.counts <> Array.length src.counts
+  then invalid_arg "Series.accumulate: shape mismatch";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) +. c) src.counts;
+  Array.iteri (fun i s -> into.sums.(i) <- into.sums.(i) +. s) src.sums
+
+let scale t k =
+  Array.iteri (fun i c -> t.counts.(i) <- c *. k) t.counts;
+  Array.iteri (fun i s -> t.sums.(i) <- s *. k) t.sums

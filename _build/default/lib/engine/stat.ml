@@ -1,0 +1,77 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sq /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let minimum = function
+  | [] -> invalid_arg "Stat.minimum: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stat.maximum: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stat.percentile: empty"
+  | xs ->
+    if p < 0. || p > 100. then invalid_arg "Stat.percentile: p out of range";
+    let sorted = List.sort compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    end
+
+let median xs = percentile 50. xs
+
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then 0. else t.mean
+
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int t.n
+
+  let stddev t = sqrt (variance t)
+
+  let minimum t =
+    if t.n = 0 then invalid_arg "Stat.Acc.minimum: empty" else t.min
+
+  let maximum t =
+    if t.n = 0 then invalid_arg "Stat.Acc.maximum: empty" else t.max
+
+  let total t = t.total
+end

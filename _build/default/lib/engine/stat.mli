@@ -1,0 +1,45 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean; [0.] for the empty list. *)
+
+val variance : float list -> float
+(** [variance xs] is the population variance; [0.] for fewer than two
+    samples. *)
+
+val stddev : float list -> float
+(** [stddev xs] is [sqrt (variance xs)]. *)
+
+val minimum : float list -> float
+(** [minimum xs]. @raise Invalid_argument on the empty list. *)
+
+val maximum : float list -> float
+(** [maximum xs]. @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile ([0. <= p <= 100.]) with linear
+    interpolation between closest ranks.
+    @raise Invalid_argument on the empty list or out-of-range [p]. *)
+
+val median : float list -> float
+(** [median xs] is [percentile 50. xs]. *)
+
+(** Streaming accumulator (Welford) for mean and variance without storing
+    samples. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val minimum : t -> float
+  (** @raise Invalid_argument if no sample was added. *)
+
+  val maximum : t -> float
+  (** @raise Invalid_argument if no sample was added. *)
+
+  val total : t -> float
+end

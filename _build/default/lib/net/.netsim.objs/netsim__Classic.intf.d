@@ -1,0 +1,1 @@
+lib/net/classic.mli: Topology

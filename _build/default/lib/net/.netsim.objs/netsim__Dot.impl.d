@@ -1,0 +1,1 @@
+lib/net/dot.ml: Buffer Fmt Hashtbl List Printf Topology

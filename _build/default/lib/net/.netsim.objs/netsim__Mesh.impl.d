@@ -1,0 +1,1 @@
+lib/net/mesh.ml: List Printf Topology

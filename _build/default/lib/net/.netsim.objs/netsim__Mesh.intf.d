@@ -1,0 +1,1 @@
+lib/net/mesh.mli: Topology Types

@@ -1,0 +1,1 @@
+lib/net/random_topo.mli: Dessim Topology

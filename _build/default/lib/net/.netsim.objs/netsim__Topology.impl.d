@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Dessim List Printf Queue Set Types

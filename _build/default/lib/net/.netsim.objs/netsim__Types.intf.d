@@ -1,0 +1,1 @@
+lib/net/types.mli: Fmt

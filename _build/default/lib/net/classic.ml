@@ -1,0 +1,33 @@
+let line n =
+  if n < 2 then invalid_arg "Classic.line: need at least 2 nodes";
+  Topology.create ~nodes:n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Classic.ring: need at least 3 nodes";
+  Topology.create ~nodes:n
+    ~edges:((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 2 then invalid_arg "Classic.star: need at least 2 nodes";
+  Topology.create ~nodes:n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 2 then invalid_arg "Classic.complete: need at least 2 nodes";
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Topology.create ~nodes:n ~edges:!edges
+
+let binary_tree ~depth =
+  if depth < 1 then invalid_arg "Classic.binary_tree: depth must be >= 1";
+  let nodes = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for i = 0 to nodes - 1 do
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    if left < nodes then edges := (i, left) :: !edges;
+    if right < nodes then edges := (i, right) :: !edges
+  done;
+  Topology.create ~nodes ~edges:!edges

@@ -1,0 +1,25 @@
+(** Classic test topologies.
+
+    Small standard graphs used throughout the test suites and handy for
+    protocol debugging: every function returns a {!Topology.t} on nodes
+    [0 .. n-1]. *)
+
+val line : int -> Topology.t
+(** [line n] is the path 0 - 1 - ... - (n-1). @raise Invalid_argument if
+    [n < 2]. *)
+
+val ring : int -> Topology.t
+(** [ring n] is the cycle on [n] nodes. @raise Invalid_argument if [n < 3]. *)
+
+val star : int -> Topology.t
+(** [star n] has node 0 connected to each of [1 .. n-1].
+    @raise Invalid_argument if [n < 2]. *)
+
+val complete : int -> Topology.t
+(** [complete n] is the clique on [n] nodes. @raise Invalid_argument if
+    [n < 2]. *)
+
+val binary_tree : depth:int -> Topology.t
+(** [binary_tree ~depth] is the complete binary tree with [2^(depth+1) - 1]
+    nodes, root 0, children of [i] at [2i+1] and [2i+2].
+    @raise Invalid_argument if [depth < 1]. *)

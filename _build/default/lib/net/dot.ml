@@ -1,0 +1,37 @@
+let to_dot ?(highlight = []) ?labels t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph topology {\n  node [shape=circle];\n";
+  (match labels with
+  | None -> ()
+  | Some label ->
+    for u = 0 to Topology.node_count t - 1 do
+      Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"];\n" u (label u))
+    done);
+  let is_highlighted u v =
+    List.exists (fun (a, b) -> (a = u && b = v) || (a = v && b = u)) highlight
+  in
+  let emit (u, v) =
+    let attrs = if is_highlighted u v then " [color=red, penwidth=2]" else "" in
+    Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attrs)
+  in
+  List.iter emit (Topology.edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let degree_histogram t =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Topology.node_count t - 1 do
+    let d = Topology.degree t u in
+    let count = try Hashtbl.find tbl d with Not_found -> 0 in
+    Hashtbl.replace tbl d (count + 1)
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let summary ppf t =
+  let hist = degree_histogram t in
+  let pp_bucket ppf (d, c) = Fmt.pf ppf "deg %d: %d nodes" d c in
+  Fmt.pf ppf "nodes=%d edges=%d diameter=%d avg-path=%.2f [%a]"
+    (Topology.node_count t) (Topology.edge_count t) (Topology.diameter t)
+    (Topology.average_path_length t)
+    Fmt.(list ~sep:(any ", ") pp_bucket)
+    hist

@@ -1,0 +1,16 @@
+(** Graphviz and ASCII rendering of topologies. *)
+
+val to_dot :
+  ?highlight:(Types.node_id * Types.node_id) list ->
+  ?labels:(Types.node_id -> string) ->
+  Topology.t ->
+  string
+(** [to_dot t] is a Graphviz [graph] description. Edges in [highlight] are
+    drawn red and bold (e.g. the failed link). *)
+
+val degree_histogram : Topology.t -> (int * int) list
+(** [(degree, node count)] pairs, sorted by degree. *)
+
+val summary : Topology.t Fmt.t
+(** One-paragraph statistics: nodes, edges, degree histogram, diameter,
+    average path length. *)

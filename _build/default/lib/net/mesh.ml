@@ -1,0 +1,98 @@
+let min_degree = 3
+
+let max_degree = 12
+
+let node_of ~cols ~row ~col = (row * cols) + col
+
+(* A direction [(dr, dc)] adds links (r, c) -> (r + dr, c + dc). Applying one
+   to all rows gives interior nodes one outgoing and one incoming extra link
+   (+2 each). For an odd degree surplus, one direction is applied with the
+   source restricted to even rows, giving +1 — that direction must have odd
+   [dr], so that sources (even rows) and sinks (odd rows) are disjoint;
+   otherwise even rows would gain 2 and odd rows none. *)
+let full_directions = [ (1, 1); (1, -1); (2, 0); (2, 2) ]
+
+let half_direction = (1, 2)
+
+let build ~wrap ~rows ~cols ~degree =
+  if rows < 3 || cols < 3 then invalid_arg "Mesh.generate: need at least 3x3";
+  if degree < min_degree || degree > max_degree then
+    invalid_arg
+      (Printf.sprintf "Mesh.generate: degree %d outside [%d, %d]" degree
+         min_degree max_degree);
+  if wrap && (rows < 5 || cols < 5) then
+    invalid_arg "Mesh.generate: a torus needs at least 5x5";
+  if wrap && degree mod 2 = 1 && rows mod 2 = 1 then
+    invalid_arg "Mesh.generate: an odd-degree torus needs an even row count";
+  let nodes = rows * cols in
+  let edges = ref [] in
+  let in_range r c = r >= 0 && r < rows && c >= 0 && c < cols in
+  let add r c r' c' =
+    if wrap then begin
+      let r' = ((r' mod rows) + rows) mod rows in
+      let c' = ((c' mod cols) + cols) mod cols in
+      edges := (node_of ~cols ~row:r ~col:c, node_of ~cols ~row:r' ~col:c') :: !edges
+    end
+    else if in_range r c && in_range r' c' then
+      edges := (node_of ~cols ~row:r ~col:c, node_of ~cols ~row:r' ~col:c') :: !edges
+  in
+  (* Horizontal backbone: always present (the torus closes each row). *)
+  let last_col = if wrap then cols - 1 else cols - 2 in
+  for r = 0 to rows - 1 do
+    for c = 0 to last_col do
+      add r c r (c + 1)
+    done
+  done;
+  (* Vertical links: brick-wall subset for degree 3, full grid otherwise. *)
+  let last_row = if wrap then rows - 1 else rows - 2 in
+  for r = 0 to last_row do
+    for c = 0 to cols - 1 do
+      if degree > 3 || (r + c) mod 2 = 0 then add r c (r + 1) c
+    done
+  done;
+  (* Extra directions for degree >= 5. *)
+  let apply_direction ~even_rows_only (dr, dc) =
+    for r = 0 to rows - 1 do
+      if (not even_rows_only) || r mod 2 = 0 then
+        for c = 0 to cols - 1 do
+          add r c (r + dr) (c + dc)
+        done
+    done
+  in
+  let surplus = degree - 4 in
+  if surplus > 0 then begin
+    if surplus mod 2 = 1 then apply_direction ~even_rows_only:true half_direction;
+    let rec apply_full remaining directions =
+      match (remaining, directions) with
+      | 0, _ -> ()
+      | _, [] -> assert false (* max_degree bounds [remaining] *)
+      | remaining, d :: rest ->
+        apply_direction ~even_rows_only:false d;
+        apply_full (remaining - 2) rest
+    in
+    apply_full (surplus - (surplus mod 2)) full_directions
+  end;
+  Topology.create ~nodes ~edges:!edges
+
+let row_ids ~cols row = List.init cols (fun c -> node_of ~cols ~row ~col:c)
+
+let first_row ~rows:_ ~cols = row_ids ~cols 0
+
+let last_row ~rows ~cols = row_ids ~cols (rows - 1)
+
+let interior_nodes ~rows ~cols ~degree =
+  (* Degrees 3 and 4 only use unit offsets; every higher degree uses some
+     direction with an offset of 2, whose border effects reach two rows or
+     columns deep. *)
+  let margin = if degree <= 4 then 1 else 2 in
+  let ids = ref [] in
+  for r = rows - 1 - margin downto margin do
+    for c = cols - 1 - margin downto margin do
+      ids := node_of ~cols ~row:r ~col:c :: !ids
+    done
+  done;
+  !ids
+
+let generate ~rows ~cols ~degree = build ~wrap:false ~rows ~cols ~degree
+
+let generate_torus ~rows ~cols ~degree = build ~wrap:true ~rows ~cols ~degree

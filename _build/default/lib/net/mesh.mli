@@ -1,0 +1,48 @@
+(** The paper's regular-mesh topology family (construction "similar to Baran").
+
+    A [rows x cols] mesh in which every {e interior} node has the same degree
+    [d]; border nodes have fewer links, as in the paper's Figure 2. The family
+    is deterministic: for a given [(rows, cols, degree)] it always produces the
+    same graph, which removes topology randomness from protocol comparisons
+    (the paper's stated reason for regular topologies).
+
+    Construction:
+    - degree 3: horizontal grid links plus a "brick wall" subset of vertical
+      links (a vertical link below [(r, c)] exists iff [(r + c)] is even);
+    - degree 4: the full rectangular grid;
+    - degree 5+: the grid plus diagonal/skip "directions" added in a fixed
+      order; applying a direction to every row raises interior degree by 2,
+      applying it to even rows only raises it by 1, so every degree in
+      [3 .. 12] is reachable. *)
+
+val min_degree : int
+val max_degree : int
+
+val generate : rows:int -> cols:int -> degree:int -> Topology.t
+(** [generate ~rows ~cols ~degree] builds the (bordered) mesh.
+    @raise Invalid_argument if [rows < 3], [cols < 3], or [degree] is outside
+    [min_degree .. max_degree]. *)
+
+val generate_torus : rows:int -> cols:int -> degree:int -> Topology.t
+(** Like {!generate} but closed into a torus: coordinates wrap modulo
+    [rows]/[cols], so {e every} node (not just interior ones) has degree
+    [degree] — useful to separate border effects from connectivity effects.
+
+    @raise Invalid_argument additionally if [rows] or [cols] is below 5
+    (shorter wrap-around would fold distinct links onto each other), or if
+    [degree] is odd and [rows] is odd (the odd-degree constructions rely on
+    row parity, which must be consistent across the seam). *)
+
+val node_of : cols:int -> row:int -> col:int -> Types.node_id
+(** [node_of ~cols ~row ~col] is the id of the router at [(row, col)]. *)
+
+val first_row : rows:int -> cols:int -> Types.node_id list
+(** Router ids on the first row (where the paper attaches the sender). *)
+
+val last_row : rows:int -> cols:int -> Types.node_id list
+(** Router ids on the last row (where the paper attaches the receiver). *)
+
+val interior_nodes : rows:int -> cols:int -> degree:int -> Types.node_id list
+(** Nodes far enough from the border that the construction gives them the
+    full target degree; used by tests to assert regularity. (On a torus every
+    node qualifies.) *)

@@ -1,0 +1,29 @@
+type t = {
+  id : int;
+  src : Types.node_id;
+  dst : Types.node_id;
+  size_bits : int;
+  sent_at : float;
+  mutable ttl : int;
+  mutable visits : Types.node_id list;
+}
+
+let create ~id ~src ~dst ~size_bits ~ttl ~sent_at =
+  { id; src; dst; size_bits; sent_at; ttl; visits = [] }
+
+let visit p n = p.visits <- n :: p.visits
+
+let hop_count p = max 0 (List.length p.visits - 1)
+
+let path p = List.rev p.visits
+
+let looped p =
+  let rec dup seen = function
+    | [] -> false
+    | n :: rest -> List.mem n seen || dup (n :: seen) rest
+  in
+  dup [] p.visits
+
+let pp ppf p =
+  Fmt.pf ppf "packet#%d %d->%d ttl=%d path=%a" p.id p.src p.dst p.ttl
+    Types.pp_path (path p)

@@ -1,0 +1,38 @@
+(** Data packets.
+
+    A packet records its own journey (the sequence of routers visited) so the
+    study harness can detect transient forwarding loops and measure path
+    stretch, exactly as the paper's trace-file analysis does. *)
+
+type t = {
+  id : int;
+  src : Types.node_id;
+  dst : Types.node_id;
+  size_bits : int;
+  sent_at : float;
+  mutable ttl : int;
+  mutable visits : Types.node_id list;  (** visited routers, most recent first *)
+}
+
+val create :
+  id:int ->
+  src:Types.node_id ->
+  dst:Types.node_id ->
+  size_bits:int ->
+  ttl:int ->
+  sent_at:float ->
+  t
+
+val visit : t -> Types.node_id -> unit
+(** [visit p n] records that [p] is being processed by router [n]. *)
+
+val hop_count : t -> int
+(** [hop_count p] is the number of routers visited so far minus one. *)
+
+val path : t -> Types.node_id list
+(** [path p] is the visited routers in travel order. *)
+
+val looped : t -> bool
+(** [looped p] is true when some router appears twice in [p]'s journey. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,39 @@
+let ensure_connected rng t =
+  let rec fix t =
+    match Topology.components t with
+    | [] | [ _ ] -> t
+    | first :: second :: _ ->
+      let u = Dessim.Rng.pick rng first in
+      let v = Dessim.Rng.pick rng second in
+      fix (Topology.add_edge t u v)
+  in
+  fix t
+
+let erdos_renyi rng ~nodes ~p =
+  if nodes < 2 then invalid_arg "Random_topo.erdos_renyi: nodes < 2";
+  if p < 0. || p > 1. then invalid_arg "Random_topo.erdos_renyi: p out of range";
+  let edges = ref [] in
+  for u = 0 to nodes - 2 do
+    for v = u + 1 to nodes - 1 do
+      if Dessim.Rng.float rng 1. < p then edges := (u, v) :: !edges
+    done
+  done;
+  ensure_connected rng (Topology.create ~nodes ~edges:!edges)
+
+let waxman rng ~nodes ~alpha ~beta =
+  if nodes < 2 then invalid_arg "Random_topo.waxman: nodes < 2";
+  if alpha <= 0. || alpha > 1. then invalid_arg "Random_topo.waxman: alpha";
+  if beta <= 0. then invalid_arg "Random_topo.waxman: beta";
+  let xs = Array.init nodes (fun _ -> Dessim.Rng.float rng 1.) in
+  let ys = Array.init nodes (fun _ -> Dessim.Rng.float rng 1.) in
+  let max_dist = sqrt 2. in
+  let edges = ref [] in
+  for u = 0 to nodes - 2 do
+    for v = u + 1 to nodes - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      let prob = alpha *. exp (-.d /. (beta *. max_dist)) in
+      if Dessim.Rng.float rng 1. < prob then edges := (u, v) :: !edges
+    done
+  done;
+  ensure_connected rng (Topology.create ~nodes ~edges:!edges)

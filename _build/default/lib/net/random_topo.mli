@@ -1,0 +1,21 @@
+(** Random topology generators (the paper's future-work direction).
+
+    Both generators post-process the raw random graph so the result is always
+    connected: components are stitched together with one extra edge between
+    random representatives until a single component remains. *)
+
+val erdos_renyi : Dessim.Rng.t -> nodes:int -> p:float -> Topology.t
+(** [erdos_renyi rng ~nodes ~p] includes each possible edge independently with
+    probability [p], then stitches components.
+    @raise Invalid_argument if [p] is outside [0, 1] or [nodes < 2]. *)
+
+val waxman :
+  Dessim.Rng.t -> nodes:int -> alpha:float -> beta:float -> Topology.t
+(** [waxman rng ~nodes ~alpha ~beta] places nodes uniformly in the unit square
+    and connects [u, v] with probability
+    [alpha * exp (-d(u,v) / (beta * sqrt 2.))], then stitches components.
+    Typical values: [alpha = 0.4], [beta = 0.2]. *)
+
+val ensure_connected : Dessim.Rng.t -> Topology.t -> Topology.t
+(** [ensure_connected rng t] adds random inter-component edges until [t] is
+    connected. *)

@@ -1,0 +1,59 @@
+(** Immutable undirected graphs with unit-cost edges.
+
+    All protocols in the paper run over unit-cost links, so shortest paths are
+    BFS paths; a weighted Dijkstra is provided for the link-state extension
+    and for tests that cross-check the two. *)
+
+type t
+
+val create : nodes:int -> edges:(Types.node_id * Types.node_id) list -> t
+(** [create ~nodes ~edges] builds a graph on nodes [0 .. nodes-1]. Edges are
+    deduplicated; self-loops and out-of-range endpoints raise
+    [Invalid_argument]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val edges : t -> (Types.node_id * Types.node_id) list
+(** Canonical edge list, each as [(u, v)] with [u < v], sorted. *)
+
+val neighbors : t -> Types.node_id -> Types.node_id list
+(** Sorted ascending. *)
+
+val degree : t -> Types.node_id -> int
+
+val has_edge : t -> Types.node_id -> Types.node_id -> bool
+
+val remove_edge : t -> Types.node_id -> Types.node_id -> t
+(** [remove_edge t u v] is [t] without the (undirected) edge [u-v]; returns
+    [t] unchanged when absent. *)
+
+val add_edge : t -> Types.node_id -> Types.node_id -> t
+
+val is_connected : t -> bool
+
+val bfs_distances : t -> Types.node_id -> int array
+(** [bfs_distances t src] is hop distances from [src]; unreachable nodes get
+    [max_int]. *)
+
+val shortest_path : t -> Types.node_id -> Types.node_id -> Types.node_id list option
+(** [shortest_path t src dst] is a minimum-hop path from [src] to [dst]
+    (inclusive of both), deterministic (smallest-id predecessor wins). *)
+
+val dijkstra :
+  t ->
+  cost:(Types.node_id -> Types.node_id -> float) ->
+  Types.node_id ->
+  float array * Types.node_id option array
+(** [dijkstra t ~cost src] is [(dist, parent)] with [dist.(u) = infinity] for
+    unreachable [u]. Ties broken toward the smaller parent id. *)
+
+val diameter : t -> int
+(** Longest shortest path over all pairs; [max_int] if disconnected. *)
+
+val average_path_length : t -> float
+(** Mean hop distance over all connected ordered pairs. *)
+
+val components : t -> Types.node_id list list
+(** Connected components, each sorted, listed by smallest member. *)

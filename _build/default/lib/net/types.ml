@@ -1,0 +1,18 @@
+type node_id = int
+
+type drop_reason = No_route | Ttl_expired | Queue_overflow | Link_down
+
+let pp_node = Fmt.int
+
+let string_of_drop_reason = function
+  | No_route -> "no-route"
+  | Ttl_expired -> "ttl-expired"
+  | Queue_overflow -> "queue-overflow"
+  | Link_down -> "link-down"
+
+let pp_drop_reason ppf r = Fmt.string ppf (string_of_drop_reason r)
+
+let all_drop_reasons = [ No_route; Ttl_expired; Queue_overflow; Link_down ]
+
+let pp_path ppf path =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " -> ") int) path

@@ -1,0 +1,18 @@
+(** Shared identifiers and drop taxonomy for the network substrate. *)
+
+type node_id = int
+(** Routers are numbered [0 .. n-1]. *)
+
+type drop_reason =
+  | No_route  (** the router had no next hop for the destination *)
+  | Ttl_expired  (** TTL reached zero, i.e. the packet was caught in a loop *)
+  | Queue_overflow  (** the outgoing link's FIFO queue was full *)
+  | Link_down  (** the packet was sent onto, queued on, or in flight over a failed link *)
+
+val pp_node : node_id Fmt.t
+val pp_drop_reason : drop_reason Fmt.t
+val string_of_drop_reason : drop_reason -> string
+val all_drop_reasons : drop_reason list
+
+val pp_path : node_id list Fmt.t
+(** Renders a forwarding path as [[0 -> 5 -> 10]]. *)

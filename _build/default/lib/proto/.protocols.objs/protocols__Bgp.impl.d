@@ -1,0 +1,1 @@
+lib/proto/bgp.ml: Dessim Float Fmt Hashtbl List Netsim Proto_intf

@@ -1,0 +1,1 @@
+lib/proto/bgp.mli: Netsim Proto_intf

@@ -1,0 +1,1 @@
+lib/proto/dbf.mli: Dv_core Netsim Proto_intf

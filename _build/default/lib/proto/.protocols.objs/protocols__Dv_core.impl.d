@@ -1,0 +1,1 @@
+lib/proto/dv_core.ml: Dessim Fmt List Netsim

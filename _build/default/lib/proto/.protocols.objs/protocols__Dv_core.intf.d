@@ -1,0 +1,1 @@
+lib/proto/dv_core.mli: Dessim Fmt Netsim

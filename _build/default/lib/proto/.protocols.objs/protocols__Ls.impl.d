@@ -1,0 +1,1 @@
+lib/proto/ls.ml: Dessim Fmt Hashtbl List Netsim Proto_intf Queue

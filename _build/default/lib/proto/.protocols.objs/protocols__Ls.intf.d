@@ -1,0 +1,1 @@
+lib/proto/ls.mli: Netsim Proto_intf

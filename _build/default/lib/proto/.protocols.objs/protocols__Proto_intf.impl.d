@@ -1,0 +1,1 @@
+lib/proto/proto_intf.ml: Dessim Fmt Netsim

@@ -1,0 +1,1 @@
+lib/proto/rip.ml: Dessim Dv_core Hashtbl List Netsim Proto_intf

@@ -1,0 +1,1 @@
+lib/proto/rip.mli: Dv_core Proto_intf

@@ -1,0 +1,254 @@
+type message = Dv_core.message
+
+type config = Dv_core.config
+
+let name = "DBF"
+
+let uses_reliable_transport = false
+
+let default_config = Dv_core.default_config
+
+let pp_message = Dv_core.pp_message
+
+let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
+
+type cache_entry = {
+  mutable heard : int;  (* metric as advertised by the neighbor *)
+  mutable timeout : Dessim.Scheduler.handle option;
+}
+
+type route = {
+  mutable metric : int;
+  mutable next_hop : Netsim.Types.node_id option;  (* None: the self route *)
+}
+
+type t = {
+  cfg : config;
+  rng : Dessim.Rng.t;
+  id : Netsim.Types.node_id;
+  actions : message Proto_intf.actions;
+  mutable up : Netsim.Types.node_id list;
+  cache : (Netsim.Types.node_id, (Netsim.Types.node_id, cache_entry) Hashtbl.t) Hashtbl.t;
+  table : (Netsim.Types.node_id, route) Hashtbl.t;
+  changed : (Netsim.Types.node_id, unit) Hashtbl.t;
+  mutable trigger : Dv_core.Trigger.t option;
+  mutable started : bool;
+}
+
+let infinity_of t = t.cfg.Dv_core.infinity_metric
+
+let neighbor_cache t neighbor =
+  match Hashtbl.find_opt t.cache neighbor with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.replace t.cache neighbor tbl;
+    tbl
+
+let cached_metric t ~neighbor ~dst =
+  match Hashtbl.find_opt t.cache neighbor with
+  | None -> None
+  | Some tbl ->
+    (match Hashtbl.find_opt tbl dst with
+    | Some e when e.heard < infinity_of t -> Some e.heard
+    | Some _ | None -> None)
+
+let sorted_destinations t =
+  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table [] |> List.sort compare
+
+let entries_for t ~neighbor dsts =
+  let entry dst =
+    match Hashtbl.find_opt t.table dst with
+    | None -> None
+    | Some r ->
+      let poisoned =
+        match r.next_hop with Some nh -> nh = neighbor | None -> false
+      in
+      let metric = if poisoned then infinity_of t else min r.metric (infinity_of t) in
+      Some { Dv_core.dst; metric }
+  in
+  List.filter_map entry dsts
+
+let send_vector t ~neighbor dsts =
+  let entries = entries_for t ~neighbor dsts in
+  let send_chunk chunk = if chunk <> [] then t.actions.Proto_intf.send neighbor chunk in
+  List.iter send_chunk (Dv_core.chunk t.cfg entries)
+
+let send_full t neighbor = send_vector t ~neighbor (sorted_destinations t)
+
+let flush_triggered t =
+  let dsts = Hashtbl.fold (fun d () acc -> d :: acc) t.changed [] |> List.sort compare in
+  Hashtbl.reset t.changed;
+  if dsts <> [] then List.iter (fun n -> send_vector t ~neighbor:n dsts) t.up
+
+let trigger t =
+  match t.trigger with Some tr -> Dv_core.Trigger.request tr | None -> ()
+
+(* Recompute the best route to [dst] from the neighbor cache. Prefers the
+   incumbent next hop on ties, then the lowest neighbor id, so routes are
+   stable and deterministic. Returns true when metric or next hop changed. *)
+let recompute t dst =
+  if dst = t.id then false
+  else begin
+    let inf = infinity_of t in
+    let consider (best_metric, best_nh) neighbor =
+      match Hashtbl.find_opt t.cache neighbor with
+      | None -> (best_metric, best_nh)
+      | Some tbl ->
+        (match Hashtbl.find_opt tbl dst with
+        | None -> (best_metric, best_nh)
+        | Some e ->
+          let cand = min (e.heard + 1) inf in
+          if cand < best_metric then (cand, Some neighbor)
+          else (best_metric, best_nh))
+    in
+    let incumbent = Hashtbl.find_opt t.table dst in
+    let ordered_neighbors =
+      (* Listing the incumbent first makes ties keep the current next hop. *)
+      match incumbent with
+      | Some { next_hop = Some nh; _ } when List.mem nh t.up ->
+        nh :: List.filter (fun n -> n <> nh) t.up
+      | Some _ | None -> t.up
+    in
+    let metric, next_hop = List.fold_left consider (inf, None) ordered_neighbors in
+    match incumbent with
+    | None ->
+      if metric < inf then begin
+        Hashtbl.replace t.table dst { metric; next_hop };
+        Hashtbl.replace t.changed dst ();
+        t.actions.Proto_intf.route_changed dst;
+        true
+      end
+      else false
+    | Some r ->
+      (* A dead route's stored next hop is inert (masked by the metric), so
+         only a live next-hop difference counts as a change. *)
+      if r.metric <> metric || (metric < inf && r.next_hop <> next_hop) then begin
+        r.metric <- metric;
+        if metric < inf then r.next_hop <- next_hop;
+        Hashtbl.replace t.changed dst ();
+        t.actions.Proto_intf.route_changed dst;
+        true
+      end
+      else false
+  end
+
+let cache_expire t ~neighbor ~dst entry () =
+  entry.timeout <- None;
+  if entry.heard < infinity_of t then begin
+    entry.heard <- infinity_of t;
+    if recompute t dst then trigger t
+  end;
+  ignore neighbor
+
+let store_heard t ~neighbor (e : Dv_core.entry) =
+  let inf = infinity_of t in
+  let advertised = min e.metric inf in
+  let tbl = neighbor_cache t neighbor in
+  let entry =
+    match Hashtbl.find_opt tbl e.dst with
+    | Some entry -> entry
+    | None ->
+      let entry = { heard = inf; timeout = None } in
+      Hashtbl.replace tbl e.dst entry;
+      entry
+  in
+  entry.heard <- advertised;
+  (match entry.timeout with
+  | Some h ->
+    Dessim.Scheduler.cancel h;
+    entry.timeout <- None
+  | None -> ());
+  if advertised < inf then
+    entry.timeout <-
+      Some
+        (t.actions.Proto_intf.after t.cfg.Dv_core.timeout
+           (cache_expire t ~neighbor ~dst:e.dst entry))
+
+let create cfg ~rng ~id ~neighbors ~actions =
+  let t =
+    {
+      cfg;
+      rng;
+      id;
+      actions;
+      up = List.sort compare neighbors;
+      cache = Hashtbl.create 8;
+      table = Hashtbl.create 64;
+      changed = Hashtbl.create 16;
+      trigger = None;
+      started = false;
+    }
+  in
+  t.trigger <-
+    Some
+      (Dv_core.Trigger.create ~rng ~after:actions.Proto_intf.after
+         ~min_delay:cfg.Dv_core.damp_min ~max_delay:cfg.Dv_core.damp_max
+         ~flush:(fun () -> flush_triggered t));
+  t
+
+let rec periodic t () =
+  List.iter (send_full t) t.up;
+  (match t.trigger with
+  | Some tr -> Dv_core.Trigger.note_full_update_sent tr
+  | None -> ());
+  Hashtbl.reset t.changed;
+  ignore (t.actions.Proto_intf.after (Dv_core.jittered_period t.rng t.cfg) (periodic t))
+
+let start t =
+  if t.started then invalid_arg "Dbf.start: already started";
+  t.started <- true;
+  Hashtbl.replace t.table t.id { metric = 0; next_hop = None };
+  ignore
+    (t.actions.Proto_intf.after
+       (Dessim.Rng.uniform t.rng 0.01 0.5)
+       (fun () -> List.iter (send_full t) t.up));
+  ignore
+    (t.actions.Proto_intf.after
+       (Dessim.Rng.float t.rng t.cfg.Dv_core.period)
+       (periodic t))
+
+let on_message t ~from msg =
+  if List.mem from t.up then begin
+    List.iter (store_heard t ~neighbor:from) msg;
+    let changed_any =
+      List.fold_left (fun acc (e : Dv_core.entry) -> recompute t e.dst || acc) false msg
+    in
+    if changed_any then trigger t
+  end
+
+let on_link_down t ~neighbor =
+  t.up <- List.filter (fun n -> n <> neighbor) t.up;
+  (* Discard the dead neighbor's vector: it is no longer a candidate. *)
+  (match Hashtbl.find_opt t.cache neighbor with
+  | Some tbl ->
+    Hashtbl.iter
+      (fun _ e -> match e.timeout with Some h -> Dessim.Scheduler.cancel h | None -> ())
+      tbl;
+    Hashtbl.remove t.cache neighbor
+  | None -> ());
+  (* Instant switch-over: recompute every known destination from the cache. *)
+  let changed_any =
+    List.fold_left
+      (fun acc dst -> recompute t dst || acc)
+      false (sorted_destinations t)
+  in
+  if changed_any then trigger t
+
+let on_link_up t ~neighbor =
+  if not (List.mem neighbor t.up) then begin
+    t.up <- List.sort compare (neighbor :: t.up);
+    send_full t neighbor
+  end
+
+let next_hop t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some r when r.metric < infinity_of t -> r.next_hop
+  | Some _ | None -> None
+
+let metric t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some r when r.metric < infinity_of t -> Some r.metric
+  | Some _ | None -> None
+
+let known_destinations t = sorted_destinations t

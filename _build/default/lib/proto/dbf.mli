@@ -1,0 +1,17 @@
+(** Distributed Bellman-Ford (Bertsekas & Gallager), as modeled in the paper.
+
+    Identical to {!Rip} — same wire format, periodic/triggered updates,
+    damping, split horizon with poison reverse, infinity 16 — except that each
+    router caches the latest distance vector heard from {e every} neighbor.
+    The best route is recomputed from the cache, so when the current next hop
+    fails the router switches to an alternate neighbor {e instantly} (the
+    zero-time path switch-over of Section 4.1). The alternate is not
+    guaranteed valid: it may still traverse the failed link, in which case the
+    network "counts to the next-best path" via damped triggered updates. *)
+
+include Proto_intf.PROTOCOL with type config = Dv_core.config and type message = Dv_core.message
+
+val cached_metric :
+  t -> neighbor:Netsim.Types.node_id -> dst:Netsim.Types.node_id -> int option
+(** The metric most recently heard from [neighbor] for [dst] (after the
+    sender's poison reverse); exposed for tests. *)

@@ -1,0 +1,89 @@
+type entry = { dst : Netsim.Types.node_id; metric : int }
+
+type message = entry list
+
+type config = {
+  period : float;
+  timeout : float;
+  infinity_metric : int;
+  damp_min : float;
+  damp_max : float;
+  max_entries : int;
+  header_bytes : int;
+  entry_bytes : int;
+}
+
+let default_config =
+  {
+    period = 30.;
+    timeout = 180.;
+    infinity_metric = 16;
+    damp_min = 1.;
+    damp_max = 5.;
+    max_entries = 25;
+    header_bytes = 32;
+    entry_bytes = 20;
+  }
+
+let message_size_bits cfg msg =
+  8 * (cfg.header_bytes + (cfg.entry_bytes * List.length msg))
+
+let pp_entry ppf e = Fmt.pf ppf "%d:%d" e.dst e.metric
+
+let pp_message ppf msg =
+  Fmt.pf ppf "dv[%a]" Fmt.(list ~sep:(any " ") pp_entry) msg
+
+let chunk cfg entries =
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | e :: rest -> take (n - 1) (e :: acc) rest
+  in
+  let rec split acc = function
+    | [] -> List.rev acc
+    | entries ->
+      let head, rest = take cfg.max_entries [] entries in
+      split (head :: acc) rest
+  in
+  split [] entries
+
+let jittered_period rng cfg =
+  cfg.period *. Dessim.Rng.uniform rng 0.95 1.05
+
+module Trigger = struct
+  type t = {
+    rng : Dessim.Rng.t;
+    after : float -> (unit -> unit) -> Dessim.Scheduler.handle;
+    min_delay : float;
+    max_delay : float;
+    flush : unit -> unit;
+    mutable closed : bool;
+    mutable pending : bool;
+  }
+
+  let create ~rng ~after ~min_delay ~max_delay ~flush =
+    { rng; after; min_delay; max_delay; flush; closed = false; pending = false }
+
+  let gate_open t = not t.closed
+
+  let rec close_gate t =
+    t.closed <- true;
+    let delay = Dessim.Rng.uniform t.rng t.min_delay t.max_delay in
+    ignore
+      (t.after delay (fun () ->
+           t.closed <- false;
+           if t.pending then begin
+             t.pending <- false;
+             t.flush ();
+             close_gate t
+           end))
+
+  let request t =
+    if t.closed then t.pending <- true
+    else begin
+      t.flush ();
+      close_gate t
+    end
+
+  let note_full_update_sent t = t.pending <- false
+end

@@ -1,0 +1,234 @@
+type config = {
+  spf_delay : float;
+  refresh_interval : float;
+  max_age : float;
+  header_bytes : int;
+  neighbor_bytes : int;
+}
+
+type lsa = {
+  origin : Netsim.Types.node_id;
+  seq : int;
+  adjacencies : Netsim.Types.node_id list;
+}
+
+type message = Lsa of lsa
+
+let name = "LS"
+
+let uses_reliable_transport = true
+
+let default_config =
+  {
+    spf_delay = 0.05;
+    refresh_interval = 1800.;
+    max_age = 3600.;
+    header_bytes = 24;
+    neighbor_bytes = 4;
+  }
+
+let message_size_bits (Lsa l) =
+  let c = default_config in
+  8 * (c.header_bytes + (c.neighbor_bytes * List.length l.adjacencies))
+
+let pp_message ppf (Lsa l) =
+  Fmt.pf ppf "lsa origin=%d seq=%d adj=%a" l.origin l.seq
+    Fmt.(list ~sep:(any ",") int)
+    l.adjacencies
+
+type route = { next_hop : Netsim.Types.node_id; distance : int }
+
+type t = {
+  cfg : config;
+  rng : Dessim.Rng.t;
+  id : Netsim.Types.node_id;
+  actions : message Proto_intf.actions;
+  mutable up : Netsim.Types.node_id list;
+  lsdb : (Netsim.Types.node_id, lsa) Hashtbl.t;
+  stamps : (Netsim.Types.node_id, float) Hashtbl.t;
+      (* when each LSA was last stored/refreshed, for max-age purging *)
+  mutable my_seq : int;
+  routes : (Netsim.Types.node_id, route) Hashtbl.t;
+  mutable spf_scheduled : bool;
+  mutable started : bool;
+}
+
+let create cfg ~rng ~id ~neighbors ~actions =
+  {
+    cfg;
+    rng;
+    id;
+    actions;
+    up = List.sort compare neighbors;
+    lsdb = Hashtbl.create 64;
+    stamps = Hashtbl.create 64;
+    my_seq = -1;
+    routes = Hashtbl.create 64;
+    spf_scheduled = false;
+    started = false;
+  }
+
+let database t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.lsdb []
+  |> List.sort (fun a b -> compare a.origin b.origin)
+
+let flood t ~except lsa =
+  let forward n = if n <> except then t.actions.Proto_intf.send n (Lsa lsa) in
+  List.iter forward t.up
+
+(* Dijkstra over the two-way-checked LSDB graph; unit link costs make this a
+   BFS, implemented with a plain queue for determinism (sorted adjacency). *)
+let run_spf t =
+  let two_way u v =
+    match (Hashtbl.find_opt t.lsdb u, Hashtbl.find_opt t.lsdb v) with
+    | Some lu, Some lv -> List.mem v lu.adjacencies && List.mem u lv.adjacencies
+    | _ -> false
+  in
+  let adjacency u =
+    match Hashtbl.find_opt t.lsdb u with
+    | None -> []
+    | Some l -> List.filter (two_way u) (List.sort compare l.adjacencies)
+  in
+  let dist = Hashtbl.create 64 in
+  let first_hop = Hashtbl.create 64 in
+  Hashtbl.replace dist t.id 0;
+  let q = Queue.create () in
+  Queue.add t.id q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    let du = Hashtbl.find dist u in
+    let relax v =
+      if not (Hashtbl.mem dist v) then begin
+        Hashtbl.replace dist v (du + 1);
+        (* The first hop toward [v] is inherited from [u], except for our
+           direct neighbors, whose first hop is themselves. *)
+        let hop = if u = t.id then v else Hashtbl.find first_hop u in
+        Hashtbl.replace first_hop v hop;
+        Queue.add v q
+      end
+    in
+    List.iter relax (adjacency u)
+  done;
+  (* Diff against the previous routing table and notify changes. *)
+  let changed = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun dst d ->
+      if dst <> t.id then begin
+        let hop = Hashtbl.find first_hop dst in
+        match Hashtbl.find_opt t.routes dst with
+        | Some r when r.next_hop = hop && r.distance = d -> ()
+        | Some _ | None -> Hashtbl.replace changed dst { next_hop = hop; distance = d }
+      end)
+    dist;
+  let lost = ref [] in
+  Hashtbl.iter
+    (fun dst _ -> if not (Hashtbl.mem dist dst) then lost := dst :: !lost)
+    t.routes;
+  Hashtbl.iter
+    (fun dst r ->
+      Hashtbl.replace t.routes dst r;
+      t.actions.Proto_intf.route_changed dst)
+    changed;
+  List.iter
+    (fun dst ->
+      Hashtbl.remove t.routes dst;
+      t.actions.Proto_intf.route_changed dst)
+    !lost
+
+let schedule_spf t =
+  if not t.spf_scheduled then begin
+    t.spf_scheduled <- true;
+    ignore
+      (t.actions.Proto_intf.after t.cfg.spf_delay (fun () ->
+           t.spf_scheduled <- false;
+           run_spf t))
+  end
+
+(* Store an LSA and arm its max-age purge: if it is not refreshed (its stamp
+   unchanged) within [max_age], it is flushed from the database — OSPF's
+   protection against a dead router's state living forever. Our own LSA is
+   exempt: we re-originate it on the refresh timer instead. *)
+let store_lsa t lsa =
+  let now = t.actions.Proto_intf.now () in
+  Hashtbl.replace t.lsdb lsa.origin lsa;
+  Hashtbl.replace t.stamps lsa.origin now;
+  if lsa.origin <> t.id then
+    ignore
+      (t.actions.Proto_intf.after t.cfg.max_age (fun () ->
+           match Hashtbl.find_opt t.stamps lsa.origin with
+           | Some stamp when stamp = now ->
+             Hashtbl.remove t.lsdb lsa.origin;
+             Hashtbl.remove t.stamps lsa.origin;
+             schedule_spf t
+           | Some _ | None -> ()))
+
+let originate t =
+  t.my_seq <- t.my_seq + 1;
+  let lsa = { origin = t.id; seq = t.my_seq; adjacencies = t.up } in
+  store_lsa t lsa;
+  flood t ~except:t.id lsa;
+  schedule_spf t
+
+let start t =
+  if t.started then invalid_arg "Ls.start: already started";
+  t.started <- true;
+  originate t;
+  (* Periodic re-origination keeps neighbors' max-age timers fed. *)
+  let rec refresh () =
+    ignore
+      (t.actions.Proto_intf.after t.cfg.refresh_interval (fun () ->
+           originate t;
+           refresh ()))
+  in
+  refresh ()
+
+let on_message t ~from msg =
+  if List.mem from t.up then begin
+    match msg with
+    | Lsa lsa ->
+      let fresher =
+        match Hashtbl.find_opt t.lsdb lsa.origin with
+        | None -> true
+        | Some stored -> lsa.seq > stored.seq
+      in
+      if fresher then begin
+        store_lsa t lsa;
+        flood t ~except:from lsa;
+        schedule_spf t
+      end
+      else begin
+        (* The sender is behind: help it catch up, as OSPF flooding does. *)
+        match Hashtbl.find_opt t.lsdb lsa.origin with
+        | Some stored when stored.seq > lsa.seq ->
+          t.actions.Proto_intf.send from (Lsa stored)
+        | Some _ | None -> ()
+      end
+  end
+
+let on_link_down t ~neighbor =
+  t.up <- List.filter (fun n -> n <> neighbor) t.up;
+  originate t
+
+let on_link_up t ~neighbor =
+  if not (List.mem neighbor t.up) then begin
+    t.up <- List.sort compare (neighbor :: t.up);
+    (* Database exchange on adjacency formation. *)
+    List.iter (fun l -> t.actions.Proto_intf.send neighbor (Lsa l)) (database t);
+    originate t
+  end
+
+let next_hop t ~dst =
+  match Hashtbl.find_opt t.routes dst with
+  | Some r -> Some r.next_hop
+  | None -> None
+
+let metric t ~dst =
+  if dst = t.id then Some 0
+  else
+    match Hashtbl.find_opt t.routes dst with
+    | Some r -> Some r.distance
+    | None -> None
+
+let known_destinations t =
+  let dsts = Hashtbl.fold (fun d _ acc -> d :: acc) t.routes [] in
+  List.sort compare (t.id :: dsts)

@@ -1,0 +1,42 @@
+(** A link-state protocol (OSPF-style), the paper's future-work comparison.
+
+    Every router originates a link-state advertisement (LSA) describing its
+    up adjacencies, floods it reliably, and computes shortest paths over the
+    collected link-state database with Dijkstra. An adjacency enters the SPF
+    graph only when {e both} endpoints advertise it (the standard two-way
+    check), which prevents forwarding toward a router that has not yet heard
+    about a failure from using the failed link.
+
+    Characteristics relevant to the paper's three factors:
+    - switch-over: SPF recomputation over the full database gives an
+      alternate path immediately after the failure LSA arrives;
+    - valid paths: the two-way check makes chosen alternates valid once the
+      failure LSA has been flooded;
+    - propagation: flooding is damped only by [spf_delay], far faster than
+      distance-vector damping timers. *)
+
+type config = {
+  spf_delay : float;  (** batching delay between a database change and SPF *)
+  refresh_interval : float;
+      (** periodic LSA re-origination (OSPF's LSRefreshTime; 1800 s) *)
+  max_age : float;
+      (** LSAs not refreshed for this long are purged (OSPF's MaxAge;
+          3600 s) — protects against a crashed router's state living
+          forever *)
+  header_bytes : int;
+  neighbor_bytes : int;
+}
+
+type lsa = {
+  origin : Netsim.Types.node_id;
+  seq : int;
+  adjacencies : Netsim.Types.node_id list;
+}
+
+type message = Lsa of lsa
+
+include
+  Proto_intf.PROTOCOL with type config := config and type message := message
+
+val database : t -> lsa list
+(** Current LSDB contents, sorted by origin; exposed for tests. *)

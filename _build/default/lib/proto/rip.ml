@@ -1,0 +1,211 @@
+type message = Dv_core.message
+
+type config = Dv_core.config
+
+let name = "RIP"
+
+let uses_reliable_transport = false
+
+let default_config = Dv_core.default_config
+
+let pp_message = Dv_core.pp_message
+
+type route = {
+  mutable metric : int;
+  mutable next_hop : Netsim.Types.node_id option;  (* None: the self route *)
+  mutable timeout : Dessim.Scheduler.handle option;
+}
+
+type t = {
+  cfg : config;
+  rng : Dessim.Rng.t;
+  id : Netsim.Types.node_id;
+  actions : message Proto_intf.actions;
+  mutable up : Netsim.Types.node_id list;
+  table : (Netsim.Types.node_id, route) Hashtbl.t;
+  changed : (Netsim.Types.node_id, unit) Hashtbl.t;
+  mutable trigger : Dv_core.Trigger.t option;
+  mutable started : bool;
+}
+
+(* message_size_bits must not depend on instance state; use default framing. *)
+let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
+
+let infinity_of t = t.cfg.Dv_core.infinity_metric
+
+let sorted_destinations t =
+  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table [] |> List.sort compare
+
+(* Entries advertised to [neighbor], with split horizon / poison reverse. *)
+let entries_for t ~neighbor dsts =
+  let entry dst =
+    match Hashtbl.find_opt t.table dst with
+    | None -> None
+    | Some r ->
+      let poisoned =
+        match r.next_hop with Some nh -> nh = neighbor | None -> false
+      in
+      let metric = if poisoned then infinity_of t else min r.metric (infinity_of t) in
+      Some { Dv_core.dst; metric }
+  in
+  List.filter_map entry dsts
+
+let send_vector t ~neighbor dsts =
+  let entries = entries_for t ~neighbor dsts in
+  let send_chunk chunk = if chunk <> [] then t.actions.Proto_intf.send neighbor chunk in
+  List.iter send_chunk (Dv_core.chunk t.cfg entries)
+
+let send_full t neighbor = send_vector t ~neighbor (sorted_destinations t)
+
+let flush_triggered t =
+  let dsts = Hashtbl.fold (fun d () acc -> d :: acc) t.changed [] |> List.sort compare in
+  Hashtbl.reset t.changed;
+  if dsts <> [] then List.iter (fun n -> send_vector t ~neighbor:n dsts) t.up
+
+let trigger t =
+  match t.trigger with Some tr -> Dv_core.Trigger.request tr | None -> ()
+
+let mark_changed t dst =
+  Hashtbl.replace t.changed dst ();
+  t.actions.Proto_intf.route_changed dst
+
+let cancel_timeout r =
+  match r.timeout with
+  | Some h ->
+    Dessim.Scheduler.cancel h;
+    r.timeout <- None
+  | None -> ()
+
+let expire t dst r () =
+  r.timeout <- None;
+  if r.metric < infinity_of t then begin
+    r.metric <- infinity_of t;
+    mark_changed t dst;
+    trigger t
+  end
+
+let reset_timeout t dst r =
+  cancel_timeout r;
+  r.timeout <- Some (t.actions.Proto_intf.after t.cfg.Dv_core.timeout (expire t dst r))
+
+(* Returns true when the route changed (caller batches the trigger request). *)
+let process_entry t ~from:neighbor (e : Dv_core.entry) =
+  if e.dst = t.id then false
+  else begin
+    let inf = infinity_of t in
+    let advertised = min e.metric inf in
+    let new_metric = min (advertised + 1) inf in
+    match Hashtbl.find_opt t.table e.dst with
+    | None ->
+      if new_metric < inf then begin
+        let r = { metric = new_metric; next_hop = Some neighbor; timeout = None } in
+        Hashtbl.replace t.table e.dst r;
+        reset_timeout t e.dst r;
+        mark_changed t e.dst;
+        true
+      end
+      else false
+    | Some r ->
+      if r.next_hop = Some neighbor then begin
+        if new_metric < inf then reset_timeout t e.dst r else cancel_timeout r;
+        if new_metric <> r.metric then begin
+          r.metric <- new_metric;
+          mark_changed t e.dst;
+          true
+        end
+        else false
+      end
+      else if new_metric < r.metric then begin
+        r.metric <- new_metric;
+        r.next_hop <- Some neighbor;
+        reset_timeout t e.dst r;
+        mark_changed t e.dst;
+        true
+      end
+      else false
+  end
+
+let create cfg ~rng ~id ~neighbors ~actions =
+  let t =
+    {
+      cfg;
+      rng;
+      id;
+      actions;
+      up = List.sort compare neighbors;
+      table = Hashtbl.create 64;
+      changed = Hashtbl.create 16;
+      trigger = None;
+      started = false;
+    }
+  in
+  t.trigger <-
+    Some
+      (Dv_core.Trigger.create ~rng ~after:actions.Proto_intf.after
+         ~min_delay:cfg.Dv_core.damp_min ~max_delay:cfg.Dv_core.damp_max
+         ~flush:(fun () -> flush_triggered t));
+  t
+
+let rec periodic t () =
+  List.iter (send_full t) t.up;
+  (* The full table supersedes any pending triggered update. *)
+  (match t.trigger with
+  | Some tr -> Dv_core.Trigger.note_full_update_sent tr
+  | None -> ());
+  Hashtbl.reset t.changed;
+  ignore (t.actions.Proto_intf.after (Dv_core.jittered_period t.rng t.cfg) (periodic t))
+
+let start t =
+  if t.started then invalid_arg "Rip.start: already started";
+  t.started <- true;
+  Hashtbl.replace t.table t.id { metric = 0; next_hop = None; timeout = None };
+  (* Announce quickly on boot (RFC request/response), then settle into the
+     jittered periodic cycle at a random phase. *)
+  ignore
+    (t.actions.Proto_intf.after
+       (Dessim.Rng.uniform t.rng 0.01 0.5)
+       (fun () -> List.iter (send_full t) t.up));
+  ignore
+    (t.actions.Proto_intf.after
+       (Dessim.Rng.float t.rng t.cfg.Dv_core.period)
+       (periodic t))
+
+let on_message t ~from msg =
+  if List.mem from t.up then begin
+    let changed_any =
+      List.fold_left (fun acc e -> process_entry t ~from e || acc) false msg
+    in
+    if changed_any then trigger t
+  end
+
+let on_link_down t ~neighbor =
+  t.up <- List.filter (fun n -> n <> neighbor) t.up;
+  let invalidate dst r changed =
+    if r.next_hop = Some neighbor && r.metric < infinity_of t then begin
+      r.metric <- infinity_of t;
+      cancel_timeout r;
+      mark_changed t dst;
+      true
+    end
+    else changed
+  in
+  let changed_any = Hashtbl.fold invalidate t.table false in
+  if changed_any then trigger t
+
+let on_link_up t ~neighbor =
+  if not (List.mem neighbor t.up) then begin
+    t.up <- List.sort compare (neighbor :: t.up);
+    send_full t neighbor
+  end
+
+let next_hop t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some r when r.metric < infinity_of t -> r.next_hop
+  | Some _ | None -> None
+
+let metric t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some r when r.metric < infinity_of t -> Some r.metric
+  | Some _ | None -> None
+
+let known_destinations t = sorted_destinations t

@@ -1,0 +1,16 @@
+(** RIP (RFC 2453 semantics, as modeled in the paper).
+
+    - Periodic full-table updates every [period] (30 s), jittered.
+    - Routes expire after [timeout] (180 s) without refresh.
+    - Split horizon with poison reverse: routes whose next hop is the update's
+      receiver are advertised with the infinity metric (16).
+    - Triggered updates on route change, spaced by a random 1-5 s damping
+      timer (first change flushes immediately).
+    - At most 25 destination entries per message.
+
+    The defining property for the paper: a RIP router keeps {e only} the best
+    route. When the next hop fails it has no alternate path and must wait for
+    a neighbor's periodic (or triggered) update, hence the long switch-over
+    period of Section 4.1. *)
+
+include Proto_intf.PROTOCOL with type config = Dv_core.config and type message = Dv_core.message

@@ -1,0 +1,1 @@
+test/proto_harness.ml: Alcotest Array Dessim List Netsim Protocols

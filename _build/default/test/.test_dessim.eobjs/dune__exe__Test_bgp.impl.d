@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Dessim List Netsim Proto_harness Protocols QCheck QCheck_alcotest

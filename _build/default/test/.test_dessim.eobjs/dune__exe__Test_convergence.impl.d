@@ -1,0 +1,1 @@
+test/test_convergence.ml: Alcotest Astring_contains Convergence Dessim Filename Fmt List Option String Sys

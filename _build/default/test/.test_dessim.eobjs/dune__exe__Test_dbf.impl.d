@@ -1,0 +1,1 @@
+test/test_dbf.ml: Alcotest Dessim List Netsim Printf Proto_harness Protocols QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Array Dessim Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dv.ml: Alcotest Dessim Gen List Printf Protocols QCheck QCheck_alcotest

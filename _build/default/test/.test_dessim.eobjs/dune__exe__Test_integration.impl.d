@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Convergence Dessim List Netsim Protocols QCheck QCheck_alcotest

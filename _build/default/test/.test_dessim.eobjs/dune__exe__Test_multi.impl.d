@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Astring_contains Convergence Fmt List Printf Protocols

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dessim Fun List Netsim Printf QCheck QCheck_alcotest String

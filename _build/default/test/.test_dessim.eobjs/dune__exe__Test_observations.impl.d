@@ -1,0 +1,1 @@
+test/test_observations.ml: Alcotest Convergence Dessim Hashtbl List Printf

@@ -1,0 +1,10 @@
+(* Minimal substring search shared by the test suites (no external string
+   library in the sealed environment). *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then true
+  else begin
+    let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+    go 0
+  end

@@ -1,0 +1,109 @@
+(* A lightweight in-memory network for protocol unit tests: every control
+   message is delivered after a fixed delay, with no bandwidth, queueing, or
+   loss. This isolates protocol logic from the link model, which has its own
+   tests. *)
+
+module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
+  type net = {
+    sched : Dessim.Scheduler.t;
+    topo : Netsim.Topology.t;
+    mutable routers : P.t array;
+    mutable down : (int * int) list;  (* failed links, canonical (u < v) *)
+    mutable messages : int;
+    mutable route_changes : (float * int * int) list;  (* time, router, dst *)
+  }
+
+  let canonical u v = if u < v then (u, v) else (v, u)
+
+  let make ?(config = P.default_config) ?(delay = 0.001) ~seed topo =
+    let sched = Dessim.Scheduler.create () in
+    let master = Dessim.Rng.create seed in
+    let n = Netsim.Topology.node_count topo in
+    let net =
+      { sched; topo; routers = [||]; down = []; messages = 0; route_changes = [] }
+    in
+    let routers =
+      Array.init n (fun id ->
+          let rng = Dessim.Rng.split master in
+          let actions =
+            {
+              Protocols.Proto_intf.now = (fun () -> Dessim.Scheduler.now sched);
+              send =
+                (fun neighbor msg ->
+                  net.messages <- net.messages + 1;
+                  if not (List.mem (canonical id neighbor) net.down) then
+                    ignore
+                      (Dessim.Scheduler.after sched ~delay (fun () ->
+                           if not (List.mem (canonical id neighbor) net.down) then
+                             P.on_message net.routers.(neighbor) ~from:id msg)));
+              after = (fun delay fn -> Dessim.Scheduler.after sched ~delay fn);
+              route_changed =
+                (fun dst ->
+                  net.route_changes <-
+                    (Dessim.Scheduler.now sched, id, dst) :: net.route_changes);
+            }
+          in
+          P.create config ~rng ~id
+            ~neighbors:(Netsim.Topology.neighbors topo id)
+            ~actions)
+    in
+    net.routers <- routers;
+    net
+
+  let start net = Array.iter P.start net.routers
+
+  let run net ~until = Dessim.Scheduler.run ~until net.sched
+
+  let router net i = net.routers.(i)
+
+  let next_hop net i ~dst = P.next_hop net.routers.(i) ~dst
+
+  let metric net i ~dst = P.metric net.routers.(i) ~dst
+
+  let fail_link net u v =
+    net.down <- canonical u v :: net.down;
+    P.on_link_down net.routers.(u) ~neighbor:v;
+    P.on_link_down net.routers.(v) ~neighbor:u
+
+  let restore_link net u v =
+    net.down <- List.filter (fun l -> l <> canonical u v) net.down;
+    P.on_link_up net.routers.(u) ~neighbor:v;
+    P.on_link_up net.routers.(v) ~neighbor:u
+
+  let messages net = net.messages
+
+  let route_changes net = List.rev net.route_changes
+
+  let sched net = net.sched
+
+  (* Assert that every router's next hops realize shortest paths of [topo']
+     (the topology after any failures) toward [dst]. *)
+  let check_shortest_paths ?(topo' : Netsim.Topology.t option) net ~dst =
+    let topo = match topo' with Some t -> t | None -> net.topo in
+    let dist = Netsim.Topology.bfs_distances topo dst in
+    let n = Netsim.Topology.node_count topo in
+    let check id =
+      if id <> dst then begin
+        if dist.(id) = max_int then begin
+          match next_hop net id ~dst with
+          | None -> ()
+          | Some nh ->
+            Alcotest.failf "router %d should have no route to %d, has %d" id dst nh
+        end
+        else begin
+          match next_hop net id ~dst with
+          | None -> Alcotest.failf "router %d has no route to %d" id dst
+          | Some nh ->
+            if not (Netsim.Topology.has_edge topo id nh) then
+              Alcotest.failf "router %d next hop %d is not a live neighbor" id nh;
+            if dist.(nh) <> dist.(id) - 1 then
+              Alcotest.failf
+                "router %d -> %d is not on a shortest path to %d (dist %d -> %d)"
+                id nh dst dist.(id) dist.(nh)
+        end
+      end
+    in
+    for id = 0 to n - 1 do
+      check id
+    done
+end

@@ -1,0 +1,444 @@
+(* Tests for the study harness building blocks: configuration validation,
+   forwarding-path observation, metrics accounting, and report rendering. *)
+
+(* ---------- Config ---------- *)
+
+let test_default_valid () =
+  match Convergence.Config.validate Convergence.Config.default with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_quick_valid () =
+  match Convergence.Config.validate Convergence.Config.quick with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_default_matches_paper () =
+  let c = Convergence.Config.default in
+  Alcotest.(check int) "49 nodes" 49 (Convergence.Config.nodes c);
+  Alcotest.(check int) "ttl 127" 127 c.Convergence.Config.ttl;
+  Alcotest.(check (float 0.)) "1 Mbps" 1e6 c.Convergence.Config.bandwidth_bps;
+  Alcotest.(check (float 0.)) "10 ms prop" 0.01 c.Convergence.Config.prop_delay;
+  Alcotest.(check int) "queue 200" 200 c.Convergence.Config.queue_capacity;
+  Alcotest.(check (float 0.)) "200 pps" 200. c.Convergence.Config.send_rate_pps;
+  Alcotest.(check (float 0.)) "failure at 400" 400. c.Convergence.Config.failure_time
+
+let test_validation_rejects () =
+  let reject cfg msg =
+    match Convergence.Config.validate cfg with
+    | Ok () -> Alcotest.failf "expected rejection: %s" msg
+    | Error _ -> ()
+  in
+  let c = Convergence.Config.default in
+  reject { c with rows = 2 } "rows";
+  reject { c with degree = 2 } "degree";
+  reject { c with degree = 99 } "degree hi";
+  reject { c with bandwidth_bps = 0. } "bandwidth";
+  reject { c with queue_capacity = 0 } "queue";
+  reject { c with ttl = 0 } "ttl";
+  reject { c with send_rate_pps = 0. } "rate";
+  reject { c with traffic_start = 500. } "traffic after failure";
+  reject { c with sim_end = 100. } "end before failure"
+
+let test_with_helpers () =
+  let c = Convergence.Config.default in
+  Alcotest.(check int) "degree" 6 (Convergence.Config.with_degree 6 c).Convergence.Config.degree;
+  Alcotest.(check int) "seed" 9 (Convergence.Config.with_seed 9 c).Convergence.Config.seed
+
+(* ---------- Observer ---------- *)
+
+let next_hop_of_table table n = List.assoc_opt n table
+
+let test_observer_complete () =
+  let table = [ (0, Some 1); (1, Some 2) ] in
+  match
+    Convergence.Observer.current_path ~next_hop:(fun n ->
+        Option.join (next_hop_of_table table n))
+      ~src:0 ~dst:2
+  with
+  | Convergence.Observer.Complete [ 0; 1; 2 ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Convergence.Observer.pp r
+
+let test_observer_broken () =
+  let table = [ (0, Some 1); (1, None) ] in
+  match
+    Convergence.Observer.current_path ~next_hop:(fun n ->
+        Option.join (next_hop_of_table table n))
+      ~src:0 ~dst:2
+  with
+  | Convergence.Observer.Broken [ 0; 1 ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Convergence.Observer.pp r
+
+let test_observer_looping () =
+  let table = [ (0, Some 1); (1, Some 0) ] in
+  match
+    Convergence.Observer.current_path ~next_hop:(fun n ->
+        Option.join (next_hop_of_table table n))
+      ~src:0 ~dst:2
+  with
+  | Convergence.Observer.Looping [ 0; 1; 0 ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Convergence.Observer.pp r
+
+let test_observer_src_is_dst () =
+  match Convergence.Observer.current_path ~next_hop:(fun _ -> None) ~src:5 ~dst:5 with
+  | Convergence.Observer.Complete [ 5 ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Convergence.Observer.pp r
+
+let test_observer_equal_and_helpers () =
+  let a = Convergence.Observer.Complete [ 0; 1 ] in
+  let b = Convergence.Observer.Complete [ 0; 1 ] in
+  let c = Convergence.Observer.Broken [ 0; 1 ] in
+  Alcotest.(check bool) "equal" true (Convergence.Observer.equal a b);
+  Alcotest.(check bool) "kind differs" false (Convergence.Observer.equal a c);
+  Alcotest.(check bool) "complete" true (Convergence.Observer.is_complete a);
+  Alcotest.(check bool) "broken not complete" false (Convergence.Observer.is_complete c);
+  Alcotest.(check (option int)) "hops" (Some 1) (Convergence.Observer.hops a);
+  Alcotest.(check (option int)) "hops broken" None (Convergence.Observer.hops c);
+  Alcotest.(check (list int)) "nodes_of" [ 0; 1 ] (Convergence.Observer.nodes_of c)
+
+(* ---------- Metrics ---------- *)
+
+let series () = Dessim.Series.create ~start:0. ~width:1. ~buckets:5
+
+let sample_run ?(protocol = "X") ?(degree = 4) ?(seed = 1) ?(sent = 100)
+    ?(delivered = 90) ?(no_route = 5) ?(ttl = 3) () =
+  {
+    Convergence.Metrics.protocol;
+    degree;
+    seed;
+    src = 0;
+    dst = 1;
+    sent;
+    delivered;
+    drops_no_route = no_route;
+    drops_ttl = ttl;
+    drops_queue = 0;
+    drops_link = 2;
+    looped_delivered = 1;
+    looped_dropped = ttl;
+    ctrl_messages = 10;
+    ctrl_bytes = 1000;
+    ctrl_lost = 0;
+    throughput = series ();
+    delay = series ();
+    fwd_convergence = 1.5;
+    routing_convergence = 2.5;
+    transient_paths = 2;
+    failed_link = Some (0, 1);
+    pre_failure_path = [ 0; 1 ];
+    final_path = [ 0; 2; 1 ];
+    final_path_complete = true;
+  }
+
+let test_metrics_accounting () =
+  let r = sample_run () in
+  Alcotest.(check int) "total drops" 10 (Convergence.Metrics.total_drops r);
+  Alcotest.(check int) "in flight" 0 (Convergence.Metrics.in_flight r);
+  Alcotest.(check bool) "conserved" true (Convergence.Metrics.conservation_ok r)
+
+let test_metrics_summarize () =
+  let runs = [ sample_run ~seed:1 ~no_route:4 (); sample_run ~seed:2 ~no_route:6 () ] in
+  let s = Convergence.Metrics.summarize runs in
+  Alcotest.(check int) "runs" 2 s.Convergence.Metrics.s_runs;
+  Alcotest.(check (float 1e-9)) "mean drops" 5. s.Convergence.Metrics.mean_drops_no_route;
+  Alcotest.(check (float 1e-9)) "mean fwd" 1.5 s.Convergence.Metrics.mean_fwd_convergence;
+  Alcotest.(check (float 1e-9)) "fwd stddev" 0. s.Convergence.Metrics.stddev_fwd_convergence
+
+let test_metrics_summarize_rejects_mixed () =
+  let runs = [ sample_run ~protocol:"A" (); sample_run ~protocol:"B" () ] in
+  Alcotest.check_raises "mixed" (Invalid_argument "Metrics.summarize: mixed protocol or degree")
+    (fun () -> ignore (Convergence.Metrics.summarize runs));
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.summarize: no runs") (fun () ->
+      ignore (Convergence.Metrics.summarize []))
+
+let test_metrics_pp_smoke () =
+  let r = sample_run () in
+  let s = Fmt.str "%a" Convergence.Metrics.pp_run r in
+  Alcotest.(check bool) "mentions protocol" true
+    (Astring_contains.contains s "X degree=4")
+
+(* tiny substring helper without external deps *)
+
+(* ---------- Report ---------- *)
+
+let test_report_scalar_table () =
+  let data = [ ("RIP", [ (3, 10.); (4, 5.) ]); ("DBF", [ (3, 1.); (4, 0.) ]) ] in
+  let s =
+    Fmt.str "%a" (Convergence.Report.scalar_table ~title:"T" ~unit_label:"u") data
+  in
+  Alcotest.(check bool) "has title" true (Astring_contains.contains s "T (u)");
+  Alcotest.(check bool) "has protocol" true (Astring_contains.contains s "RIP");
+  Alcotest.(check bool) "has value" true (Astring_contains.contains s "10.00")
+
+let test_report_series_table () =
+  let mk () =
+    let s = Dessim.Series.create ~start:10. ~width:1. ~buckets:5 in
+    Dessim.Series.add s ~time:11.5 3.;
+    s
+  in
+  let render ppf data =
+    Convergence.Report.series_table ~title:"S" ~unit_label:"pps" ~warmup:10.
+      ~mode:`Rate ppf data
+  in
+  let out = Fmt.str "%a" render [ ("P", mk ()) ] in
+  Alcotest.(check bool) "has series title" true (Astring_contains.contains out "S (pps");
+  Alcotest.(check bool) "bucket rate rendered" true
+    (Astring_contains.contains out "1.000")
+
+let test_report_window () =
+  let s = Dessim.Series.create ~start:0. ~width:1. ~buckets:100 in
+  let out =
+    Fmt.str "%a"
+      (Convergence.Report.series_table ~title:"W" ~unit_label:"x" ~warmup:0.
+         ~window:(10., 12.) ~mode:`Mean)
+      [ ("P", s) ]
+  in
+  (* Rows outside the window must be absent: time 50 not rendered. *)
+  Alcotest.(check bool) "window start present" true (Astring_contains.contains out "10");
+  Alcotest.(check bool) "outside absent" false (Astring_contains.contains out "50")
+
+(* ---------- Loop analysis ---------- *)
+
+let test_cycle_of_packet () =
+  Alcotest.(check (option (list int))) "simple cycle" (Some [ 1; 2 ])
+    (Convergence.Loop_analysis.cycle_of_packet [ 0; 1; 2; 1 ]);
+  Alcotest.(check (option (list int))) "3-cycle" (Some [ 1; 2; 3 ])
+    (Convergence.Loop_analysis.cycle_of_packet [ 0; 1; 2; 3; 1 ]);
+  Alcotest.(check (option (list int))) "no cycle" None
+    (Convergence.Loop_analysis.cycle_of_packet [ 0; 1; 2; 3 ]);
+  Alcotest.(check (option (list int))) "normalized rotation" (Some [ 2; 7; 12 ])
+    (Convergence.Loop_analysis.cycle_of_packet [ 5; 7; 12; 2; 7 ])
+
+let test_cycle_of_path () =
+  Alcotest.(check (option (list int))) "looping" (Some [ 1; 2 ])
+    (Convergence.Loop_analysis.cycle_of_path
+       (Convergence.Observer.Looping [ 0; 1; 2; 1 ]));
+  Alcotest.(check (option (list int))) "complete" None
+    (Convergence.Loop_analysis.cycle_of_path
+       (Convergence.Observer.Complete [ 0; 1; 2 ]))
+
+let test_episodes_merge_and_close () =
+  let looping = Convergence.Observer.Looping [ 0; 1; 2; 1 ] in
+  let looping' = Convergence.Observer.Looping [ 0; 3; 4; 3 ] in
+  let fine = Convergence.Observer.Complete [ 0; 5 ] in
+  let history =
+    [ (1., fine); (2., looping); (3., looping); (4., fine); (6., looping'); (7., fine) ]
+  in
+  match Convergence.Loop_analysis.episodes history with
+  | [ a; b ] ->
+    Alcotest.(check (list int)) "first cycle" [ 1; 2 ] a.Convergence.Loop_analysis.cycle;
+    Alcotest.(check (float 1e-9)) "starts" 2. a.Convergence.Loop_analysis.started;
+    Alcotest.(check (float 1e-9)) "ends" 3. a.Convergence.Loop_analysis.ended;
+    Alcotest.(check (float 1e-9)) "duration" 1. (Convergence.Loop_analysis.duration a);
+    Alcotest.(check (list int)) "second cycle" [ 3; 4 ] b.Convergence.Loop_analysis.cycle
+  | l -> Alcotest.failf "expected 2 episodes, got %d" (List.length l)
+
+let test_episodes_unordered_input () =
+  let looping = Convergence.Observer.Looping [ 0; 1; 2; 1 ] in
+  let fine = Convergence.Observer.Complete [ 0; 5 ] in
+  let history = [ (3., looping); (1., fine); (2., looping); (4., fine) ] in
+  match Convergence.Loop_analysis.episodes history with
+  | [ a ] ->
+    Alcotest.(check (float 1e-9)) "sorted start" 2. a.Convergence.Loop_analysis.started;
+    Alcotest.(check (float 1e-9)) "sorted end" 3. a.Convergence.Loop_analysis.ended
+  | l -> Alcotest.failf "expected 1 episode, got %d" (List.length l)
+
+let test_episodes_open_at_end () =
+  let looping = Convergence.Observer.Looping [ 0; 1; 2; 1 ] in
+  match Convergence.Loop_analysis.episodes [ (5., looping) ] with
+  | [ a ] ->
+    Alcotest.(check (float 1e-9)) "zero-length episode" 0.
+      (Convergence.Loop_analysis.duration a)
+  | l -> Alcotest.failf "expected 1 episode, got %d" (List.length l)
+
+(* ---------- Engine registry ---------- *)
+
+let test_registry_names () =
+  let names = List.map Convergence.Engine_registry.name Convergence.Engine_registry.all in
+  Alcotest.(check (list string)) "all engines"
+    [ "RIP"; "DBF"; "BGP"; "BGP-3"; "BGP-pd"; "BGP-3+RFD"; "LS" ]
+    names
+
+let test_registry_find () =
+  (match Convergence.Engine_registry.find "rip" with
+  | Some e -> Alcotest.(check string) "case insensitive" "RIP" (Convergence.Engine_registry.name e)
+  | None -> Alcotest.fail "rip not found");
+  Alcotest.(check bool) "unknown" true (Convergence.Engine_registry.find "nope" = None)
+
+let test_registry_paper_four () =
+  Alcotest.(check (list string)) "paper four"
+    [ "RIP"; "DBF"; "BGP"; "BGP-3" ]
+    (List.map Convergence.Engine_registry.name Convergence.Engine_registry.paper_four)
+
+(* ---------- Experiments drivers ---------- *)
+
+let tiny_sweep =
+  Convergence.Experiments.
+    { degrees = [ 3; 4 ]; runs = 2; base = Convergence.Config.quick }
+
+let test_experiments_grid_shape () =
+  let grid =
+    Convergence.Experiments.run_grid tiny_sweep [ Convergence.Engine_registry.dbf ]
+  in
+  match grid with
+  | [ ("DBF", cells) ] ->
+    Alcotest.(check (list int)) "degrees" [ 3; 4 ]
+      (List.map (fun c -> c.Convergence.Experiments.degree) cells);
+    List.iter
+      (fun c ->
+        Alcotest.(check int) "runs per cell" 2
+          c.Convergence.Experiments.summary.Convergence.Metrics.s_runs)
+      cells
+  | _ -> Alcotest.fail "unexpected grid shape"
+
+let test_experiments_projections () =
+  let grid =
+    Convergence.Experiments.run_grid tiny_sweep [ Convergence.Engine_registry.dbf ]
+  in
+  let check_projection name projection =
+    match projection with
+    | [ ("DBF", points) ] ->
+      Alcotest.(check (list int)) (name ^ " degrees") [ 3; 4 ] (List.map fst points)
+    | _ -> Alcotest.failf "%s: unexpected shape" name
+  in
+  check_projection "fig3" (Convergence.Experiments.fig3 grid);
+  check_projection "fig4" (Convergence.Experiments.fig4 grid);
+  check_projection "fig6a" (Convergence.Experiments.fig6a grid);
+  check_projection "fig6b" (Convergence.Experiments.fig6b grid);
+  check_projection "overhead" (Convergence.Experiments.overhead grid);
+  (match Convergence.Experiments.fig5 grid ~degree:3 with
+  | [ ("DBF", series) ] ->
+    Alcotest.(check bool) "series nonempty" true (Dessim.Series.buckets series > 0)
+  | _ -> Alcotest.fail "fig5 shape");
+  match Convergence.Experiments.fig5 grid ~degree:9 with
+  | [] -> ()
+  | _ -> Alcotest.fail "fig5 must be empty for unswept degree"
+
+let test_experiments_scale () =
+  let scaled =
+    Convergence.Experiments.scale ~runs:7 ~degrees:[ 5 ] tiny_sweep
+  in
+  Alcotest.(check int) "runs" 7 scaled.Convergence.Experiments.runs;
+  Alcotest.(check (list int)) "degrees" [ 5 ] scaled.Convergence.Experiments.degrees;
+  let unchanged = Convergence.Experiments.scale tiny_sweep in
+  Alcotest.(check int) "default runs kept" 2 unchanged.Convergence.Experiments.runs
+
+let test_experiments_same_seed_same_grid () =
+  let one () =
+    Convergence.Experiments.fig3
+      (Convergence.Experiments.run_grid tiny_sweep [ Convergence.Engine_registry.dbf ])
+  in
+  Alcotest.(check bool) "deterministic grids" true (one () = one ())
+
+(* ---------- Export ---------- *)
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_export_run_csv () =
+  let csv = Convergence.Export.run_csv [ sample_run (); sample_run ~seed:2 () ] in
+  match lines csv with
+  | header :: rows ->
+    Alcotest.(check bool) "header" true
+      (Astring_contains.contains header "protocol,degree,seed");
+    Alcotest.(check int) "two rows" 2 (List.length rows);
+    Alcotest.(check bool) "protocol cell" true
+      (Astring_contains.contains (List.hd rows) "X,4,1");
+    (* Every row has as many cells as the header. *)
+    let cells ln = List.length (String.split_on_char ',' ln) in
+    List.iter
+      (fun r -> Alcotest.(check int) "cell count" (cells header) (cells r))
+      rows
+  | [] -> Alcotest.fail "empty csv"
+
+let test_export_summary_csv () =
+  let s = Convergence.Metrics.summarize [ sample_run (); sample_run ~seed:2 () ] in
+  let csv = Convergence.Export.summary_csv [ s ] in
+  match lines csv with
+  | [ header; row ] ->
+    Alcotest.(check bool) "header" true
+      (Astring_contains.contains header "mean_drops_no_route");
+    Alcotest.(check bool) "runs cell" true (Astring_contains.contains row "X,4,2")
+  | _ -> Alcotest.fail "expected header + 1 row"
+
+let test_export_series_csv () =
+  let series = Dessim.Series.create ~start:10. ~width:1. ~buckets:3 in
+  Dessim.Series.add series ~time:11.5 4.;
+  let csv = Convergence.Export.series_csv ~warmup:10. [ ("P", series) ] in
+  match lines csv with
+  | [ header; b0; b1; b2 ] ->
+    Alcotest.(check string) "header" "protocol,time,count,rate,mean" header;
+    Alcotest.(check string) "bucket 0" "P,0,0,0,0" b0;
+    Alcotest.(check string) "bucket 1" "P,1,1,1,4" b1;
+    Alcotest.(check string) "bucket 2" "P,2,0,0,0" b2
+  | l -> Alcotest.failf "expected 4 lines, got %d" (List.length l)
+
+let test_export_to_file () =
+  let path = Filename.temp_file "rcsim" ".csv" in
+  Convergence.Export.to_file "a,b\n1,2\n" ~path;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" "a,b\n1,2\n" content
+
+let () =
+  Alcotest.run "convergence-core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "quick valid" `Quick test_quick_valid;
+          Alcotest.test_case "paper values" `Quick test_default_matches_paper;
+          Alcotest.test_case "rejections" `Quick test_validation_rejects;
+          Alcotest.test_case "with helpers" `Quick test_with_helpers;
+        ] );
+      ( "observer",
+        [
+          Alcotest.test_case "complete" `Quick test_observer_complete;
+          Alcotest.test_case "broken" `Quick test_observer_broken;
+          Alcotest.test_case "looping" `Quick test_observer_looping;
+          Alcotest.test_case "src=dst" `Quick test_observer_src_is_dst;
+          Alcotest.test_case "helpers" `Quick test_observer_equal_and_helpers;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "accounting" `Quick test_metrics_accounting;
+          Alcotest.test_case "summarize" `Quick test_metrics_summarize;
+          Alcotest.test_case "summarize rejects" `Quick test_metrics_summarize_rejects_mixed;
+          Alcotest.test_case "pp smoke" `Quick test_metrics_pp_smoke;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "scalar table" `Quick test_report_scalar_table;
+          Alcotest.test_case "series table" `Quick test_report_series_table;
+          Alcotest.test_case "window" `Quick test_report_window;
+        ] );
+      ( "loop analysis",
+        [
+          Alcotest.test_case "packet cycles" `Quick test_cycle_of_packet;
+          Alcotest.test_case "path cycles" `Quick test_cycle_of_path;
+          Alcotest.test_case "episodes" `Quick test_episodes_merge_and_close;
+          Alcotest.test_case "unordered input" `Quick test_episodes_unordered_input;
+          Alcotest.test_case "open episode" `Quick test_episodes_open_at_end;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "names" `Quick test_registry_names;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "paper four" `Quick test_registry_paper_four;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "grid shape" `Quick test_experiments_grid_shape;
+          Alcotest.test_case "projections" `Quick test_experiments_projections;
+          Alcotest.test_case "scale" `Quick test_experiments_scale;
+          Alcotest.test_case "deterministic" `Quick test_experiments_same_seed_same_grid;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "run csv" `Quick test_export_run_csv;
+          Alcotest.test_case "summary csv" `Quick test_export_summary_csv;
+          Alcotest.test_case "series csv" `Quick test_export_series_csv;
+          Alcotest.test_case "to_file" `Quick test_export_to_file;
+        ] );
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the discrete-event engine: heap ordering, scheduler semantics,
+   RNG determinism, statistics, and time series. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_empty () =
+  let h = Dessim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Dessim.Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Dessim.Heap.length h);
+  Alcotest.(check bool) "pop none" true (Dessim.Heap.pop h = None);
+  Alcotest.(check bool) "min none" true (Dessim.Heap.min_elt h = None)
+
+let test_heap_order () =
+  let h = Dessim.Heap.create () in
+  Dessim.Heap.add h ~time:3. ~seq:0 "c";
+  Dessim.Heap.add h ~time:1. ~seq:1 "a";
+  Dessim.Heap.add h ~time:2. ~seq:2 "b";
+  let order = List.map (fun (_, _, x) -> x) (Dessim.Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_heap_fifo_ties () =
+  let h = Dessim.Heap.create () in
+  List.iteri (fun i x -> Dessim.Heap.add h ~time:5. ~seq:i x) [ "x"; "y"; "z" ];
+  let order = List.map (fun (_, _, x) -> x) (Dessim.Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "seq breaks ties" [ "x"; "y"; "z" ] order
+
+let test_heap_min_does_not_remove () =
+  let h = Dessim.Heap.create () in
+  Dessim.Heap.add h ~time:1. ~seq:0 1;
+  ignore (Dessim.Heap.min_elt h);
+  Alcotest.(check int) "still there" 1 (Dessim.Heap.length h)
+
+let test_heap_clear () =
+  let h = Dessim.Heap.create () in
+  for i = 0 to 99 do
+    Dessim.Heap.add h ~time:(float_of_int i) ~seq:i i
+  done;
+  Dessim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Dessim.Heap.length h)
+
+let test_heap_interleaved () =
+  let h = Dessim.Heap.create () in
+  Dessim.Heap.add h ~time:10. ~seq:0 10;
+  Dessim.Heap.add h ~time:5. ~seq:1 5;
+  (match Dessim.Heap.pop h with
+  | Some (t, _, 5) -> check_float "first pop" 5. t
+  | _ -> Alcotest.fail "expected 5");
+  Dessim.Heap.add h ~time:1. ~seq:2 1;
+  (match Dessim.Heap.pop h with
+  | Some (_, _, 1) -> ()
+  | _ -> Alcotest.fail "expected 1");
+  match Dessim.Heap.pop h with
+  | Some (_, _, 10) -> ()
+  | _ -> Alcotest.fail "expected 10"
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap drains keys in nondecreasing order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.) small_nat))
+    (fun pairs ->
+      let h = Dessim.Heap.create () in
+      List.iteri (fun i (t, _) -> Dessim.Heap.add h ~time:t ~seq:i i) pairs;
+      let drained = Dessim.Heap.to_sorted_list h in
+      let rec sorted = function
+        | (t1, s1, _) :: ((t2, s2, _) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && s1 < s2)) && sorted rest
+        | [ _ ] | [] -> true
+      in
+      List.length drained = List.length pairs && sorted drained)
+
+let prop_heap_multiset =
+  QCheck.Test.make ~name:"heap preserves payload multiset" ~count:200
+    QCheck.(list (float_bound_exclusive 100.))
+    (fun times ->
+      let h = Dessim.Heap.create () in
+      List.iteri (fun i t -> Dessim.Heap.add h ~time:t ~seq:i t) times;
+      let out = List.map (fun (_, _, x) -> x) (Dessim.Heap.to_sorted_list h) in
+      List.sort compare out = List.sort compare times)
+
+(* ---------- Scheduler ---------- *)
+
+let test_sched_runs_in_order () =
+  let s = Dessim.Scheduler.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Dessim.Scheduler.schedule s ~at:2. (note "b"));
+  ignore (Dessim.Scheduler.schedule s ~at:1. (note "a"));
+  ignore (Dessim.Scheduler.schedule s ~at:3. (note "c"));
+  Dessim.Scheduler.run s;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sched_fifo_same_time () =
+  let s = Dessim.Scheduler.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Dessim.Scheduler.schedule s ~at:1. (fun () -> log := i :: !log))
+  done;
+  Dessim.Scheduler.run s;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_sched_clock_advances () =
+  let s = Dessim.Scheduler.create () in
+  let seen = ref 0. in
+  ignore (Dessim.Scheduler.schedule s ~at:4.5 (fun () -> seen := Dessim.Scheduler.now s));
+  Dessim.Scheduler.run s;
+  check_float "clock at event" 4.5 !seen;
+  check_float "clock after run" 4.5 (Dessim.Scheduler.now s)
+
+let test_sched_past_rejected () =
+  let s = Dessim.Scheduler.create () in
+  ignore (Dessim.Scheduler.schedule s ~at:5. (fun () -> ()));
+  Dessim.Scheduler.run s;
+  Alcotest.check_raises "past" (Invalid_argument "Scheduler.schedule: at=1 is before now=5")
+    (fun () -> ignore (Dessim.Scheduler.schedule s ~at:1. (fun () -> ())))
+
+let test_sched_negative_delay_rejected () =
+  let s = Dessim.Scheduler.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Scheduler.after: negative delay")
+    (fun () -> ignore (Dessim.Scheduler.after s ~delay:(-1.) (fun () -> ())))
+
+let test_sched_cancel () =
+  let s = Dessim.Scheduler.create () in
+  let fired = ref false in
+  let h = Dessim.Scheduler.schedule s ~at:1. (fun () -> fired := true) in
+  Dessim.Scheduler.cancel h;
+  Alcotest.(check bool) "cancelled flag" true (Dessim.Scheduler.is_cancelled h);
+  Dessim.Scheduler.run s;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check int) "not counted" 0 (Dessim.Scheduler.events_processed s)
+
+let test_sched_nested_scheduling () =
+  let s = Dessim.Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Dessim.Scheduler.schedule s ~at:1. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Dessim.Scheduler.after s ~delay:1. (fun () -> log := "inner" :: !log))));
+  Dessim.Scheduler.run s;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "final time" 2. (Dessim.Scheduler.now s)
+
+let test_sched_until_horizon () =
+  let s = Dessim.Scheduler.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Dessim.Scheduler.schedule s ~at:t (fun () -> fired := t :: !fired)))
+    [ 1.; 2.; 3.; 10. ];
+  Dessim.Scheduler.run ~until:5. s;
+  Alcotest.(check (list (float 0.))) "fired up to horizon" [ 1.; 2.; 3. ] (List.rev !fired);
+  check_float "clock at horizon" 5. (Dessim.Scheduler.now s);
+  Alcotest.(check int) "one pending" 1 (Dessim.Scheduler.pending s);
+  Dessim.Scheduler.run s;
+  Alcotest.(check (list (float 0.))) "rest fired" [ 1.; 2.; 3.; 10. ] (List.rev !fired)
+
+let test_sched_until_exact_event_time () =
+  let s = Dessim.Scheduler.create () in
+  let fired = ref false in
+  ignore (Dessim.Scheduler.schedule s ~at:5. (fun () -> fired := true));
+  Dessim.Scheduler.run ~until:5. s;
+  Alcotest.(check bool) "event at horizon fires" true !fired
+
+let test_sched_self_perpetuating_with_horizon () =
+  let s = Dessim.Scheduler.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Dessim.Scheduler.after s ~delay:1. tick)
+  in
+  ignore (Dessim.Scheduler.schedule s ~at:0. tick);
+  Dessim.Scheduler.run ~until:10.5 s;
+  Alcotest.(check int) "ticks 0..10" 11 !count
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Dessim.Rng.create 42 and b = Dessim.Rng.create 42 in
+  let xs = List.init 100 (fun _ -> Dessim.Rng.bits64 a) in
+  let ys = List.init 100 (fun _ -> Dessim.Rng.bits64 b) in
+  Alcotest.(check bool) "same stream" true (xs = ys)
+
+let test_rng_seeds_differ () =
+  let a = Dessim.Rng.create 1 and b = Dessim.Rng.create 2 in
+  Alcotest.(check bool) "different" false
+    (List.init 10 (fun _ -> Dessim.Rng.bits64 a)
+    = List.init 10 (fun _ -> Dessim.Rng.bits64 b))
+
+let test_rng_copy_independent () =
+  let a = Dessim.Rng.create 7 in
+  let b = Dessim.Rng.copy a in
+  let x = Dessim.Rng.bits64 a in
+  let y = Dessim.Rng.bits64 b in
+  Alcotest.(check bool) "copy same next" true (x = y);
+  ignore (Dessim.Rng.bits64 a);
+  let x2 = Dessim.Rng.bits64 a and y2 = Dessim.Rng.bits64 b in
+  Alcotest.(check bool) "diverged after extra draw" false (x2 = y2)
+
+let test_rng_split_independent () =
+  let a = Dessim.Rng.create 7 in
+  let b = Dessim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Dessim.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Dessim.Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_rng_int_bounds () =
+  let r = Dessim.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Dessim.Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Dessim.Rng.create 3 in
+  Alcotest.check_raises "zero" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Dessim.Rng.int r 0))
+
+let test_rng_int_covers_all_values () =
+  let r = Dessim.Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Dessim.Rng.int r 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let r = Dessim.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Dessim.Rng.float r 3.5 in
+    if v < 0. || v >= 3.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_uniform_bounds () =
+  let r = Dessim.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Dessim.Rng.uniform r 2. 5. in
+    if v < 2. || v >= 5. then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_float_mean () =
+  let r = Dessim.Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Dessim.Rng.float r 1.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_pick () =
+  let r = Dessim.Rng.create 17 in
+  let xs = [ 1; 2; 3 ] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (List.mem (Dessim.Rng.pick r xs) xs)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Dessim.Rng.pick r []))
+
+let test_rng_shuffle_permutation () =
+  let r = Dessim.Rng.create 19 in
+  let a = Array.init 50 Fun.id in
+  Dessim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id)
+
+(* ---------- Stat ---------- *)
+
+let test_stat_mean () =
+  check_float "mean" 2. (Dessim.Stat.mean [ 1.; 2.; 3. ]);
+  check_float "empty" 0. (Dessim.Stat.mean [])
+
+let test_stat_variance_stddev () =
+  check_float "variance" 2. (Dessim.Stat.variance [ 1.; 2.; 3.; 4.; 5. ]);
+  check_float "stddev" (sqrt 2.) (Dessim.Stat.stddev [ 1.; 2.; 3.; 4.; 5. ]);
+  check_float "single" 0. (Dessim.Stat.variance [ 42. ])
+
+let test_stat_min_max () =
+  check_float "min" (-1.) (Dessim.Stat.minimum [ 3.; -1.; 2. ]);
+  check_float "max" 3. (Dessim.Stat.maximum [ 3.; -1.; 2. ])
+
+let test_stat_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check_float "p0" 1. (Dessim.Stat.percentile 0. xs);
+  check_float "p50" 3. (Dessim.Stat.percentile 50. xs);
+  check_float "p100" 5. (Dessim.Stat.percentile 100. xs);
+  check_float "p25 interpolates" 2. (Dessim.Stat.percentile 25. xs);
+  check_float "median" 3. (Dessim.Stat.median xs)
+
+let test_stat_acc_matches_batch () =
+  let xs = [ 1.5; 2.5; 0.5; 9.; -3. ] in
+  let acc = Dessim.Stat.Acc.create () in
+  List.iter (Dessim.Stat.Acc.add acc) xs;
+  Alcotest.(check int) "count" 5 (Dessim.Stat.Acc.count acc);
+  check_float "mean" (Dessim.Stat.mean xs) (Dessim.Stat.Acc.mean acc);
+  Alcotest.(check (float 1e-9)) "variance" (Dessim.Stat.variance xs)
+    (Dessim.Stat.Acc.variance acc);
+  check_float "min" (-3.) (Dessim.Stat.Acc.minimum acc);
+  check_float "max" 9. (Dessim.Stat.Acc.maximum acc);
+  check_float "total" (List.fold_left ( +. ) 0. xs) (Dessim.Stat.Acc.total acc)
+
+let prop_acc_mean_equals_batch_mean =
+  QCheck.Test.make ~name:"Acc mean = batch mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.))
+    (fun xs ->
+      let acc = Dessim.Stat.Acc.create () in
+      List.iter (Dessim.Stat.Acc.add acc) xs;
+      abs_float (Dessim.Stat.Acc.mean acc -. Dessim.Stat.mean xs) < 1e-6)
+
+(* ---------- Series ---------- *)
+
+let test_series_bucketing () =
+  let s = Dessim.Series.create ~start:10. ~width:2. ~buckets:5 in
+  Alcotest.(check (option int)) "below range" None (Dessim.Series.bucket_of_time s 9.9);
+  Alcotest.(check (option int)) "first" (Some 0) (Dessim.Series.bucket_of_time s 10.);
+  Alcotest.(check (option int)) "mid" (Some 2) (Dessim.Series.bucket_of_time s 14.5);
+  Alcotest.(check (option int)) "last" (Some 4) (Dessim.Series.bucket_of_time s 19.99);
+  Alcotest.(check (option int)) "beyond" None (Dessim.Series.bucket_of_time s 20.)
+
+let test_series_add_and_stats () =
+  let s = Dessim.Series.create ~start:0. ~width:1. ~buckets:3 in
+  Dessim.Series.add s ~time:0.5 2.;
+  Dessim.Series.add s ~time:0.7 4.;
+  Dessim.Series.add s ~time:2.1 10.;
+  Dessim.Series.add s ~time:99. 100.;
+  (* ignored *)
+  Alcotest.(check int) "count b0" 2 (Dessim.Series.count s 0);
+  check_float "sum b0" 6. (Dessim.Series.sum s 0);
+  check_float "mean b0" 3. (Dessim.Series.mean s 0);
+  check_float "rate b0" 2. (Dessim.Series.rate s 0);
+  Alcotest.(check int) "count b1" 0 (Dessim.Series.count s 1);
+  check_float "mean empty" 0. (Dessim.Series.mean s 1);
+  Alcotest.(check int) "count b2" 1 (Dessim.Series.count s 2)
+
+let test_series_accumulate_scale () =
+  let mk () = Dessim.Series.create ~start:0. ~width:1. ~buckets:2 in
+  let a = mk () and b = mk () in
+  Dessim.Series.add a ~time:0.1 1.;
+  Dessim.Series.add b ~time:0.2 3.;
+  Dessim.Series.add b ~time:1.5 5.;
+  Dessim.Series.accumulate ~into:a b;
+  Alcotest.(check int) "merged count" 2 (Dessim.Series.count a 0);
+  check_float "merged sum" 4. (Dessim.Series.sum a 0);
+  Dessim.Series.scale a 0.5;
+  check_float "scaled count" 1. (Dessim.Series.frac_count a 0);
+  check_float "scaled sum" 2. (Dessim.Series.sum a 0);
+  check_float "mean invariant under scaling" 2. (Dessim.Series.mean a 0)
+
+let test_series_accumulate_shape_mismatch () =
+  let a = Dessim.Series.create ~start:0. ~width:1. ~buckets:2 in
+  let b = Dessim.Series.create ~start:0. ~width:2. ~buckets:2 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Series.accumulate: shape mismatch")
+    (fun () -> Dessim.Series.accumulate ~into:a b)
+
+let test_series_time_of_bucket () =
+  let s = Dessim.Series.create ~start:5. ~width:0.5 ~buckets:4 in
+  check_float "edge" 6. (Dessim.Series.time_of_bucket s 2)
+
+let prop_series_total_count =
+  QCheck.Test.make ~name:"series: in-range samples are all counted" ~count:200
+    QCheck.(list (float_bound_exclusive 10.))
+    (fun times ->
+      let s = Dessim.Series.create ~start:0. ~width:1. ~buckets:10 in
+      List.iter (fun t -> Dessim.Series.add s ~time:t 1.) times;
+      let total = ref 0 in
+      for i = 0 to 9 do
+        total := !total + Dessim.Series.count s i
+      done;
+      !total = List.length times)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dessim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "min_elt keeps" `Quick test_heap_min_does_not_remove;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+        ]
+        @ qsuite [ prop_heap_sorted; prop_heap_multiset ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sched_runs_in_order;
+          Alcotest.test_case "fifo same time" `Quick test_sched_fifo_same_time;
+          Alcotest.test_case "clock advances" `Quick test_sched_clock_advances;
+          Alcotest.test_case "past rejected" `Quick test_sched_past_rejected;
+          Alcotest.test_case "negative delay rejected" `Quick
+            test_sched_negative_delay_rejected;
+          Alcotest.test_case "cancel" `Quick test_sched_cancel;
+          Alcotest.test_case "nested" `Quick test_sched_nested_scheduling;
+          Alcotest.test_case "until horizon" `Quick test_sched_until_horizon;
+          Alcotest.test_case "until exact" `Quick test_sched_until_exact_event_time;
+          Alcotest.test_case "self-perpetuating" `Quick
+            test_sched_self_perpetuating_with_horizon;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "int covers" `Quick test_rng_int_covers_all_values;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stat",
+        [
+          Alcotest.test_case "mean" `Quick test_stat_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_stat_variance_stddev;
+          Alcotest.test_case "min/max" `Quick test_stat_min_max;
+          Alcotest.test_case "percentile" `Quick test_stat_percentile;
+          Alcotest.test_case "acc matches batch" `Quick test_stat_acc_matches_batch;
+        ]
+        @ qsuite [ prop_acc_mean_equals_batch_mean ] );
+      ( "series",
+        [
+          Alcotest.test_case "bucketing" `Quick test_series_bucketing;
+          Alcotest.test_case "add and stats" `Quick test_series_add_and_stats;
+          Alcotest.test_case "accumulate/scale" `Quick test_series_accumulate_scale;
+          Alcotest.test_case "shape mismatch" `Quick test_series_accumulate_shape_mismatch;
+          Alcotest.test_case "time_of_bucket" `Quick test_series_time_of_bucket;
+        ]
+        @ qsuite [ prop_series_total_count ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the sliding-window reliable transport running over the simulated
+   network and routing protocols. *)
+
+let quick = Convergence.Config.quick
+
+module R = Convergence.Runner.Make (Protocols.Dbf)
+
+let dbf = Protocols.Dbf.default_config
+
+let tc ?(window = 8) ?(rto = 0.5) ?(total = 1000) () =
+  { Convergence.Runner.default_transport with window; rto; total_packets = total }
+
+let failure_on_path =
+  {
+    Convergence.Runner.fail_at = quick.Convergence.Config.failure_time;
+    target = Convergence.Runner.Flow_path 0;
+    heal_after = None;
+  }
+
+let test_lossless_transfer_completes () =
+  let o = R.run_transport ~failures:[] (tc ()) quick dbf in
+  Alcotest.(check int) "all packets acked" 1000 o.Convergence.Runner.t_completed;
+  Alcotest.(check int) "no retransmissions" 0 o.Convergence.Runner.t_retransmissions;
+  Alcotest.(check int) "no duplicates" 0 o.Convergence.Runner.t_duplicates;
+  Alcotest.(check bool) "finished" true (o.Convergence.Runner.t_completed_at <> None)
+
+let test_window_limits_rate () =
+  (* With a window of 1 the transfer is one packet per RTT; with 8 it is
+     roughly eight times faster. *)
+  let time_with window =
+    let o = R.run_transport ~failures:[] (tc ~window ~total:200 ()) quick dbf in
+    match o.Convergence.Runner.t_completed_at with
+    | Some t -> t -. quick.Convergence.Config.traffic_start
+    | None -> Alcotest.fail "transfer did not finish"
+  in
+  let t1 = time_with 1 in
+  let t8 = time_with 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window 8 (%.1fs) much faster than window 1 (%.1fs)" t8 t1)
+    true
+    (t8 < t1 /. 4.)
+
+let test_failure_recovered_by_retransmission () =
+  let o = R.run_transport ~failures:[ failure_on_path ] (tc ~total:8000 ()) quick dbf in
+  Alcotest.(check int) "all packets acked" 8000 o.Convergence.Runner.t_completed;
+  Alcotest.(check bool) "retransmitted something" true
+    (o.Convergence.Runner.t_retransmissions > 0);
+  Alcotest.(check bool) "finished despite failure" true
+    (o.Convergence.Runner.t_completed_at <> None)
+
+let test_failure_recorded_in_multi () =
+  let o = R.run_transport ~failures:[ failure_on_path ] (tc ()) quick dbf in
+  Alcotest.(check int) "one failed link" 1
+    (List.length o.Convergence.Runner.t_multi.Convergence.Metrics.m_failed_links)
+
+let test_goodput_accounts_everything () =
+  let o = R.run_transport ~failures:[] (tc ~total:500 ()) quick dbf in
+  let g = o.Convergence.Runner.t_goodput in
+  let total = ref 0 in
+  for i = 0 to Dessim.Series.buckets g - 1 do
+    total := !total + Dessim.Series.count g i
+  done;
+  Alcotest.(check int) "goodput sums to transfer size" 500 !total
+
+let test_unlimited_transfer_saturates () =
+  let o = R.run_transport ~failures:[] (tc ~total:0 ()) quick dbf in
+  Alcotest.(check bool) "never 'finishes'" true
+    (o.Convergence.Runner.t_completed_at = None);
+  Alcotest.(check bool) "moves a lot of data" true
+    (o.Convergence.Runner.t_completed > 1000)
+
+let test_bad_transport_config_rejected () =
+  let bad_window = { (tc ()) with Convergence.Runner.window = 0 } in
+  (match R.run_transport ~failures:[] bad_window quick dbf with
+  | (_ : Convergence.Runner.transport_outcome) -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ());
+  let bad_rto = { (tc ()) with Convergence.Runner.rto = 0. } in
+  match R.run_transport ~failures:[] bad_rto quick dbf with
+  | (_ : Convergence.Runner.transport_outcome) -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_transport_determinism () =
+  let key (o : Convergence.Runner.transport_outcome) =
+    ( o.Convergence.Runner.t_completed,
+      o.Convergence.Runner.t_retransmissions,
+      o.Convergence.Runner.t_completed_at )
+  in
+  let a = R.run_transport ~failures:[ failure_on_path ] (tc ~total:3000 ()) quick dbf in
+  let b = R.run_transport ~failures:[ failure_on_path ] (tc ~total:3000 ()) quick dbf in
+  Alcotest.(check bool) "same outcome" true (key a = key b)
+
+let test_rip_stalls_longer_than_dbf () =
+  (* The transfer crosses the failure; RIP's long switch-over turns into a
+     long goodput stall and hence a later completion. *)
+  let finish engine =
+    let o =
+      Convergence.Engine_registry.run_transport ~failures:[ failure_on_path ]
+        (tc ~total:8000 ~rto:0.5 ()) quick engine
+    in
+    match o.Convergence.Runner.t_completed_at with
+    | Some t -> t
+    | None -> quick.Convergence.Config.sim_end
+  in
+  let rip = finish Convergence.Engine_registry.rip in
+  let dbf_t = finish Convergence.Engine_registry.dbf in
+  Alcotest.(check bool)
+    (Printf.sprintf "rip (%.1f) finishes after dbf (%.1f)" rip dbf_t)
+    true (rip > dbf_t)
+
+let test_transport_study_shape () =
+  let sweep = Convergence.Experiments.{ degrees = [ 4 ]; runs = 2; base = quick } in
+  let result =
+    Convergence.Experiments.transport_study sweep
+      ~transport:(tc ~total:2000 ())
+      Convergence.Engine_registry.[ dbf ]
+  in
+  match result with
+  | [ ("DBF", [ cell ]) ] ->
+    Alcotest.(check int) "degree" 4 cell.Convergence.Experiments.tr_degree;
+    Alcotest.(check bool) "completion positive" true
+      (cell.Convergence.Experiments.tr_completion > 0.)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "lossless transfer" `Quick test_lossless_transfer_completes;
+          Alcotest.test_case "window limits rate" `Quick test_window_limits_rate;
+          Alcotest.test_case "goodput accounting" `Quick test_goodput_accounts_everything;
+          Alcotest.test_case "unlimited saturates" `Quick test_unlimited_transfer_saturates;
+          Alcotest.test_case "bad config" `Quick test_bad_transport_config_rejected;
+          Alcotest.test_case "determinism" `Quick test_transport_determinism;
+        ] );
+      ( "across failures",
+        [
+          Alcotest.test_case "recovers by retransmission" `Quick
+            test_failure_recovered_by_retransmission;
+          Alcotest.test_case "failure recorded" `Quick test_failure_recorded_in_multi;
+          Alcotest.test_case "rip stalls longer" `Quick test_rip_stalls_longer_than_dbf;
+          Alcotest.test_case "study shape" `Quick test_transport_study_shape;
+        ] );
+    ]
