@@ -143,12 +143,22 @@ let run_scenarios () =
   heading "full-scenario wall-clock cost (one paper run per engine)";
   let cfg = (sweep ()).Convergence.Experiments.base in
   let time_one engine =
+    let metrics = Obs.Registry.create () in
     let t0 = Unix.gettimeofday () in
-    let r = Convergence.Engine_registry.run cfg engine in
+    let r = Convergence.Engine_registry.run ~metrics cfg engine in
     let dt = Unix.gettimeofday () -. t0 in
-    Fmt.pr "%-8s %6.2f s wall  (%d packets, %d control msgs)@."
+    let gauge name =
+      match Obs.Registry.lookup metrics name with
+      | Some (Obs.Registry.Gauge_value v) -> v
+      | Some _ | None -> nan
+    in
+    Fmt.pr
+      "%-8s %6.2f s wall  (%d packets, %d control msgs, %.0f sched events, \
+       queue depth <= %.0f)@."
       (Convergence.Engine_registry.name engine)
       dt r.Convergence.Metrics.sent r.Convergence.Metrics.ctrl_messages
+      (gauge "scheduler.events_fired")
+      (gauge "scheduler.max_queue_depth")
   in
   List.iter time_one Convergence.Engine_registry.all
 

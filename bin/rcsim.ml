@@ -65,6 +65,74 @@ let engine_of_name name =
          (String.concat ", "
             (List.map Convergence.Engine_registry.name Convergence.Engine_registry.all)))
 
+(* ---------- tracing options (shared by run) ---------- *)
+
+let category_of_name s =
+  match String.lowercase_ascii s with
+  | "data" -> Ok Obs.Event.Data
+  | "control" | "ctrl" -> Ok Obs.Event.Control
+  | "env" -> Ok Obs.Event.Env
+  | "sched" -> Ok Obs.Event.Sched
+  | other ->
+    Error
+      (Printf.sprintf "unknown trace category %S (try: data, control, env, sched)"
+         other)
+
+let trace_file_arg =
+  let doc =
+    "Write the structured event trace to $(docv). Format from the extension: \
+     .jsonl/.json/.ndjson for JSON lines (replayable with $(b,rcsim trace)), \
+     .csv for CSV, anything else for readable text."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_filter_arg =
+  let doc =
+    "Restrict the trace to these categories (comma-separated: data, control, \
+     env, sched). Default: all."
+  in
+  Arg.(value & opt (list string) [] & info [ "trace-filter" ] ~docv:"CAT,..." ~doc)
+
+let stats_arg =
+  let doc =
+    "Print run metrics (scheduler load, control-plane volume, delay histogram) \
+     after the report."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Resolve --trace/--trace-filter into a collector; [None] on a bad category
+   name. Caller must [Obs.Trace.close] the collector after the run. *)
+let make_trace ~file ~filter =
+  let categories =
+    List.fold_left
+      (fun acc name ->
+        match (acc, category_of_name name) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok cats, Ok c -> Ok (c :: cats))
+      (Ok []) filter
+  in
+  match categories with
+  | Error e -> Error e
+  | Ok cats -> (
+    match file with
+    | None -> Ok Obs.Trace.null
+    | Some path ->
+      let sink = Obs.Sink.to_file path in
+      let trace =
+        match cats with
+        | [] -> Obs.Trace.create sink
+        | cats -> Obs.Trace.create ~categories:(List.rev cats) sink
+      in
+      Ok trace)
+
+(* Rebuild an {!Convergence.Observer.path_result} from its trace encoding. *)
+let path_result_of kind path =
+  match kind with
+  | Obs.Event.Path_complete -> Convergence.Observer.Complete path
+  | Obs.Event.Path_broken -> Convergence.Observer.Broken path
+  | Obs.Event.Path_looping -> Convergence.Observer.Looping path
+
 (* ---------- run ---------- *)
 
 let csv_arg =
@@ -72,45 +140,33 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let trace_arg =
-    let doc = "Print every forwarding-path change after the failure." in
-    Arg.(value & flag & info [ "trace" ] ~doc)
-  in
-  let action protocol degree rows cols seed rate trace csv =
+  let action protocol degree rows cols seed rate trace_file trace_filter stats
+      csv =
     match engine_of_name protocol with
     | Error e -> `Error (false, e)
-    | Ok engine ->
-      let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
-      let events =
-        if trace then
-          {
-            Convergence.Runner.no_events with
-            on_path_change =
-              (fun ~flow:_ t p ->
-                if t >= cfg.Convergence.Config.failure_time then
-                  Fmt.pr "t=%7.2f  path %a@."
-                    (t -. cfg.Convergence.Config.warmup)
-                    Convergence.Observer.pp p);
-            on_failure =
-              (fun t (u, v) ->
-                Fmt.pr "t=%7.2f  LINK %d-%d FAILS@."
-                  (t -. cfg.Convergence.Config.warmup)
-                  u v);
-          }
-        else Convergence.Runner.no_events
-      in
-      let run = Convergence.Engine_registry.run ~events cfg engine in
-      Fmt.pr "%a@." Convergence.Report.run_details run;
-      (match csv with
-      | Some path -> Convergence.Export.to_file (Convergence.Export.run_csv [ run ]) ~path
-      | None -> ());
-      `Ok ()
+    | Ok engine -> (
+      match make_trace ~file:trace_file ~filter:trace_filter with
+      | Error e -> `Error (false, e)
+      | Ok trace ->
+        let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+        let metrics = if stats then Some (Obs.Registry.create ()) else None in
+        let run = Convergence.Engine_registry.run ~trace ?metrics cfg engine in
+        Obs.Trace.close trace;
+        Fmt.pr "%a@." Convergence.Report.run_details run;
+        (match metrics with
+        | Some m -> Fmt.pr "@.run metrics:@.%a@." Obs.Registry.pp m
+        | None -> ());
+        (match csv with
+        | Some path ->
+          Convergence.Export.to_file (Convergence.Export.run_csv [ run ]) ~path
+        | None -> ());
+        `Ok ())
   in
   let term =
     Term.(
       ret
         (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
-       $ rate_arg $ trace_arg $ csv_arg))
+       $ rate_arg $ trace_file_arg $ trace_filter_arg $ stats_arg $ csv_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one failure scenario under one routing protocol")
@@ -227,22 +283,22 @@ let anatomy_cmd =
           send_rate_pps = 100.;
         }
       in
-      let events =
-        {
-          Convergence.Runner.on_failure =
-            (fun t (u, v) ->
-              Fmt.pr "t=%7.2f  link %d-%d fails (detected %.1f s later)@."
-                (t -. cfg.Convergence.Config.warmup)
-                u v cfg.Convergence.Config.detection_delay);
-          on_path_change =
-            (fun ~flow:_ t p ->
-              Fmt.pr "t=%7.2f  forwarding path is now %a@."
-                (t -. cfg.Convergence.Config.warmup)
-                Convergence.Observer.pp p);
-          on_route_change = (fun _ _ _ -> ());
-        }
+      let narrate (r : Obs.Sink.record) =
+        let t = r.time -. cfg.Convergence.Config.warmup in
+        match r.event with
+        | Obs.Event.Link_failed { u; v } ->
+          Fmt.pr "t=%7.2f  link %d-%d fails (detected %.1f s later)@." t u v
+            cfg.Convergence.Config.detection_delay
+        | Obs.Event.Path_changed { kind; path; _ } ->
+          Fmt.pr "t=%7.2f  forwarding path is now %a@." t
+            Convergence.Observer.pp (path_result_of kind path)
+        | _ -> ()
       in
-      let run = Convergence.Engine_registry.run ~events cfg engine in
+      let trace =
+        Obs.Trace.create ~categories:[ Obs.Event.Env ]
+          (Obs.Sink.callback narrate)
+      in
+      let run = Convergence.Engine_registry.run ~trace cfg engine in
       Fmt.pr "@.%a@." Convergence.Report.run_details run;
       `Ok ()
   in
@@ -388,13 +444,17 @@ let loops_cmd =
     | Ok engine ->
       let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
       let history = ref [] in
-      let events =
-        {
-          Convergence.Runner.no_events with
-          on_path_change = (fun ~flow:_ t p -> history := (t, p) :: !history);
-        }
+      let collect (r : Obs.Sink.record) =
+        match r.event with
+        | Obs.Event.Path_changed { kind; path; _ } ->
+          history := (r.time, path_result_of kind path) :: !history
+        | _ -> ()
       in
-      let run = Convergence.Engine_registry.run ~events cfg engine in
+      let trace =
+        Obs.Trace.create ~categories:[ Obs.Event.Env ]
+          (Obs.Sink.callback collect)
+      in
+      let run = Convergence.Engine_registry.run ~trace cfg engine in
       let episodes = Convergence.Loop_analysis.episodes !history in
       if episodes = [] then
         Fmt.pr
@@ -429,6 +489,64 @@ let loops_cmd =
        ~doc:"Identify transient forwarding-loop episodes in one scenario")
     term
 
+(* ---------- trace (offline replay) ---------- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "JSONL trace file written by $(b,rcsim run --trace FILE.jsonl)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let bucket_arg =
+    let doc = "Drop-timeline bucket width in simulation seconds." in
+    Arg.(value & opt float 1.0 & info [ "bucket" ] ~docv:"SECONDS" ~doc)
+  in
+  let flow_arg =
+    let doc = "Restrict packet totals to one flow index." in
+    Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"N" ~doc)
+  in
+  let action file bucket flow =
+    if bucket <= 0. then `Error (false, "bucket width must be positive")
+    else
+      match Obs.Replay.read_file file with
+      | exception Sys_error e -> `Error (false, e)
+      | records, stats ->
+        Fmt.pr "%s: %d events" file stats.Obs.Replay.parsed;
+        if stats.Obs.Replay.skipped > 0 then
+          Fmt.pr " (%d unparseable lines skipped)" stats.Obs.Replay.skipped;
+        Fmt.pr "@.@.";
+        if records = [] then Fmt.pr "nothing to replay@."
+        else begin
+          Fmt.pr "event counts:@.";
+          List.iter
+            (fun (name, n) -> Fmt.pr "  %7d  %s@." n name)
+            (Obs.Replay.event_counts records);
+          let totals = Obs.Replay.totals ?flow records in
+          Fmt.pr "@.packet conservation%s:@.  %a@."
+            (match flow with
+            | Some f -> Printf.sprintf " (flow %d)" f
+            | None -> "")
+            Obs.Replay.pp_totals totals;
+          let timeline = Obs.Replay.drop_timeline ~bucket records in
+          if timeline.Obs.Replay.rows <> [] then
+            Fmt.pr "@.drop timeline:@.%a@." Obs.Replay.pp_timeline timeline;
+          (match Obs.Replay.loop_report records with
+          | [] -> Fmt.pr "@.no loop episodes@."
+          | episodes ->
+            Fmt.pr "@.%d loop episode(s):@." (List.length episodes);
+            List.iter
+              (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_loop_episode e)
+              episodes)
+        end;
+        `Ok ()
+  in
+  let term = Term.(ret (const action $ file_arg $ bucket_arg $ flow_arg)) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a JSONL trace into drop timelines, loop episodes, and \
+          conservation totals")
+    term
+
 let () =
   let doc =
     "packet delivery during routing convergence (reproduction of Pei et al., DSN 2003)"
@@ -446,4 +564,5 @@ let () =
             multiflow_cmd;
             transfer_cmd;
             loops_cmd;
+            trace_cmd;
           ]))

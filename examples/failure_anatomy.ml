@@ -28,25 +28,31 @@ let () =
   Fmt.pr
     "4x4 mesh, degree 4. Flow 0 -> 15. A randomly chosen link on the flow's@.\
      forwarding path fails at t=0 (times below are relative to the failure).@.@.";
-  let events =
-    {
-      Convergence.Runner.on_failure =
-        (fun t (u, v) ->
-          Fmt.pr "%+8.2fs  (b) link %d-%d fails; router %d still forwards into it@."
-            (normalized t) u v u);
-      on_path_change =
-        (fun ~flow:_ t p ->
-          let tag =
-            match p with
-            | Convergence.Observer.Complete _ -> "forwarding works via"
-            | Convergence.Observer.Broken _ -> "packets are being dropped at the end of"
-            | Convergence.Observer.Looping _ -> "packets loop on"
-          in
-          Fmt.pr "%+8.2fs  %s %a@." (normalized t) tag Convergence.Observer.pp p);
-      on_route_change = (fun _ _ _ -> ());
-    }
+  let narrate (r : Obs.Sink.record) =
+    match r.event with
+    | Obs.Event.Link_failed { u; v } ->
+      Fmt.pr "%+8.2fs  (b) link %d-%d fails; router %d still forwards into it@."
+        (normalized r.time) u v u
+    | Obs.Event.Path_changed { kind; path; _ } ->
+      let p =
+        match kind with
+        | Obs.Event.Path_complete -> Convergence.Observer.Complete path
+        | Obs.Event.Path_broken -> Convergence.Observer.Broken path
+        | Obs.Event.Path_looping -> Convergence.Observer.Looping path
+      in
+      let tag =
+        match p with
+        | Convergence.Observer.Complete _ -> "forwarding works via"
+        | Convergence.Observer.Broken _ -> "packets are being dropped at the end of"
+        | Convergence.Observer.Looping _ -> "packets loop on"
+      in
+      Fmt.pr "%+8.2fs  %s %a@." (normalized r.time) tag Convergence.Observer.pp p
+    | _ -> ()
   in
-  let run = R.run ~src:0 ~dst:15 ~events cfg Protocols.Dbf.default_config in
+  let trace =
+    Obs.Trace.create ~categories:[ Obs.Event.Env ] (Obs.Sink.callback narrate)
+  in
+  let run = R.run ~src:0 ~dst:15 ~trace cfg Protocols.Dbf.default_config in
   Fmt.pr "@.Packet accounting over the whole run:@.%a@.@."
     Convergence.Report.run_details run;
   Fmt.pr

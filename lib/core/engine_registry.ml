@@ -35,17 +35,19 @@ let find label =
   let target = String.lowercase_ascii label in
   List.find_opt (fun e -> String.lowercase_ascii (name e) = target) all
 
-let run ?topology ?src ?dst ?events ?fail_link ?restore_after cfg
+let run ?topology ?src ?dst ?trace ?metrics ?fail_link ?restore_after cfg
     (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run ~label ?topology ?src ?dst ?events ?fail_link ?restore_after cfg pcfg
+  R.run ~label ?topology ?src ?dst ?trace ?metrics ?fail_link ?restore_after
+    cfg pcfg
 
-let run_multi ?topology ?events ~flows ~failures cfg
+let run_multi ?topology ?trace ?metrics ~flows ~failures cfg
     (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run_multi ~label ?topology ?events ~flows ~failures cfg pcfg
+  R.run_multi ~label ?topology ?trace ?metrics ~flows ~failures cfg pcfg
 
-let run_transport ?topology ?events ?src ?dst ~failures tc cfg
+let run_transport ?topology ?trace ?metrics ?src ?dst ~failures tc cfg
     (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run_transport ~label ?topology ?events ?src ?dst ~failures tc cfg pcfg
+  R.run_transport ~label ?topology ?trace ?metrics ?src ?dst ~failures tc cfg
+    pcfg

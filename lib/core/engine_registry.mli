@@ -43,17 +43,20 @@ val run :
   ?topology:Netsim.Topology.t ->
   ?src:Netsim.Types.node_id ->
   ?dst:Netsim.Types.node_id ->
-  ?events:Runner.events ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Registry.t ->
   ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
   ?restore_after:float ->
   Config.t ->
   t ->
   Metrics.run
-(** Execute the paper's single-flow scenario under the given engine. *)
+(** Execute the paper's single-flow scenario under the given engine. [?trace]
+    and [?metrics] are forwarded to {!Runner.Make.run}. *)
 
 val run_multi :
   ?topology:Netsim.Topology.t ->
-  ?events:Runner.events ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Registry.t ->
   flows:Runner.flow_spec list ->
   failures:Runner.failure_spec list ->
   Config.t ->
@@ -63,7 +66,8 @@ val run_multi :
 
 val run_transport :
   ?topology:Netsim.Topology.t ->
-  ?events:Runner.events ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Registry.t ->
   ?src:Netsim.Types.node_id ->
   ?dst:Netsim.Types.node_id ->
   failures:Runner.failure_spec list ->

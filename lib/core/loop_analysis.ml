@@ -54,7 +54,8 @@ let episodes history =
   let step (acc, current) (time, path) =
     match (cycle_of_path path, current) with
     | None, _ -> (close acc current, None)
-    | Some cycle, Some e when e.cycle = cycle -> (acc, Some { e with ended = time })
+    | Some cycle, Some e when Observer.equal_nodes e.cycle cycle ->
+      (acc, Some { e with ended = time })
     | Some cycle, _ ->
       (close acc current, Some { cycle; started = time; ended = time })
   in

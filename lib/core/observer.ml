@@ -19,9 +19,12 @@ let is_complete = function Complete _ -> true | Broken _ | Looping _ -> false
 
 let nodes_of = function Complete p | Broken p | Looping p -> p
 
+let equal_nodes = List.equal Int.equal
+
 let equal a b =
   match (a, b) with
-  | Complete p, Complete q | Broken p, Broken q | Looping p, Looping q -> p = q
+  | Complete p, Complete q | Broken p, Broken q | Looping p, Looping q ->
+    equal_nodes p q
   | (Complete _ | Broken _ | Looping _), _ -> false
 
 let hops = function

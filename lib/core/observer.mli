@@ -26,7 +26,12 @@ val is_complete : path_result -> bool
 
 val nodes_of : path_result -> Netsim.Types.node_id list
 
+val equal_nodes : Netsim.Types.node_id list -> Netsim.Types.node_id list -> bool
+(** Structural node-list equality ([List.equal Int.equal]); avoids polymorphic
+    compare on the hot sampling path. *)
+
 val equal : path_result -> path_result -> bool
+(** Same constructor and [equal_nodes] node lists. *)
 
 val hops : path_result -> int option
 (** [hops r] is the hop count for a [Complete] path. *)

@@ -1,14 +1,12 @@
-type events = {
-  on_route_change : float -> Netsim.Types.node_id -> Netsim.Types.node_id -> unit;
-  on_path_change : flow:int -> float -> Observer.path_result -> unit;
-  on_failure : float -> Netsim.Types.node_id * Netsim.Types.node_id -> unit;
-}
+let path_kind_of = function
+  | Observer.Complete _ -> Obs.Event.Path_complete
+  | Observer.Broken _ -> Obs.Event.Path_broken
+  | Observer.Looping _ -> Obs.Event.Path_looping
 
-let no_events = {
-  on_route_change = (fun _ _ _ -> ());
-  on_path_change = (fun ~flow:_ _ _ -> ());
-  on_failure = (fun _ _ -> ());
-}
+let msg_kind_of = function
+  | Protocols.Proto_intf.Update -> Obs.Event.Update
+  | Protocols.Proto_intf.Withdrawal -> Obs.Event.Withdrawal
+  | Protocols.Proto_intf.Mixed -> Obs.Event.Mixed
 
 type flow_spec = {
   flow_src : Netsim.Types.node_id option;
@@ -74,6 +72,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     delay : Dessim.Series.t;
     mutable path_samples : (float * Observer.path_result) list;  (* newest first *)
     mutable pre_failure_path : Netsim.Types.node_id list;
+    mutable loop_since : (float * Netsim.Types.node_id list) option;
+        (* the sampled path is currently inside this cycle, since this time *)
   }
 
   (* Every data packet carries a handler deciding what its delivery or loss
@@ -92,7 +92,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     mutable routers : P.t array;
     flows : flow_state array;
     handlers : (int, packet_handler) Hashtbl.t;  (* packet id -> handler *)
-    events : events;
+    trace : Obs.Trace.t;
+    metrics : Obs.Registry.t option;
+    delay_hist : Obs.Registry.histogram option;
     mutable ctrl_messages : int;
     mutable ctrl_bytes : int;
     mutable ctrl_lost : int;
@@ -107,12 +109,45 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     | Some l -> l
     | None -> invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
 
+  (* Trace emission helpers. Producers guard with [tracing] before building
+     an event, so a disabled trace costs one boolean test per site. *)
+  let tracing st cat = Obs.Trace.on st.trace cat
+
+  let emit st ev =
+    Obs.Trace.emit st.trace ~time:(Dessim.Scheduler.now st.sched) ev
+
   let next_hop_of st n ~dst = P.next_hop st.routers.(n) ~dst
 
   let sample_path st (f : flow_state) =
     Observer.current_path
       ~next_hop:(fun n -> next_hop_of st n ~dst:f.dst)
       ~src:f.src ~dst:f.dst
+
+  (* Keep the flow's loop bookkeeping current and emit loop-episode
+     boundaries: entering a cycle, switching cycles, leaving one. *)
+  let track_loop st (f : flow_state) now path =
+    let cycle_now = Loop_analysis.cycle_of_path path in
+    match (f.loop_since, cycle_now) with
+    | None, None -> ()
+    | None, Some cycle ->
+      f.loop_since <- Some (now, cycle);
+      if tracing st Obs.Event.Data then
+        emit st (Obs.Event.Loop_enter { flow = f.idx; cycle })
+    | Some (since, cycle), None ->
+      f.loop_since <- None;
+      if tracing st Obs.Event.Data then
+        emit st
+          (Obs.Event.Loop_exit { flow = f.idx; cycle; duration = now -. since })
+    | Some (since, old_cycle), Some cycle ->
+      if not (Observer.equal_nodes old_cycle cycle) then begin
+        f.loop_since <- Some (now, cycle);
+        if tracing st Obs.Event.Data then begin
+          emit st
+            (Obs.Event.Loop_exit
+               { flow = f.idx; cycle = old_cycle; duration = now -. since });
+          emit st (Obs.Event.Loop_enter { flow = f.idx; cycle })
+        end
+      end
 
   let record_path_sample st (f : flow_state) =
     let now = Dessim.Scheduler.now st.sched in
@@ -124,12 +159,21 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     in
     if changed then begin
       f.path_samples <- (now, path) :: f.path_samples;
-      st.events.on_path_change ~flow:f.idx now path
+      if tracing st Obs.Event.Env then
+        emit st
+          (Obs.Event.Path_changed
+             {
+               flow = f.idx;
+               kind = path_kind_of path;
+               path = Observer.nodes_of path;
+             });
+      track_loop st f now path
     end
 
   let on_route_changed st router dst =
     let now = Dessim.Scheduler.now st.sched in
-    st.events.on_route_change now router dst;
+    if tracing st Obs.Event.Env then
+      emit st (Obs.Event.Route_changed { node = router; dst });
     (match st.first_failure_at with
     | Some t0 when now >= t0 -> st.last_route_change <- now
     | Some _ | None -> ());
@@ -156,6 +200,10 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       | Some nh ->
         if p.ttl <= 0 then drop_data st p Netsim.Types.Ttl_expired
         else begin
+          if tracing st Obs.Event.Data then
+            emit st
+              (Obs.Event.Packet_forwarded
+                 { pkt = p.id; node; next_hop = nh; ttl = p.ttl });
           p.ttl <- p.ttl - 1;
           (* Rejections are accounted by the link's [dropped] callback. *)
           ignore
@@ -165,12 +213,25 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
   and on_arrival st at_node payload =
     match payload with
     | Data p -> forward st at_node p
-    | Ctrl { from; msg } -> P.on_message st.routers.(at_node) ~from msg
+    | Ctrl { from; msg } ->
+      if tracing st Obs.Event.Control then
+        emit st
+          (Obs.Event.Ctrl_received
+             {
+               proto = P.name;
+               src = from;
+               dst = at_node;
+               kind = msg_kind_of (P.message_kind msg);
+             });
+      P.on_message st.routers.(at_node) ~from msg
 
   let on_link_drop st payload reason =
     match payload with
     | Data p -> drop_data st p reason
-    | Ctrl _ -> st.ctrl_lost <- st.ctrl_lost + 1
+    | Ctrl _ ->
+      st.ctrl_lost <- st.ctrl_lost + 1;
+      if tracing st Obs.Event.Control then
+        emit st (Obs.Event.Ctrl_lost { reason })
 
   let make_links st =
     let cfg = st.cfg in
@@ -193,8 +254,19 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
 
   let make_routers st pcfg master_rng =
     let n = Netsim.Topology.node_count st.topo in
+    (* When control-plane tracing is off, protocol timers are scheduled
+       directly; otherwise each timer callback is wrapped to announce its
+       firing. Decided once per run, not per timer. *)
+    let trace_control = tracing st Obs.Event.Control in
     let make id =
       let rng = Dessim.Rng.split master_rng in
+      let after_action =
+        if trace_control then fun delay fn ->
+          Dessim.Scheduler.after st.sched ~delay (fun () ->
+              emit st (Obs.Event.Timer_fired { node = id });
+              fn ())
+        else fun delay fn -> Dessim.Scheduler.after st.sched ~delay fn
+      in
       let actions =
         {
           Protocols.Proto_intf.now = (fun () -> Dessim.Scheduler.now st.sched);
@@ -202,13 +274,29 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
             (fun neighbor msg ->
               st.ctrl_messages <- st.ctrl_messages + 1;
               st.ctrl_bytes <- st.ctrl_bytes + (P.message_size_bits msg / 8);
+              if trace_control then
+                emit st
+                  (Obs.Event.Ctrl_sent
+                     {
+                       proto = P.name;
+                       src = id;
+                       dst = neighbor;
+                       kind = msg_kind_of (P.message_kind msg);
+                       bits = P.message_size_bits msg;
+                     });
               ignore
                 (Netsim.Link.send (link st id neighbor)
                    ~reliable:P.uses_reliable_transport
                    ~size_bits:(P.message_size_bits msg)
                    (Ctrl { from = id; msg })));
-          after = (fun delay fn -> Dessim.Scheduler.after st.sched ~delay fn);
+          after = after_action;
           route_changed = (fun dst -> on_route_changed st id dst);
+          note =
+            (fun n ->
+              if trace_control then
+                match n with
+                | Protocols.Proto_intf.Mrai_deferred { neighbor; dsts } ->
+                  emit st (Obs.Event.Mrai_defer { node = id; neighbor; dsts }));
         }
       in
       P.create pcfg ~rng ~id
@@ -219,8 +307,10 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     Array.iter P.start st.routers
 
   (* Create a packet at [src] bound for [dst], register its handler, and push
-     it into the forwarding plane. Returns the packet id. *)
-  let launch_packet st ~handler ~src ~dst ~size_bits =
+     it into the forwarding plane. Returns the packet id. [?flow] identifies
+     the originating flow in the trace; anonymous packets (transport ACKs)
+     are not announced. *)
+  let launch_packet st ?flow ~handler ~src ~dst ~size_bits () =
     let id = st.next_packet_id in
     st.next_packet_id <- id + 1;
     let p =
@@ -228,6 +318,10 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         ~sent_at:(Dessim.Scheduler.now st.sched)
     in
     Hashtbl.replace st.handlers id handler;
+    (match flow with
+    | Some fidx when tracing st Obs.Event.Data ->
+      emit st (Obs.Event.Packet_sent { flow = fidx; pkt = id; src; dst })
+    | Some _ | None -> ());
     forward st src p;
     id
 
@@ -241,9 +335,17 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
             let now = Dessim.Scheduler.now st.sched in
             f.delivered <- f.delivered + 1;
             Dessim.Series.add f.throughput ~time:now 1.;
-            Dessim.Series.add f.delay ~time:now (now -. p.Netsim.Packet.sent_at);
-            if Netsim.Packet.looped p then
-              f.looped_delivered <- f.looped_delivered + 1);
+            let delay = now -. p.Netsim.Packet.sent_at in
+            Dessim.Series.add f.delay ~time:now delay;
+            (match st.delay_hist with
+            | Some h -> Obs.Registry.observe h delay
+            | None -> ());
+            let looped = Netsim.Packet.looped p in
+            if looped then f.looped_delivered <- f.looped_delivered + 1;
+            if tracing st Obs.Event.Data then
+              emit st
+                (Obs.Event.Packet_delivered
+                   { flow = f.idx; pkt = p.Netsim.Packet.id; delay; looped }));
         h_drop =
           (fun p reason ->
             (match reason with
@@ -251,8 +353,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
             | Netsim.Types.Ttl_expired -> f.drops_ttl <- f.drops_ttl + 1
             | Netsim.Types.Queue_overflow -> f.drops_queue <- f.drops_queue + 1
             | Netsim.Types.Link_down -> f.drops_link <- f.drops_link + 1);
-            if Netsim.Packet.looped p then
-              f.looped_dropped <- f.looped_dropped + 1);
+            let looped = Netsim.Packet.looped p in
+            if looped then f.looped_dropped <- f.looped_dropped + 1;
+            if tracing st Obs.Event.Data then
+              emit st
+                (Obs.Event.Packet_dropped
+                   { flow = f.idx; pkt = p.Netsim.Packet.id; reason; looped }));
       }
     in
     let rec send_one () =
@@ -260,8 +366,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       if now < cfg.Config.sim_end then begin
         f.sent <- f.sent + 1;
         ignore
-          (launch_packet st ~handler ~src:f.src ~dst:f.dst
-             ~size_bits:(8 * cfg.Config.data_packet_bytes));
+          (launch_packet st ~flow:f.idx ~handler ~src:f.src ~dst:f.dst
+             ~size_bits:(8 * cfg.Config.data_packet_bytes) ());
         ignore (Dessim.Scheduler.after st.sched ~delay:interval send_one)
       end
     in
@@ -319,7 +425,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       end;
       let u, v = pick_failure_link st rng spec.target in
       st.failed_links <- (u, v) :: st.failed_links;
-      st.events.on_failure (Dessim.Scheduler.now st.sched) (u, v);
+      if tracing st Obs.Event.Env then emit st (Obs.Event.Link_failed { u; v });
       Netsim.Link.fail (link st u v);
       Netsim.Link.fail (link st v u);
       ignore
@@ -336,6 +442,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       | Some delay ->
         ignore
           (Dessim.Scheduler.after st.sched ~delay (fun () ->
+               if tracing st Obs.Event.Env then
+                 emit st (Obs.Event.Link_healed { u; v });
                Netsim.Link.restore (link st u v);
                Netsim.Link.restore (link st v u);
                P.on_link_up st.routers.(u) ~neighbor:v;
@@ -407,7 +515,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
      the master RNG, positioned identically regardless of what traffic will
      run on top — so a CBR run and a transport run over the same seed see the
      same flow endpoints and failure choices. *)
-  let prepare ?topology ~events ~flows (cfg : Config.t) (pcfg : P.config) =
+  let prepare ?topology ~trace ~metrics ~flows (cfg : Config.t)
+      (pcfg : P.config) =
     (match Config.validate cfg with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Runner.run: " ^ msg));
@@ -456,6 +565,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         delay = Dessim.Series.create ~start:cfg.Config.warmup ~width:1. ~buckets;
         path_samples = [];
         pre_failure_path = [];
+        loop_since = None;
       }
     in
     let st =
@@ -467,7 +577,10 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         routers = [||];
         flows = Array.of_list (List.mapi resolve_flow flows);
         handlers = Hashtbl.create 1024;
-        events;
+        trace;
+        metrics;
+        delay_hist =
+          Option.map (fun m -> Obs.Registry.histogram m "packet.delay_s") metrics;
         ctrl_messages = 0;
         ctrl_bytes = 0;
         ctrl_lost = 0;
@@ -499,15 +612,40 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       m_failed_links = List.rev st.failed_links;
     }
 
-  let run_multi ?label ?topology ?(events = no_events) ~flows ~failures
-      (cfg : Config.t) (pcfg : P.config) =
-    let st, rng = prepare ?topology ~events ~flows cfg pcfg in
+  (* Drive the scheduler to the end of the scenario, then record what it cost:
+     a [Sched_stats] trace event and, when a registry was supplied, scheduler
+     and control-plane metrics. *)
+  let run_scheduler st =
+    let cpu0 = Sys.time () in
+    Dessim.Scheduler.run ~until:st.cfg.Config.sim_end st.sched;
+    let cpu_s = Sys.time () -. cpu0 in
+    let events = Dessim.Scheduler.events_processed st.sched in
+    let max_queue = Dessim.Scheduler.max_queue_depth st.sched in
+    if tracing st Obs.Event.Sched then
+      emit st (Obs.Event.Sched_stats { events; max_queue; cpu_s });
+    (match st.metrics with
+    | None -> ()
+    | Some m ->
+      Obs.Registry.set (Obs.Registry.gauge m "scheduler.events_fired")
+        (float_of_int events);
+      Obs.Registry.set
+        (Obs.Registry.gauge m "scheduler.max_queue_depth")
+        (float_of_int max_queue);
+      Obs.Registry.set (Obs.Registry.gauge m "scenario.cpu_s") cpu_s;
+      Obs.Registry.incr ~by:st.ctrl_messages (Obs.Registry.counter m "ctrl.messages");
+      Obs.Registry.incr ~by:st.ctrl_bytes (Obs.Registry.counter m "ctrl.bytes");
+      Obs.Registry.incr ~by:st.ctrl_lost (Obs.Registry.counter m "ctrl.lost"));
+    Obs.Trace.flush st.trace
+
+  let run_multi ?label ?topology ?(trace = Obs.Trace.null) ?metrics ~flows
+      ~failures (cfg : Config.t) (pcfg : P.config) =
+    let st, rng = prepare ?topology ~trace ~metrics ~flows cfg pcfg in
     Array.iter (start_traffic st) st.flows;
     List.iter (inject_failure st rng) failures;
-    Dessim.Scheduler.run ~until:cfg.Config.sim_end st.sched;
+    run_scheduler st;
     collect_multi ?label st
 
-  let run ?label ?topology ?src ?dst ?events ?fail_link ?restore_after
+  let run ?label ?topology ?src ?dst ?trace ?metrics ?fail_link ?restore_after
       (cfg : Config.t) (pcfg : P.config) =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
     let failure =
@@ -518,8 +656,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       }
     in
     Metrics.run_of_multi
-      (run_multi ?label ?topology ?events ~flows:[ flow ] ~failures:[ failure ]
-         cfg pcfg)
+      (run_multi ?label ?topology ?trace ?metrics ~flows:[ flow ]
+         ~failures:[ failure ] cfg pcfg)
 
   (* ---------- reliable transport on top of the data plane ---------- *)
 
@@ -588,7 +726,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       in
       ignore
         (launch_packet st ~handler ~src:f.dst ~dst:f.src
-           ~size_bits:(8 * tc.ack_bytes))
+           ~size_bits:(8 * tc.ack_bytes) ())
     and on_data seq =
       if seq = !rcv_next then begin
         incr rcv_next;
@@ -606,11 +744,37 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           { !outcome with t_retransmissions = !outcome.t_retransmissions + 1 };
       f.sent <- f.sent + 1;
       let handler =
-        { h_deliver = (fun _ -> on_data seq); h_drop = null_drop }
+        {
+          h_deliver =
+            (fun p ->
+              if tracing st Obs.Event.Data then begin
+                let now = Dessim.Scheduler.now st.sched in
+                emit st
+                  (Obs.Event.Packet_delivered
+                     {
+                       flow = f.idx;
+                       pkt = p.Netsim.Packet.id;
+                       delay = now -. p.Netsim.Packet.sent_at;
+                       looped = Netsim.Packet.looped p;
+                     })
+              end;
+              on_data seq);
+          h_drop =
+            (fun p reason ->
+              if tracing st Obs.Event.Data then
+                emit st
+                  (Obs.Event.Packet_dropped
+                     {
+                       flow = f.idx;
+                       pkt = p.Netsim.Packet.id;
+                       reason;
+                       looped = Netsim.Packet.looped p;
+                     }));
+        }
       in
       ignore
-        (launch_packet st ~handler ~src:f.src ~dst:f.dst
-           ~size_bits:(8 * st.cfg.Config.data_packet_bytes))
+        (launch_packet st ~flow:f.idx ~handler ~src:f.src ~dst:f.dst
+           ~size_bits:(8 * st.cfg.Config.data_packet_bytes) ())
     and arm_rto () =
       cancel_rto ();
       if not (finished ()) then
@@ -656,12 +820,13 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     ignore (Dessim.Scheduler.schedule st.sched ~at:f.start fill_window);
     outcome
 
-  let run_transport ?label ?topology ?(events = no_events) ?src ?dst ~failures
-      (tc : transport_config) (cfg : Config.t) (pcfg : P.config) =
+  let run_transport ?label ?topology ?(trace = Obs.Trace.null) ?metrics ?src
+      ?dst ~failures (tc : transport_config) (cfg : Config.t) (pcfg : P.config)
+      =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
-    let st, rng = prepare ?topology ~events ~flows:[ flow ] cfg pcfg in
+    let st, rng = prepare ?topology ~trace ~metrics ~flows:[ flow ] cfg pcfg in
     let outcome = start_transport st st.flows.(0) tc in
     List.iter (inject_failure st rng) failures;
-    Dessim.Scheduler.run ~until:cfg.Config.sim_end st.sched;
+    run_scheduler st;
     { !outcome with t_multi = collect_multi ?label st }
 end

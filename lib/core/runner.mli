@@ -19,16 +19,6 @@
       [detection_delay] later;
     - [sim_end] (800 s): measurement stops. *)
 
-type events = {
-  on_route_change : float -> Netsim.Types.node_id -> Netsim.Types.node_id -> unit;
-      (** [on_route_change time router dst] *)
-  on_path_change : flow:int -> float -> Observer.path_result -> unit;
-      (** a flow's forwarding path after each relevant route change *)
-  on_failure : float -> Netsim.Types.node_id * Netsim.Types.node_id -> unit;
-}
-
-val no_events : events
-
 type flow_spec = {
   flow_src : Netsim.Types.node_id option;  (** [None]: random first-row router *)
   flow_dst : Netsim.Types.node_id option;  (** [None]: random last-row router *)
@@ -72,11 +62,20 @@ type transport_outcome = {
       (** control-plane and failure bookkeeping of the underlying run *)
 }
 
+(** Every entry point accepts:
+    - [?trace] — an {!Obs.Trace.t} receiving the full structured event stream
+      (data plane, control plane, environment, scheduler). Defaults to
+      {!Obs.Trace.null}, which costs one boolean test per potential event.
+    - [?metrics] — an {!Obs.Registry.t} the run populates with
+      [scheduler.events_fired], [scheduler.max_queue_depth], [scenario.cpu_s]
+      gauges, [ctrl.messages]/[ctrl.bytes]/[ctrl.lost] counters, and a
+      [packet.delay_s] histogram of CBR delivery delays. *)
 module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run_multi :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
-    ?events:events ->
+    ?trace:Obs.Trace.t ->
+    ?metrics:Obs.Registry.t ->
     flows:flow_spec list ->
     failures:failure_spec list ->
     Config.t ->
@@ -93,7 +92,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     ?topology:Netsim.Topology.t ->
     ?src:Netsim.Types.node_id ->
     ?dst:Netsim.Types.node_id ->
-    ?events:events ->
+    ?trace:Obs.Trace.t ->
+    ?metrics:Obs.Registry.t ->
     ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
     ?restore_after:float ->
     Config.t ->
@@ -116,7 +116,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run_transport :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
-    ?events:events ->
+    ?trace:Obs.Trace.t ->
+    ?metrics:Obs.Registry.t ->
     ?src:Netsim.Types.node_id ->
     ?dst:Netsim.Types.node_id ->
     failures:failure_spec list ->

@@ -7,9 +7,11 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
+  mutable max_depth : int;
 }
 
-let create () = { queue = Heap.create (); clock = 0.0; next_seq = 0; fired = 0 }
+let create () =
+  { queue = Heap.create (); clock = 0.0; next_seq = 0; fired = 0; max_depth = 0 }
 
 let now t = t.clock
 
@@ -20,6 +22,8 @@ let schedule t ~at fn =
   let h = { cancelled = false } in
   Heap.add t.queue ~time:at ~seq:t.next_seq { h; fn };
   t.next_seq <- t.next_seq + 1;
+  let depth = Heap.length t.queue in
+  if depth > t.max_depth then t.max_depth <- depth;
   h
 
 let after t ~delay fn =
@@ -57,3 +61,5 @@ let run ?until t =
     loop ()
 
 let events_processed t = t.fired
+
+let max_queue_depth t = t.max_depth

@@ -51,3 +51,8 @@ val run : ?until:float -> t -> unit
 val events_processed : t -> int
 (** [events_processed t] counts events fired since creation (cancelled events
     excluded). *)
+
+val max_queue_depth : t -> int
+(** [max_queue_depth t] is the high-water mark of the event queue: the largest
+    number of simultaneously pending events (cancelled-but-undiscarded
+    included) observed since creation. *)

@@ -1,0 +1,247 @@
+type parse_stats = { parsed : int; skipped : int }
+
+let of_lines lines =
+  let parsed = ref 0 in
+  let skipped = ref 0 in
+  let records =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then None
+        else
+          match Option.bind (Json.of_string_opt line) Sink.record_of_json with
+          | Some r ->
+            incr parsed;
+            Some r
+          | None ->
+            incr skipped;
+            None)
+      lines
+  in
+  (records, { parsed = !parsed; skipped = !skipped })
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (loop []))
+
+(* ---------- aggregate views ---------- *)
+
+let event_counts records =
+  let tbl = Hashtbl.create 24 in
+  List.iter
+    (fun r ->
+      let key = Event.name r.Sink.event in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+type totals = {
+  sent : int;
+  delivered : int;
+  drops : (Netsim.Types.drop_reason * int) list;  (* every reason, in order *)
+}
+
+let totals ?flow records =
+  let wanted f = match flow with None -> true | Some i -> i = f in
+  let sent = ref 0 in
+  let delivered = ref 0 in
+  let drops = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      match r.Sink.event with
+      | Event.Packet_sent { flow; _ } when wanted flow -> incr sent
+      | Event.Packet_delivered { flow; _ } when wanted flow -> incr delivered
+      | Event.Packet_dropped { flow; reason; _ } when wanted flow ->
+        Hashtbl.replace drops reason
+          (1 + Option.value ~default:0 (Hashtbl.find_opt drops reason))
+      | _ -> ())
+    records;
+  {
+    sent = !sent;
+    delivered = !delivered;
+    drops =
+      List.map
+        (fun reason ->
+          (reason, Option.value ~default:0 (Hashtbl.find_opt drops reason)))
+        Netsim.Types.all_drop_reasons;
+  }
+
+let total_drops t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.drops
+
+let in_flight t = t.sent - t.delivered - total_drops t
+
+(* Per-cause drop timeline: bucketed drop counts over time. *)
+
+type timeline = {
+  t0 : float;  (* left edge of the first bucket *)
+  bucket_width : float;
+  rows : (float * (Netsim.Types.drop_reason * int) list) list;
+      (* (bucket start time, counts per reason); only non-empty buckets *)
+}
+
+let drop_timeline ?(bucket = 1.0) records =
+  if bucket <= 0. then invalid_arg "Replay.drop_timeline: bucket width";
+  let drops =
+    List.filter_map
+      (fun r ->
+        match r.Sink.event with
+        | Event.Packet_dropped { reason; _ } -> Some (r.Sink.time, reason)
+        | _ -> None)
+      records
+  in
+  match drops with
+  | [] -> { t0 = 0.; bucket_width = bucket; rows = [] }
+  | (first, _) :: _ ->
+    let t0 =
+      Float.of_int (int_of_float (Float.floor (first /. bucket)))
+      *. bucket
+    in
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (time, reason) ->
+        let idx = int_of_float (Float.floor ((time -. t0) /. bucket)) in
+        let key = (idx, reason) in
+        Hashtbl.replace tbl key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+      drops;
+    let indices =
+      Hashtbl.fold (fun (i, _) _ acc -> i :: acc) tbl []
+      |> List.sort_uniq compare
+    in
+    let rows =
+      List.map
+        (fun i ->
+          ( t0 +. (float_of_int i *. bucket),
+            List.filter_map
+              (fun reason ->
+                match Hashtbl.find_opt tbl (i, reason) with
+                | Some n -> Some (reason, n)
+                | None -> None)
+              Netsim.Types.all_drop_reasons ))
+        indices
+    in
+    { t0; bucket_width = bucket; rows }
+
+(* Loop-episode report, reconstructed from Loop_enter / Loop_exit pairs. *)
+
+type loop_episode = {
+  le_flow : int;
+  le_cycle : int list;
+  le_started : float;
+  le_ended : float option;  (* [None]: still looping at end of trace *)
+}
+
+let loop_report records =
+  let open_eps = Hashtbl.create 8 in
+  (* flow -> (cycle, started) *)
+  let finished = ref [] in
+  List.iter
+    (fun r ->
+      match r.Sink.event with
+      | Event.Loop_enter { flow; cycle } ->
+        (match Hashtbl.find_opt open_eps flow with
+        | Some (c, t) ->
+          (* A new cycle without an exit closes the previous episode. *)
+          finished :=
+            { le_flow = flow; le_cycle = c; le_started = t; le_ended = Some r.Sink.time }
+            :: !finished
+        | None -> ());
+        Hashtbl.replace open_eps flow (cycle, r.Sink.time)
+      | Event.Loop_exit { flow; cycle; _ } ->
+        (match Hashtbl.find_opt open_eps flow with
+        | Some (c, t) ->
+          Hashtbl.remove open_eps flow;
+          finished :=
+            {
+              le_flow = flow;
+              le_cycle = (if c = [] then cycle else c);
+              le_started = t;
+              le_ended = Some r.Sink.time;
+            }
+            :: !finished
+        | None ->
+          (* Exit without a recorded enter (trace truncated by a ring
+             buffer): report it with an unknown start. *)
+          finished :=
+            {
+              le_flow = flow;
+              le_cycle = cycle;
+              le_started = Float.nan;
+              le_ended = Some r.Sink.time;
+            }
+            :: !finished)
+      | _ -> ())
+    records;
+  Hashtbl.iter
+    (fun flow (cycle, t) ->
+      finished :=
+        { le_flow = flow; le_cycle = cycle; le_started = t; le_ended = None }
+        :: !finished)
+    open_eps;
+  List.sort
+    (fun a b ->
+      match compare a.le_started b.le_started with
+      | 0 -> compare a.le_flow b.le_flow
+      | c -> c)
+    !finished
+
+let episode_duration e =
+  match e.le_ended with
+  | Some ended -> Some (ended -. e.le_started)
+  | None -> None
+
+(* ---------- rendering ---------- *)
+
+let pp_totals ppf t =
+  Fmt.pf ppf "sent=%d delivered=%d %a (in flight %d)" t.sent t.delivered
+    Fmt.(
+      list ~sep:(any " ") (fun ppf (reason, n) ->
+          pf ppf "drops[%a]=%d" Netsim.Types.pp_drop_reason reason n))
+    t.drops (in_flight t)
+
+let pp_timeline ppf tl =
+  if tl.rows = [] then Fmt.pf ppf "no drops recorded"
+  else begin
+    Fmt.pf ppf "@[<v>%-10s %s@," "t"
+      (String.concat " "
+         (List.map
+            (fun r -> Printf.sprintf "%14s" (Netsim.Types.string_of_drop_reason r))
+            Netsim.Types.all_drop_reasons));
+    Fmt.pf ppf "%a@]"
+      (Fmt.list ~sep:Fmt.cut (fun ppf (t, counts) ->
+           Fmt.pf ppf "%-10.1f %s" t
+             (String.concat " "
+                (List.map
+                   (fun r ->
+                     let n =
+                       Option.value ~default:0 (List.assoc_opt r counts)
+                     in
+                     Printf.sprintf "%14d" n)
+                   Netsim.Types.all_drop_reasons))))
+      tl.rows
+  end
+
+let pp_loop_episode ppf e =
+  match e.le_ended with
+  | Some ended when Float.is_nan e.le_started ->
+    Fmt.pf ppf "flow %d: loop %a ended t=%.2f (start not in trace)" e.le_flow
+      Netsim.Types.pp_path e.le_cycle ended
+  | Some ended ->
+    Fmt.pf ppf "flow %d: loop %a from t=%.2f to t=%.2f (%.2fs)" e.le_flow
+      Netsim.Types.pp_path e.le_cycle e.le_started ended
+      (ended -. e.le_started)
+  | None ->
+    Fmt.pf ppf "flow %d: loop %a from t=%.2f (unresolved at end of trace)"
+      e.le_flow Netsim.Types.pp_path e.le_cycle e.le_started

@@ -1,0 +1,67 @@
+(** Offline trace analysis: read a JSONL trace back and rebuild the views the
+    paper argues from — per-cause drop timelines, loop episodes, and packet
+    conservation totals. This is what the [rcsim trace] subcommand runs. *)
+
+type parse_stats = { parsed : int; skipped : int }
+
+val of_lines : string list -> Sink.record list * parse_stats
+(** Blank lines are ignored; malformed or unknown lines are counted in
+    [skipped] rather than failing, so a trace mixed with other output (or
+    from a newer schema) still replays. *)
+
+val of_string : string -> Sink.record list * parse_stats
+
+val read_file : string -> Sink.record list * parse_stats
+(** @raise Sys_error when the file cannot be read. *)
+
+val event_counts : Sink.record list -> (string * int) list
+(** Occurrences per event name, most frequent first. *)
+
+(** {2 Packet conservation} *)
+
+type totals = {
+  sent : int;
+  delivered : int;
+  drops : (Netsim.Types.drop_reason * int) list;
+      (** one entry per {!Netsim.Types.all_drop_reasons} member, in order *)
+}
+
+val totals : ?flow:int -> Sink.record list -> totals
+(** Reconstructed from [Packet_sent] / [Packet_delivered] / [Packet_dropped]
+    events, optionally restricted to one flow. *)
+
+val total_drops : totals -> int
+val in_flight : totals -> int
+
+(** {2 Per-cause drop timeline} *)
+
+type timeline = {
+  t0 : float;
+  bucket_width : float;
+  rows : (float * (Netsim.Types.drop_reason * int) list) list;
+      (** only non-empty buckets, chronological; each row is the bucket's
+          start time and its drop counts per cause *)
+}
+
+val drop_timeline : ?bucket:float -> Sink.record list -> timeline
+(** [bucket] is the width in simulation seconds (default 1.0).
+    @raise Invalid_argument if [bucket <= 0]. *)
+
+(** {2 Loop episodes} *)
+
+type loop_episode = {
+  le_flow : int;
+  le_cycle : int list;
+  le_started : float;  (** [nan] when the enter event is missing *)
+  le_ended : float option;  (** [None]: unresolved at end of trace *)
+}
+
+val loop_report : Sink.record list -> loop_episode list
+(** Pairs [Loop_enter]/[Loop_exit] events per flow, tolerating truncated
+    traces. Chronological by start time. *)
+
+val episode_duration : loop_episode -> float option
+
+val pp_totals : totals Fmt.t
+val pp_timeline : timeline Fmt.t
+val pp_loop_episode : loop_episode Fmt.t

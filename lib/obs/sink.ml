@@ -1,0 +1,131 @@
+type record = { time : float; seq : int; event : Event.t }
+
+let record_to_json r =
+  Json.Obj
+    (("ts", Json.Float r.time)
+    :: ("seq", Json.Int r.seq)
+    :: Event.to_fields r.event)
+
+let record_of_json json =
+  match
+    ( Option.bind (Json.member "ts" json) Json.to_float,
+      Option.bind (Json.member "seq" json) Json.to_int,
+      Event.of_fields json )
+  with
+  | Some time, Some seq, Some event -> Some { time; seq; event }
+  | _ -> None
+
+let pp_record ppf r =
+  Fmt.pf ppf "%10.4f %-7s %-5s %a" r.time
+    (Event.string_of_category (Event.category r.event))
+    (Event.string_of_severity (Event.severity r.event))
+    Event.pp r.event
+
+type t = {
+  emit : record -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()); close = (fun () -> ()) }
+
+let callback f = { null with emit = f }
+
+let memory () =
+  let acc = ref [] in
+  let sink = { null with emit = (fun r -> acc := r :: !acc) } in
+  (sink, fun () -> List.rev !acc)
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  let buf = Array.make capacity None in
+  let next = ref 0 in
+  let stored = ref 0 in
+  let emit r =
+    buf.(!next mod capacity) <- Some r;
+    incr next;
+    if !stored < capacity then incr stored
+  in
+  let contents () =
+    let n = !stored in
+    let first = !next - n in
+    List.init n (fun i ->
+        match buf.((first + i) mod capacity) with
+        | Some r -> r
+        | None -> assert false)
+  in
+  ({ null with emit }, contents)
+
+(* ---------- line-oriented formats ---------- *)
+
+(* The formatted sinks are written against a plain [string -> unit] line
+   writer so tests can capture into a buffer and the CLI can write a file
+   with the same code. *)
+
+let text_writer write =
+  { null with emit = (fun r -> write (Fmt.str "%a" pp_record r)) }
+
+let jsonl_writer write =
+  { null with emit = (fun r -> write (Json.to_string (record_to_json r))) }
+
+let csv_header = "ts,seq,category,severity,event,detail"
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_writer write =
+  write csv_header;
+  {
+    null with
+    emit =
+      (fun r ->
+        write
+          (Printf.sprintf "%s,%d,%s,%s,%s,%s"
+             (Json.to_string (Json.Float r.time))
+             r.seq
+             (Event.string_of_category (Event.category r.event))
+             (Event.string_of_severity (Event.severity r.event))
+             (Event.name r.event)
+             (csv_escape (Fmt.str "%a" Event.pp r.event))));
+  }
+
+let of_channel mk oc =
+  let write line =
+    output_string oc line;
+    output_char oc '\n'
+  in
+  let inner = mk write in
+  {
+    emit = inner.emit;
+    flush = (fun () -> Stdlib.flush oc);
+    close =
+      (fun () ->
+        Stdlib.flush oc;
+        if oc != Stdlib.stdout && oc != Stdlib.stderr then close_out oc);
+  }
+
+let text oc = of_channel text_writer oc
+let jsonl oc = of_channel jsonl_writer oc
+let csv oc = of_channel csv_writer oc
+
+type format = Text | Jsonl | Csv
+
+let format_of_path path =
+  match Filename.extension (String.lowercase_ascii path) with
+  | ".jsonl" | ".json" | ".ndjson" -> Jsonl
+  | ".csv" -> Csv
+  | _ -> Text
+
+let to_file ?format path =
+  let fmt = match format with Some f -> f | None -> format_of_path path in
+  let oc = open_out path in
+  match fmt with Text -> text oc | Jsonl -> jsonl oc | Csv -> csv oc
+
+let tee sinks =
+  {
+    emit = (fun r -> List.iter (fun s -> s.emit r) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }

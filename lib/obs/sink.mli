@@ -1,0 +1,63 @@
+(** Pluggable trace consumers.
+
+    A sink receives stamped {!record}s from a {!Trace.t} collector. The three
+    serialized formats (human-readable text, JSONL, CSV) share one
+    line-writer core, so a file, a buffer, or any callback can back them. *)
+
+type record = { time : float; seq : int; event : Event.t }
+(** One trace entry: simulation time, a per-trace monotonic sequence number
+    (total order for same-instant events), and the event itself. *)
+
+val record_to_json : record -> Json.t
+val record_of_json : Json.t -> record option
+val pp_record : record Fmt.t
+
+type t = {
+  emit : record -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;  (** release resources; emit afterwards is an error *)
+}
+
+val null : t
+(** Swallows everything. *)
+
+val callback : (record -> unit) -> t
+(** In-process consumer; flush/close are no-ops. *)
+
+val memory : unit -> t * (unit -> record list)
+(** [memory ()] is a sink plus a getter returning everything emitted so far,
+    in order. Unbounded; meant for tests and small runs. *)
+
+val ring : capacity:int -> t * (unit -> record list)
+(** Bounded variant of {!memory}: keeps only the last [capacity] records
+    ("flight recorder" mode). @raise Invalid_argument if [capacity <= 0]. *)
+
+(** {2 Serialized formats} *)
+
+val text_writer : (string -> unit) -> t
+val jsonl_writer : (string -> unit) -> t
+
+val csv_writer : (string -> unit) -> t
+(** Writes the header line immediately upon creation. *)
+
+val csv_header : string
+
+val text : out_channel -> t
+val jsonl : out_channel -> t
+
+val csv : out_channel -> t
+(** Channel-backed variants; [close] flushes and closes the channel (unless
+    it is stdout/stderr, which are only flushed). *)
+
+type format = Text | Jsonl | Csv
+
+val format_of_path : string -> format
+(** By extension: [.jsonl]/[.json]/[.ndjson] -> JSONL, [.csv] -> CSV,
+    anything else -> text. *)
+
+val to_file : ?format:format -> string -> t
+(** [to_file path] opens [path] for writing with the format inferred from its
+    extension (or forced by [?format]). *)
+
+val tee : t list -> t
+(** Broadcast to several sinks. *)

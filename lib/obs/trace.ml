@@ -1,0 +1,42 @@
+type t = {
+  active : bool;
+  cats : bool array;  (* indexed by Event.category_index *)
+  min_severity : Event.severity;
+  sink : Sink.t;
+  mutable seq : int;
+}
+
+let null =
+  {
+    active = false;
+    cats = Array.make 4 false;
+    min_severity = Event.Warn;
+    sink = Sink.null;
+    seq = 0;
+  }
+
+let create ?(categories = Event.all_categories)
+    ?(min_severity = Event.Debug) sink =
+  let cats = Array.make 4 false in
+  List.iter (fun c -> cats.(Event.category_index c) <- true) categories;
+  { active = true; cats; min_severity; sink; seq = 0 }
+
+let enabled t = t.active
+
+let on t cat = t.active && t.cats.(Event.category_index cat)
+
+let emit t ~time event =
+  if
+    t.active
+    && t.cats.(Event.category_index (Event.category event))
+    && Event.severity_rank (Event.severity event)
+       >= Event.severity_rank t.min_severity
+  then begin
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    t.sink.Sink.emit { Sink.time; seq; event }
+  end
+
+let flush t = t.sink.Sink.flush ()
+
+let close t = t.sink.Sink.close ()

@@ -1,0 +1,35 @@
+(** The trace collector: filters events by category and severity, stamps them
+    with a sequence number, and forwards them to a {!Sink.t}.
+
+    The disabled collector {!null} is the default everywhere; its [emit] is a
+    single boolean test, and producers can skip building the event entirely by
+    guarding with {!on} — which is how a fully instrumented simulation stays
+    within noise of the uninstrumented one when tracing is off. *)
+
+type t
+
+val null : t
+(** Disabled: {!enabled} is [false], {!emit} does nothing. *)
+
+val create :
+  ?categories:Event.category list ->
+  ?min_severity:Event.severity ->
+  Sink.t ->
+  t
+(** [create sink] accepts every category at [Debug] and above by default.
+    [?categories] restricts to the listed categories; [?min_severity] drops
+    events below the given severity. *)
+
+val enabled : t -> bool
+
+val on : t -> Event.category -> bool
+(** [on t cat] is [true] when an event of category [cat] could be recorded —
+    the cheap guard producers use before allocating an event. *)
+
+val emit : t -> time:float -> Event.t -> unit
+(** Record one event at simulation time [time], if it passes the filters. *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Flush and release the sink (closing a file sink's channel). *)

@@ -59,6 +59,10 @@ let message_size_bits msg =
   in
   8 * bytes
 
+let message_kind = function
+  | Update _ -> Proto_intf.Update
+  | Withdraw _ -> Proto_intf.Withdrawal
+
 let pp_message ppf = function
   | Update { dst; path } ->
     Fmt.pf ppf "update dst=%d path=%a" dst Netsim.Types.pp_path path
@@ -172,7 +176,11 @@ let rec advertise_batch t neighbor dsts =
     match t.cfg.mrai_scope with
     | Per_neighbor ->
       let g = gate_for t neighbor 0 in
-      if g.closed then List.iter (fun d -> Hashtbl.replace g.pending d ()) dsts
+      if g.closed then begin
+        List.iter (fun d -> Hashtbl.replace g.pending d ()) dsts;
+        t.actions.Proto_intf.note
+          (Proto_intf.Mrai_deferred { neighbor; dsts = List.length dsts })
+      end
       else begin
         List.iter (send_update_now t neighbor) dsts;
         close_gate t neighbor g
@@ -180,7 +188,11 @@ let rec advertise_batch t neighbor dsts =
     | Per_destination ->
       let per_dst dst =
         let g = gate_for t neighbor dst in
-        if g.closed then Hashtbl.replace g.pending dst ()
+        if g.closed then begin
+          Hashtbl.replace g.pending dst ();
+          t.actions.Proto_intf.note
+            (Proto_intf.Mrai_deferred { neighbor; dsts = 1 })
+        end
         else begin
           send_update_now t neighbor dst;
           close_gate t neighbor g

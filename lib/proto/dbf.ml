@@ -10,6 +10,8 @@ let default_config = Dv_core.default_config
 
 let pp_message = Dv_core.pp_message
 
+let message_kind = Dv_core.message_kind
+
 let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
 
 type cache_entry = {

@@ -33,6 +33,10 @@ let pp_entry ppf e = Fmt.pf ppf "%d:%d" e.dst e.metric
 let pp_message ppf msg =
   Fmt.pf ppf "dv[%a]" Fmt.(list ~sep:(any " ") pp_entry) msg
 
+(* A distance vector carries reachable and poisoned entries in one message;
+   there is no pure withdrawal on the wire. *)
+let message_kind (_ : message) = Proto_intf.Mixed
+
 let chunk cfg entries =
   let rec take n acc = function
     | rest when n = 0 -> (List.rev acc, rest)

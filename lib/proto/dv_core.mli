@@ -29,6 +29,10 @@ val message_size_bits : config -> message -> int
 
 val pp_message : message Fmt.t
 
+val message_kind : message -> Proto_intf.message_kind
+(** Always {!Proto_intf.Mixed}: one vector carries reachable and poisoned
+    entries alike. *)
+
 val chunk : config -> entry list -> message list
 (** [chunk cfg entries] splits [entries] into messages of at most
     [cfg.max_entries] entries, preserving order. *)

@@ -31,6 +31,8 @@ let message_size_bits (Lsa l) =
   let c = default_config in
   8 * (c.header_bytes + (c.neighbor_bytes * List.length l.adjacencies))
 
+let message_kind (_ : message) = Proto_intf.Update
+
 let pp_message ppf (Lsa l) =
   Fmt.pf ppf "lsa origin=%d seq=%d adj=%a" l.origin l.seq
     Fmt.(list ~sep:(any ",") int)

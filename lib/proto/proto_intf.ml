@@ -5,6 +5,17 @@
     callbacks send control messages to neighbors, set timers, and report
     best-route changes to the measurement layer. *)
 
+(** Protocol-internal occurrences worth tracing but invisible from the
+    outside (no message is sent, no route changes). Protocols report them
+    through {!actions.note}; harnesses that do not trace install a no-op. *)
+type note =
+  | Mrai_deferred of { neighbor : Netsim.Types.node_id; dsts : int }
+      (** changed destinations queued behind a closed MRAI gate *)
+
+(** The broad class of a control message, for observers that count updates
+    and withdrawals per protocol without decoding protocol wire formats. *)
+type message_kind = Update | Withdrawal | Mixed
+
 type 'msg actions = {
   now : unit -> float;  (** current simulation time *)
   send : Netsim.Types.node_id -> 'msg -> unit;
@@ -14,6 +25,8 @@ type 'msg actions = {
   route_changed : Netsim.Types.node_id -> unit;
       (** notify observers that the best route to a destination changed
           (metric or next hop) *)
+  note : note -> unit;
+      (** report a protocol-internal occurrence to the trace layer *)
 }
 
 module type PROTOCOL = sig
@@ -36,6 +49,11 @@ module type PROTOCOL = sig
 
   val message_size_bits : message -> int
   (** wire size, charged against link bandwidth *)
+
+  val message_kind : message -> message_kind
+  (** how observers should classify the message: an advertisement, an
+      explicit withdrawal, or a vector mixing both (distance-vector
+      protocols advertise reachable and poisoned entries together) *)
 
   val pp_message : message Fmt.t
 

@@ -10,6 +10,8 @@ let default_config = Dv_core.default_config
 
 let pp_message = Dv_core.pp_message
 
+let message_kind = Dv_core.message_kind
+
 type route = {
   mutable metric : int;
   mutable next_hop : Netsim.Types.node_id option;  (* None: the self route *)

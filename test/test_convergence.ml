@@ -90,6 +90,12 @@ let test_observer_equal_and_helpers () =
   let c = Convergence.Observer.Broken [ 0; 1 ] in
   Alcotest.(check bool) "equal" true (Convergence.Observer.equal a b);
   Alcotest.(check bool) "kind differs" false (Convergence.Observer.equal a c);
+  Alcotest.(check bool) "equal_nodes" true
+    (Convergence.Observer.equal_nodes [ 0; 1 ] [ 0; 1 ]);
+  Alcotest.(check bool) "equal_nodes length" false
+    (Convergence.Observer.equal_nodes [ 0; 1 ] [ 0; 1; 2 ]);
+  Alcotest.(check bool) "equal_nodes element" false
+    (Convergence.Observer.equal_nodes [ 0; 1 ] [ 0; 2 ]);
   Alcotest.(check bool) "complete" true (Convergence.Observer.is_complete a);
   Alcotest.(check bool) "broken not complete" false (Convergence.Observer.is_complete c);
   Alcotest.(check (option int)) "hops" (Some 1) (Convergence.Observer.hops a);

@@ -141,14 +141,17 @@ let test_events_fire () =
   let failures = ref [] in
   let path_changes = ref 0 in
   let route_changes = ref 0 in
-  let events =
-    {
-      Convergence.Runner.on_route_change = (fun _ _ _ -> incr route_changes);
-      on_path_change = (fun ~flow:_ _ _ -> incr path_changes);
-      on_failure = (fun t l -> failures := (t, l) :: !failures);
-    }
+  let collect (r : Obs.Sink.record) =
+    match r.event with
+    | Obs.Event.Link_failed { u; v } -> failures := (r.time, (u, v)) :: !failures
+    | Obs.Event.Path_changed _ -> incr path_changes
+    | Obs.Event.Route_changed _ -> incr route_changes
+    | _ -> ()
   in
-  ignore (Convergence.Engine_registry.run ~events cfg Convergence.Engine_registry.dbf);
+  let trace =
+    Obs.Trace.create ~categories:[ Obs.Event.Env ] (Obs.Sink.callback collect)
+  in
+  ignore (Convergence.Engine_registry.run ~trace cfg Convergence.Engine_registry.dbf);
   Alcotest.(check int) "one failure" 1 (List.length !failures);
   (match !failures with
   | [ (t, _) ] ->
