@@ -8,7 +8,9 @@
      compare   all protocols side by side on one configuration
      multiflow several flows and overlapping failures (paper future work)
      transfer  a reliable go-back-N transfer across the failure
-     loops     run a scenario and report transient forwarding-loop episodes *)
+     loops     run a scenario and report transient forwarding-loop episodes
+     fuzz      property-based fuzzing against invariant monitors and the
+               differential shortest-path oracle *)
 
 open Cmdliner
 
@@ -547,6 +549,91 @@ let trace_cmd =
           conservation totals")
     term
 
+(* ---------- fuzz ---------- *)
+
+let fuzz_cmd =
+  let runs_arg =
+    let doc = "Random scenarios to run per protocol." in
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Fuzzer seed. The scenario stream is a pure function of this value."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let protocol_arg =
+    let doc =
+      "Fuzz only this protocol (RIP, DBF, BGP, BGP-3, LS). Default: the \
+       paper's four."
+    in
+    Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  let preview n pp xs =
+    let shown, rest =
+      if List.length xs > n then (List.filteri (fun i _ -> i < n) xs, List.length xs - n)
+      else (xs, 0)
+    in
+    List.iter (fun x -> Fmt.pr "    %a@." pp x) shown;
+    if rest > 0 then Fmt.pr "    ... and %d more@." rest
+  in
+  let action runs seed protocol =
+    if runs <= 0 then `Error (false, "--runs must be positive")
+    else
+      let protos =
+        match protocol with
+        | Some p -> [ p ]
+        | None ->
+          List.map Convergence.Engine_registry.name
+            Convergence.Engine_registry.paper_four
+      in
+      match
+        List.map
+          (fun proto -> (proto, Check.Fuzz.check ~proto ~runs ~seed))
+          protos
+      with
+      | exception Invalid_argument e -> `Error (false, e)
+      | reports ->
+        let failed = ref false in
+        List.iter
+          (fun (proto, report) ->
+            match report with
+            | Check.Fuzz.Passed { runs } ->
+              Fmt.pr "%-6s %d scenarios, all invariants held, tables match \
+                      the oracle@." proto runs
+            | Check.Fuzz.Failed { counterexample; shrink_steps; outcome } ->
+              failed := true;
+              Fmt.pr "%-6s FAILED (shrunk %d steps)@.  scenario: %a@." proto
+                shrink_steps Check.Fuzz.pp_scenario counterexample;
+              (match outcome.Check.Fuzz.o_violations with
+              | [] -> ()
+              | vs ->
+                Fmt.pr "  %d invariant violation(s):@." (List.length vs);
+                preview 5 Check.Monitor.pp_violation vs);
+              (match outcome.Check.Fuzz.o_mismatches with
+              | [] -> ()
+              | ms ->
+                Fmt.pr "  %d oracle mismatch(es):@." (List.length ms);
+                preview 5 Check.Oracle.pp_mismatch ms);
+              Fmt.pr "  reproduce: rcsim fuzz --runs %d --seed %d -p %s@." runs
+                seed proto
+            | Check.Fuzz.Crashed { counterexample; message } ->
+              failed := true;
+              Fmt.pr "%-6s CRASHED: %s@." proto message;
+              Option.iter
+                (fun sc -> Fmt.pr "  scenario: %a@." Check.Fuzz.pp_scenario sc)
+                counterexample)
+          reports;
+        if !failed then `Error (false, "fuzzing found failures") else `Ok ()
+  in
+  let term = Term.(ret (const action $ runs_arg $ seed_arg $ protocol_arg)) in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz random scenarios against runtime invariant monitors and the \
+          differential shortest-path oracle")
+    term
+
 let () =
   let doc =
     "packet delivery during routing convergence (reproduction of Pei et al., DSN 2003)"
@@ -565,4 +652,5 @@ let () =
             transfer_cmd;
             loops_cmd;
             trace_cmd;
+            fuzz_cmd;
           ]))

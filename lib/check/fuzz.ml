@@ -1,0 +1,262 @@
+module Gen = QCheck2.Gen
+
+(* Every random quantity is generated as a small int so QCheck2's integrated
+   shrinker walks toward minimal scenarios, and so a scenario prints as a
+   handful of integers that reproduce the run exactly. *)
+
+type topo_spec =
+  | Mesh of { rows : int; cols : int; degree : int }
+  | Erdos of { nodes : int; tseed : int }
+  | Waxman of { nodes : int; tseed : int }
+
+type failure = {
+  fail_dt : int;  (** seconds after [traffic_start] *)
+  pick : int;  (** index into the sorted non-bridge candidate edges *)
+  heal : int option;  (** restore the link this many seconds later *)
+}
+
+type scenario = {
+  topo : topo_spec;
+  flows : (int * int) list;  (** raw pairs, resolved mod node count *)
+  rate : int;  (** CBR pps per flow *)
+  cfg_seed : int;
+  failures : failure list;
+  dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
+  dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
+  mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)
+}
+
+(* The schedule leaves generous convergence windows on either side of the
+   failures: 600 s from cold start to first traffic (BGP's 30 s MRAI needs
+   roughly diameter * MRAI), failures within [610, 640], heals within 25 s of
+   their failure, and >= 335 s of quiet before the oracle reads the tables. *)
+let traffic_start = 600.
+
+let sim_end = 1000.
+
+let topology_of = function
+  | Mesh { rows; cols; degree } -> Netsim.Mesh.generate ~rows ~cols ~degree
+  | Erdos { nodes; tseed } ->
+    let p = Float.min 1.0 (3.5 /. float_of_int (nodes - 1)) in
+    Netsim.Random_topo.erdos_renyi (Dessim.Rng.create tseed) ~nodes ~p
+  | Waxman { nodes; tseed } ->
+    Netsim.Random_topo.waxman (Dessim.Rng.create tseed) ~nodes ~alpha:0.6
+      ~beta:0.4
+
+let config_of sc =
+  let rows, cols, degree =
+    match sc.topo with
+    | Mesh { rows; cols; degree } -> (rows, cols, degree)
+    | Erdos _ | Waxman _ -> (3, 3, 4)  (* placeholders; topology is pinned *)
+  in
+  {
+    Convergence.Config.quick with
+    rows;
+    cols;
+    degree;
+    send_rate_pps = float_of_int sc.rate;
+    traffic_start;
+    warmup = traffic_start;
+    failure_time = traffic_start +. 10.;
+    sim_end;
+    seed = sc.cfg_seed;
+  }
+
+let flows_of topo sc =
+  let n = Netsim.Topology.node_count topo in
+  List.map
+    (fun (s_raw, d_raw) ->
+      let src = s_raw mod n in
+      let dst =
+        let d = d_raw mod n in
+        if d = src then (d + 1) mod n else d
+      in
+      {
+        Convergence.Runner.default_flow with
+        flow_src = Some src;
+        flow_dst = Some dst;
+      })
+    sc.flows
+
+(* Resolve the generated failure list to pinned links that can never
+   partition the network: each failure picks among the non-bridge edges of
+   the topology minus every previously failed link (heals are ignored, which
+   is conservative — a healed link only adds connectivity). A failure with no
+   candidate is skipped, which keeps the property total under shrinking. *)
+let failures_of topo sc =
+  let live = ref topo in
+  List.filter_map
+    (fun f ->
+      let candidates =
+        List.filter
+          (fun (u, v) ->
+            Netsim.Topology.is_connected (Netsim.Topology.remove_edge !live u v))
+          (Netsim.Topology.edges !live)
+      in
+      match candidates with
+      | [] -> None
+      | cs ->
+        let u, v = List.nth cs (f.pick mod List.length cs) in
+        live := Netsim.Topology.remove_edge !live u v;
+        Some
+          {
+            Convergence.Runner.fail_at =
+              traffic_start +. float_of_int f.fail_dt;
+            target = Convergence.Runner.Link (u, v);
+            heal_after = Option.map float_of_int f.heal;
+          })
+    sc.failures
+
+let dv_config sc =
+  {
+    Protocols.Dv_core.default_config with
+    period = float_of_int sc.dv_period;
+    damp_max = float_of_int sc.dv_damp_max;
+  }
+
+let bgp_config sc (base : Protocols.Bgp.config) =
+  {
+    base with
+    Protocols.Bgp.mrai_mean =
+      base.Protocols.Bgp.mrai_mean *. float_of_int sc.mrai_pct /. 100.;
+  }
+
+let engine ~proto sc =
+  let open Convergence.Engine_registry in
+  match String.uppercase_ascii proto with
+  | "RIP" -> Engine ((module Protocols.Rip), dv_config sc, "RIP")
+  | "DBF" -> Engine ((module Protocols.Dbf), dv_config sc, "DBF")
+  | "BGP" ->
+    Engine ((module Protocols.Bgp), bgp_config sc Protocols.Bgp.default_config, "BGP")
+  | "BGP-3" ->
+    Engine ((module Protocols.Bgp), bgp_config sc Protocols.Bgp.fast_config, "BGP-3")
+  | _ -> (
+    match find proto with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Fuzz: unknown protocol %S" proto))
+
+let max_metric_of ~proto sc =
+  match String.uppercase_ascii proto with
+  | "RIP" | "DBF" -> Some (dv_config sc).Protocols.Dv_core.infinity_metric
+  | _ -> None
+
+type outcome = {
+  o_violations : Monitor.violation list;
+  o_mismatches : Oracle.mismatch list;
+}
+
+let ok o = o.o_violations = [] && o.o_mismatches = []
+
+let run_scenario ~proto sc =
+  let topo = topology_of sc.topo in
+  let cfg = config_of sc in
+  let monitor =
+    Monitor.create ~initial_ttl:cfg.Convergence.Config.ttl ~topo ()
+  in
+  let mismatches = ref [] in
+  let eng = engine ~proto sc in
+  ignore
+    (Convergence.Engine_registry.run_multi ~topology:topo
+       ~monitors:[ Monitor.sink monitor ]
+       ~on_quiesce:(fun view ->
+         mismatches := Oracle.check ?max_metric:(max_metric_of ~proto sc) view)
+       ~flows:(flows_of topo sc) ~failures:(failures_of topo sc) cfg eng);
+  { o_violations = Monitor.finish monitor; o_mismatches = !mismatches }
+
+(* ---------- generators ---------- *)
+
+let topo_gen =
+  let open Gen in
+  oneof
+    [
+      (let* rows = int_range 3 5 and* cols = int_range 3 5 in
+       let* degree = int_range 3 6 in
+       return (Mesh { rows; cols; degree }));
+      (let* nodes = int_range 8 24 and* tseed = int_range 0 9999 in
+       return (Erdos { nodes; tseed }));
+      (let* nodes = int_range 8 24 and* tseed = int_range 0 9999 in
+       return (Waxman { nodes; tseed }));
+    ]
+
+let failure_gen =
+  let open Gen in
+  let* fail_dt = int_range 10 40 in
+  let* pick = int_range 0 9999 in
+  let* heal = opt ~ratio:0.4 (int_range 5 25) in
+  return { fail_dt; pick; heal }
+
+let scenario_gen =
+  let open Gen in
+  let* topo = topo_gen in
+  let* flows =
+    list_size (int_range 1 3) (pair (int_range 0 9999) (int_range 0 9999))
+  in
+  let* rate = int_range 2 10 in
+  let* cfg_seed = int_range 1 99999 in
+  let* failures = list_size (int_range 0 3) failure_gen in
+  let* dv_period = int_range 20 30 in
+  let* dv_damp_max = int_range 2 5 in
+  let* mrai_pct = int_range 50 100 in
+  return { topo; flows; rate; cfg_seed; failures; dv_period; dv_damp_max; mrai_pct }
+
+(* ---------- printing ---------- *)
+
+let pp_topo ppf = function
+  | Mesh { rows; cols; degree } -> Fmt.pf ppf "mesh %dx%d deg %d" rows cols degree
+  | Erdos { nodes; tseed } -> Fmt.pf ppf "erdos n=%d tseed=%d" nodes tseed
+  | Waxman { nodes; tseed } -> Fmt.pf ppf "waxman n=%d tseed=%d" nodes tseed
+
+let pp_failure ppf f =
+  Fmt.pf ppf "{dt=%d pick=%d%a}" f.fail_dt f.pick
+    Fmt.(option (fun ppf h -> pf ppf " heal=%d" h))
+    f.heal
+
+let pp_scenario ppf sc =
+  Fmt.pf ppf
+    "@[<h>%a; flows %a; rate %d pps; cfg_seed %d; failures %a; dv period %d \
+     damp_max %d; mrai %d%%@]"
+    pp_topo sc.topo
+    Fmt.(list ~sep:comma (pair ~sep:(any "->") int int))
+    sc.flows sc.rate sc.cfg_seed
+    Fmt.(brackets (list ~sep:sp pp_failure))
+    sc.failures sc.dv_period sc.dv_damp_max sc.mrai_pct
+
+let show_scenario sc = Fmt.str "%a" pp_scenario sc
+
+(* ---------- the property, packaged for CLI and test use ---------- *)
+
+let cell ~proto ~count =
+  QCheck2.Test.make_cell ~count ~name:(Printf.sprintf "fuzz %s" proto)
+    ~print:show_scenario scenario_gen (fun sc -> ok (run_scenario ~proto sc))
+
+type report =
+  | Passed of { runs : int }
+  | Failed of {
+      counterexample : scenario;
+      shrink_steps : int;
+      outcome : outcome;
+    }
+  | Crashed of { counterexample : scenario option; message : string }
+
+let check ~proto ~runs ~seed =
+  let rand = Random.State.make [| seed |] in
+  let result = QCheck2.Test.check_cell ~rand (cell ~proto ~count:runs) in
+  match QCheck2.TestResult.get_state result with
+  | QCheck2.TestResult.Success -> Passed { runs }
+  | QCheck2.TestResult.Failed { instances = [] } ->
+    Crashed { counterexample = None; message = "failed with no counterexample" }
+  | QCheck2.TestResult.Failed { instances = c :: _ } ->
+    Failed
+      {
+        counterexample = c.QCheck2.TestResult.instance;
+        shrink_steps = c.QCheck2.TestResult.shrink_steps;
+        outcome = run_scenario ~proto c.QCheck2.TestResult.instance;
+      }
+  | QCheck2.TestResult.Failed_other { msg } ->
+    Crashed { counterexample = None; message = msg }
+  | QCheck2.TestResult.Error { instance; exn; _ } ->
+    Crashed
+      {
+        counterexample = Some instance.QCheck2.TestResult.instance;
+        message = Printexc.to_string exn;
+      }

@@ -1,0 +1,73 @@
+(** Property-based fuzzing of whole simulation runs.
+
+    A {!scenario} is a deterministic recipe — topology, flows, a
+    failure/recovery schedule, and protocol timer parameters — encoded as
+    small integers so QCheck2 can shrink a failing run to a minimal one.
+    {!run_scenario} executes it under one protocol with a {!Monitor} attached
+    and the {!Oracle} consulted at quiescence; the fuzz property holds iff
+    both come back empty.
+
+    Failures can never partition the network: each generated failure is
+    resolved to a non-bridge edge of the topology minus all previously failed
+    links, so the oracle's expectation (all-pairs shortest paths on the
+    surviving topology, bounded by the protocol's infinity where relevant) is
+    well-defined for every generated scenario. *)
+
+type topo_spec =
+  | Mesh of { rows : int; cols : int; degree : int }
+  | Erdos of { nodes : int; tseed : int }
+  | Waxman of { nodes : int; tseed : int }
+
+type failure = {
+  fail_dt : int;  (** seconds after [traffic_start] *)
+  pick : int;  (** index into the sorted non-bridge candidate edges *)
+  heal : int option;  (** restore the link this many seconds later *)
+}
+
+type scenario = {
+  topo : topo_spec;
+  flows : (int * int) list;  (** raw pairs, resolved mod node count *)
+  rate : int;  (** CBR pps per flow *)
+  cfg_seed : int;
+  failures : failure list;
+  dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
+  dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
+  mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)
+}
+
+val scenario_gen : scenario QCheck2.Gen.t
+
+val pp_scenario : scenario Fmt.t
+
+val show_scenario : scenario -> string
+
+val topology_of : topo_spec -> Netsim.Topology.t
+
+type outcome = {
+  o_violations : Monitor.violation list;
+  o_mismatches : Oracle.mismatch list;
+}
+
+val ok : outcome -> bool
+
+val run_scenario : proto:string -> scenario -> outcome
+(** [run_scenario ~proto sc] runs [sc] under [proto] — one of ["rip"],
+    ["dbf"], ["bgp"], ["bgp-3"] (case-insensitive, parameterized by the
+    scenario's timer fields) or any other {!Convergence.Engine_registry}
+    display name (stock configuration).
+    @raise Invalid_argument on an unknown protocol name. *)
+
+val cell : proto:string -> count:int -> scenario QCheck2.Test.cell
+
+type report =
+  | Passed of { runs : int }
+  | Failed of {
+      counterexample : scenario;  (** already shrunk *)
+      shrink_steps : int;
+      outcome : outcome;  (** the counterexample re-run, for display *)
+    }
+  | Crashed of { counterexample : scenario option; message : string }
+
+val check : proto:string -> runs:int -> seed:int -> report
+(** [check ~proto ~runs ~seed] runs the fuzz property [runs] times with a
+    generator stream derived only from [seed] (same seed, same scenarios). *)

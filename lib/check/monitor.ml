@@ -1,0 +1,180 @@
+type kind =
+  | Duplicate_send
+  | Unknown_termination
+  | Ttl_violation
+  | Teleport
+  | Self_hop
+  | Non_neighbor_hop
+  | Wrong_delivery_node
+  | Non_neighbor_ctrl
+  | Conservation
+
+let string_of_kind = function
+  | Duplicate_send -> "duplicate_send"
+  | Unknown_termination -> "unknown_termination"
+  | Ttl_violation -> "ttl_violation"
+  | Teleport -> "teleport"
+  | Self_hop -> "self_hop"
+  | Non_neighbor_hop -> "non_neighbor_hop"
+  | Wrong_delivery_node -> "wrong_delivery_node"
+  | Non_neighbor_ctrl -> "non_neighbor_ctrl"
+  | Conservation -> "conservation"
+
+type violation = { v_kind : kind; v_time : float; v_seq : int; v_what : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%s] t=%.3f seq=%d: %s" (string_of_kind v.v_kind) v.v_time v.v_seq
+    v.v_what
+
+(* Where an outstanding packet is believed to be. [at] is the node that will
+   next forward (or consume) it; [last_ttl] the ttl of its last forwarded
+   event, [None] before the first hop. *)
+type pstate = {
+  p_src : int;
+  p_dst : int;
+  mutable at : int;
+  mutable last_ttl : int option;
+}
+
+type t = {
+  topo : Netsim.Topology.t;
+  initial_ttl : int option;
+  live : (int, pstate) Hashtbl.t;  (* flow packets still in flight *)
+  anon : (int, pstate) Hashtbl.t;  (* packets never announced (transport ACKs) *)
+  closed : (int, unit) Hashtbl.t;  (* flow packets already delivered/dropped *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable violations : violation list;  (* newest first *)
+  mutable max_violations : int;
+}
+
+let create ?initial_ttl ?(max_violations = 1000) ~topo () =
+  {
+    topo;
+    initial_ttl;
+    live = Hashtbl.create 256;
+    anon = Hashtbl.create 16;
+    closed = Hashtbl.create 256;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    violations = [];
+    max_violations;
+  }
+
+let violation_count t = List.length t.violations
+
+let violations t = List.rev t.violations
+
+let flag t ~time ~seq kind fmt =
+  Format.kasprintf
+    (fun what ->
+      if violation_count t < t.max_violations then
+        t.violations <- { v_kind = kind; v_time = time; v_seq = seq; v_what = what }
+          :: t.violations)
+    fmt
+
+let check_hop t ~time ~seq ~pkt (ps : pstate) ~node ~next_hop ~ttl =
+  if node <> ps.at then
+    flag t ~time ~seq Teleport
+      "packet %d forwarded from node %d but was last seen headed to node %d"
+      pkt node ps.at;
+  if next_hop = node then
+    flag t ~time ~seq Self_hop "packet %d at node %d forwarded to itself" pkt
+      node;
+  if not (Netsim.Topology.has_edge t.topo node next_hop) then
+    flag t ~time ~seq Non_neighbor_hop
+      "packet %d forwarded %d -> %d, but no such link exists" pkt node next_hop;
+  (match ps.last_ttl with
+  | Some prev when ttl <> prev - 1 ->
+    flag t ~time ~seq Ttl_violation
+      "packet %d ttl went %d -> %d at node %d (must decrement by exactly 1)"
+      pkt prev ttl node
+  | Some _ -> ()
+  | None -> (
+    match t.initial_ttl with
+    | Some t0 when ttl <> t0 ->
+      flag t ~time ~seq Ttl_violation
+        "packet %d first hop carries ttl %d, expected the configured %d" pkt
+        ttl t0
+    | Some _ | None -> ()));
+  if ttl < 1 then
+    flag t ~time ~seq Ttl_violation
+      "packet %d forwarded with ttl %d (loops must be cut before 0)" pkt ttl;
+  ps.at <- next_hop;
+  ps.last_ttl <- Some ttl
+
+let terminate t ~time ~seq ~verb ~pkt = function
+  | Some ps ->
+    Hashtbl.remove t.live pkt;
+    Hashtbl.replace t.closed pkt ();
+    Some ps
+  | None ->
+    let known = Hashtbl.mem t.closed pkt in
+    flag t ~time ~seq Unknown_termination "packet %d %s %s" pkt verb
+      (if known then "twice (already delivered or dropped)"
+       else "but was never sent");
+    None
+
+let on_record t { Obs.Sink.time; seq; event } =
+  match event with
+  | Obs.Event.Packet_sent { pkt; src; dst; _ } ->
+    if Hashtbl.mem t.live pkt || Hashtbl.mem t.closed pkt then
+      flag t ~time ~seq Duplicate_send "packet id %d sent twice" pkt
+    else begin
+      t.sent <- t.sent + 1;
+      Hashtbl.replace t.live pkt
+        { p_src = src; p_dst = dst; at = src; last_ttl = None }
+    end
+  | Obs.Event.Packet_forwarded { pkt; node; next_hop; ttl } ->
+    let ps =
+      match Hashtbl.find_opt t.live pkt with
+      | Some ps -> ps
+      | None -> (
+        match Hashtbl.find_opt t.anon pkt with
+        | Some ps -> ps
+        | None ->
+          (* First sighting of an unannounced packet (a transport ACK): adopt
+             its current position and ttl, then hold it to the same hop
+             invariants as flow packets. *)
+          let ps = { p_src = node; p_dst = -1; at = node; last_ttl = None } in
+          Hashtbl.replace t.anon pkt ps;
+          ps)
+    in
+    check_hop t ~time ~seq ~pkt ps ~node ~next_hop ~ttl
+  | Obs.Event.Packet_delivered { pkt; _ } -> (
+    match
+      terminate t ~time ~seq ~verb:"delivered" ~pkt (Hashtbl.find_opt t.live pkt)
+    with
+    | Some ps ->
+      t.delivered <- t.delivered + 1;
+      if ps.at <> ps.p_dst then
+        flag t ~time ~seq Wrong_delivery_node
+          "packet %d delivered at node %d, but its destination is %d" pkt ps.at
+          ps.p_dst
+    | None -> ())
+  | Obs.Event.Packet_dropped { pkt; _ } -> (
+    match
+      terminate t ~time ~seq ~verb:"dropped" ~pkt (Hashtbl.find_opt t.live pkt)
+    with
+    | Some _ -> t.dropped <- t.dropped + 1
+    | None -> ())
+  | Obs.Event.Ctrl_sent { src; dst; _ } | Obs.Event.Ctrl_received { src; dst; _ }
+    ->
+    if not (Netsim.Topology.has_edge t.topo src dst) then
+      flag t ~time ~seq Non_neighbor_ctrl
+        "control message between non-adjacent routers %d and %d" src dst
+  | _ -> ()
+
+let in_flight t = Hashtbl.length t.live
+
+let finish t =
+  let outstanding = in_flight t in
+  if t.sent <> t.delivered + t.dropped + outstanding then
+    flag t ~time:Float.infinity ~seq:max_int Conservation
+      "sent %d <> delivered %d + dropped %d + in flight %d" t.sent t.delivered
+      t.dropped outstanding;
+  violations t
+
+let sink t = Obs.Sink.callback (on_record t)

@@ -1,0 +1,79 @@
+type mismatch_kind =
+  | Unreachable_but_routed of { next_hop : int option; metric : int option }
+  | Reachable_but_unrouted of { dist : int }
+  | Wrong_metric of { expected : int; got : int option }
+  | Invalid_next_hop of { next_hop : int }
+  | Non_shortest_next_hop of { next_hop : int; dist : int; dist_nh : int }
+
+type mismatch = { m_src : int; m_dst : int; m_kind : mismatch_kind }
+
+let pp_mismatch ppf m =
+  let p fmt = Fmt.pf ppf fmt in
+  match m.m_kind with
+  | Unreachable_but_routed { next_hop; metric } ->
+    p "%d -> %d: unreachable on the surviving topology, yet routed (next hop %a, metric %a)"
+      m.m_src m.m_dst
+      Fmt.(option ~none:(any "-") int)
+      next_hop
+      Fmt.(option ~none:(any "-") int)
+      metric
+  | Reachable_but_unrouted { dist } ->
+    p "%d -> %d: reachable in %d hops, yet the router has no route" m.m_src
+      m.m_dst dist
+  | Wrong_metric { expected; got } ->
+    p "%d -> %d: metric %a, shortest path is %d hops" m.m_src m.m_dst
+      Fmt.(option ~none:(any "none") int)
+      got expected
+  | Invalid_next_hop { next_hop } ->
+    p "%d -> %d: next hop %d is not a surviving neighbor" m.m_src m.m_dst
+      next_hop
+  | Non_shortest_next_hop { next_hop; dist; dist_nh } ->
+    p "%d -> %d: next hop %d is %d hops from the destination, but %d is %d \
+       (metric must strictly decrease along the path)"
+      m.m_src m.m_dst next_hop dist_nh m.m_src dist
+
+(* Compare a converged routing view against an independent all-pairs BFS on
+   the surviving topology. For each (src, dst) pair the router must:
+   - hold the exact shortest-path metric when dst is reachable (and, for
+     bounded protocols, closer than [max_metric] hops), with a next hop that
+     is a live neighbor strictly closer to dst — the monotone-metric
+     condition that makes the converged forwarding graph loop-free;
+   - hold no route at all otherwise. *)
+let check ?max_metric (view : Convergence.Runner.routing_view) =
+  let topo = view.Convergence.Runner.rv_topology in
+  let n = Netsim.Topology.node_count topo in
+  let mismatches = ref [] in
+  let add src dst kind =
+    mismatches := { m_src = src; m_dst = dst; m_kind = kind } :: !mismatches
+  in
+  for dst = n - 1 downto 0 do
+    let dist = Netsim.Topology.bfs_distances topo dst in
+    for src = n - 1 downto 0 do
+      if src <> dst then begin
+        let d = dist.(src) in
+        let representable =
+          d < max_int
+          && match max_metric with Some m -> d < m | None -> true
+        in
+        let metric = view.Convergence.Runner.rv_metric ~src ~dst in
+        let nh = view.Convergence.Runner.rv_next_hop ~src ~dst in
+        if representable then begin
+          (match metric with
+          | Some m when m = d -> ()
+          | got -> add src dst (Wrong_metric { expected = d; got }));
+          match nh with
+          | None -> add src dst (Reachable_but_unrouted { dist = d })
+          | Some h ->
+            if not (Netsim.Topology.has_edge topo src h) then
+              add src dst (Invalid_next_hop { next_hop = h })
+            else if dist.(h) <> d - 1 then
+              add src dst
+                (Non_shortest_next_hop
+                   { next_hop = h; dist = d; dist_nh = dist.(h) })
+        end
+        else if metric <> None || nh <> None then
+          add src dst (Unreachable_but_routed { next_hop = nh; metric })
+      end
+    done
+  done;
+  !mismatches

@@ -1,0 +1,32 @@
+(** The differential shortest-path oracle.
+
+    At quiescence every protocol in the paper must have converged to
+    shortest-path routing on the {e surviving} topology: RIP and DBF minimize
+    hop count, BGP path length, and LS unit-cost Dijkstra distance — all
+    identical to BFS distance on a unit-cost graph. {!check} recomputes
+    all-pairs BFS independently of the protocol code and reports every
+    (src, dst) pair whose converged table disagrees.
+
+    [?max_metric] models bounded-metric protocols: RIP and DBF treat
+    [infinity_metric] (16) as unreachable, so destinations at [>= max_metric]
+    hops must be {e absent} from their tables rather than matched exactly.
+    Leave it [None] for BGP and LS, whose comparison is exact at any
+    distance. *)
+
+type mismatch_kind =
+  | Unreachable_but_routed of { next_hop : int option; metric : int option }
+  | Reachable_but_unrouted of { dist : int }
+  | Wrong_metric of { expected : int; got : int option }
+  | Invalid_next_hop of { next_hop : int }
+      (** points across a removed or never-existing edge *)
+  | Non_shortest_next_hop of { next_hop : int; dist : int; dist_nh : int }
+      (** the next hop is not strictly closer to the destination *)
+
+type mismatch = { m_src : int; m_dst : int; m_kind : mismatch_kind }
+
+val pp_mismatch : mismatch Fmt.t
+
+val check : ?max_metric:int -> Convergence.Runner.routing_view -> mismatch list
+(** [check view] is every disagreement between [view] and the independent
+    BFS computation; [[]] means the tables are provably converged and
+    loop-free. Obtain the [view] from [?on_quiesce]. *)

@@ -44,19 +44,24 @@ val run :
   ?src:Netsim.Types.node_id ->
   ?dst:Netsim.Types.node_id ->
   ?trace:Obs.Trace.t ->
+  ?monitors:Obs.Sink.t list ->
   ?metrics:Obs.Registry.t ->
+  ?on_quiesce:(Runner.routing_view -> unit) ->
   ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
   ?restore_after:float ->
   Config.t ->
   t ->
   Metrics.run
-(** Execute the paper's single-flow scenario under the given engine. [?trace]
-    and [?metrics] are forwarded to {!Runner.Make.run}. *)
+(** Execute the paper's single-flow scenario under the given engine. [?trace],
+    [?monitors], [?metrics] and [?on_quiesce] are forwarded to
+    {!Runner.Make.run}. *)
 
 val run_multi :
   ?topology:Netsim.Topology.t ->
   ?trace:Obs.Trace.t ->
+  ?monitors:Obs.Sink.t list ->
   ?metrics:Obs.Registry.t ->
+  ?on_quiesce:(Runner.routing_view -> unit) ->
   flows:Runner.flow_spec list ->
   failures:Runner.failure_spec list ->
   Config.t ->

@@ -36,6 +36,19 @@ type transport_config = {
   ack_bytes : int;
 }
 
+(* A protocol-agnostic snapshot of the control plane at the end of a run,
+   handed to the [?on_quiesce] hook. The check library's differential oracle
+   compares it against an independent shortest-path computation. *)
+type routing_view = {
+  rv_topology : Netsim.Topology.t;
+      (* the surviving topology: links currently down are removed *)
+  rv_next_hop :
+    src:Netsim.Types.node_id -> dst:Netsim.Types.node_id ->
+    Netsim.Types.node_id option;
+  rv_metric :
+    src:Netsim.Types.node_id -> dst:Netsim.Types.node_id -> int option;
+}
+
 let default_transport =
   { window = 16; rto = 1.; total_packets = 0; ack_bytes = 40 }
 
@@ -515,12 +528,19 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
      the master RNG, positioned identically regardless of what traffic will
      run on top — so a CBR run and a transport run over the same seed see the
      same flow endpoints and failure choices. *)
-  let prepare ?topology ~trace ~metrics ~flows (cfg : Config.t)
+  let prepare ?topology ~trace ~monitors ~metrics ~flows (cfg : Config.t)
       (pcfg : P.config) =
     (match Config.validate cfg with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Runner.run: " ^ msg));
     if flows = [] then invalid_arg "Runner.run: no flows";
+    (* Monitors get the full, unfiltered event stream regardless of the
+       user trace's category/severity restrictions. *)
+    let trace =
+      match monitors with
+      | [] -> trace
+      | ms -> Obs.Trace.tee (trace :: List.map Obs.Trace.create ms)
+    in
     let rng = Dessim.Rng.create cfg.Config.seed in
     let topo =
       match topology with
@@ -637,16 +657,35 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       Obs.Registry.incr ~by:st.ctrl_lost (Obs.Registry.counter m "ctrl.lost"));
     Obs.Trace.flush st.trace
 
-  let run_multi ?label ?topology ?(trace = Obs.Trace.null) ?metrics ~flows
-      ~failures (cfg : Config.t) (pcfg : P.config) =
-    let st, rng = prepare ?topology ~trace ~metrics ~flows cfg pcfg in
+  (* The end-of-run control-plane snapshot for [?on_quiesce]: converged
+     routing decisions plus the topology with currently-down links removed. *)
+  let routing_view st =
+    let surviving =
+      List.filter
+        (fun (u, v) -> Netsim.Link.is_up (link st u v))
+        (Netsim.Topology.edges st.topo)
+    in
+    {
+      rv_topology =
+        Netsim.Topology.create
+          ~nodes:(Netsim.Topology.node_count st.topo)
+          ~edges:surviving;
+      rv_next_hop = (fun ~src ~dst -> next_hop_of st src ~dst);
+      rv_metric = (fun ~src ~dst -> P.metric st.routers.(src) ~dst);
+    }
+
+  let run_multi ?label ?topology ?(trace = Obs.Trace.null) ?(monitors = [])
+      ?metrics ?on_quiesce ~flows ~failures (cfg : Config.t) (pcfg : P.config)
+      =
+    let st, rng = prepare ?topology ~trace ~monitors ~metrics ~flows cfg pcfg in
     Array.iter (start_traffic st) st.flows;
     List.iter (inject_failure st rng) failures;
     run_scheduler st;
+    (match on_quiesce with Some f -> f (routing_view st) | None -> ());
     collect_multi ?label st
 
-  let run ?label ?topology ?src ?dst ?trace ?metrics ?fail_link ?restore_after
-      (cfg : Config.t) (pcfg : P.config) =
+  let run ?label ?topology ?src ?dst ?trace ?monitors ?metrics ?on_quiesce
+      ?fail_link ?restore_after (cfg : Config.t) (pcfg : P.config) =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
     let failure =
       {
@@ -656,8 +695,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       }
     in
     Metrics.run_of_multi
-      (run_multi ?label ?topology ?trace ?metrics ~flows:[ flow ]
-         ~failures:[ failure ] cfg pcfg)
+      (run_multi ?label ?topology ?trace ?monitors ?metrics ?on_quiesce
+         ~flows:[ flow ] ~failures:[ failure ] cfg pcfg)
 
   (* ---------- reliable transport on top of the data plane ---------- *)
 
@@ -824,7 +863,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       ?dst ~failures (tc : transport_config) (cfg : Config.t) (pcfg : P.config)
       =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
-    let st, rng = prepare ?topology ~trace ~metrics ~flows:[ flow ] cfg pcfg in
+    let st, rng =
+      prepare ?topology ~trace ~monitors:[] ~metrics ~flows:[ flow ] cfg pcfg
+    in
     let outcome = start_transport st st.flows.(0) tc in
     List.iter (inject_failure st rng) failures;
     run_scheduler st;

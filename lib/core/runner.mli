@@ -50,6 +50,22 @@ type transport_config = {
 val default_transport : transport_config
 (** window 16, RTO 1 s, unlimited transfer, 40-byte ACKs. *)
 
+type routing_view = {
+  rv_topology : Netsim.Topology.t;
+      (** the surviving topology: links currently down are removed *)
+  rv_next_hop :
+    src:Netsim.Types.node_id -> dst:Netsim.Types.node_id ->
+    Netsim.Types.node_id option;
+  rv_metric :
+    src:Netsim.Types.node_id -> dst:Netsim.Types.node_id -> int option;
+}
+(** A protocol-agnostic snapshot of every router's converged forwarding
+    decisions, taken once the scheduler has drained to [sim_end]. The check
+    library's differential oracle compares it against an independent
+    shortest-path computation on [rv_topology]. Accessors must not be used
+    after the hook returns for a [src] outside [0 .. node_count - 1], and
+    are never consulted for [src = dst]. *)
+
 type transport_outcome = {
   t_completed : int;  (** packets acknowledged in order *)
   t_retransmissions : int;
@@ -75,7 +91,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     ?label:string ->
     ?topology:Netsim.Topology.t ->
     ?trace:Obs.Trace.t ->
+    ?monitors:Obs.Sink.t list ->
     ?metrics:Obs.Registry.t ->
+    ?on_quiesce:(routing_view -> unit) ->
     flows:flow_spec list ->
     failures:failure_spec list ->
     Config.t ->
@@ -83,6 +101,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     Metrics.multi
   (** [run_multi ~flows ~failures cfg pcfg] executes one simulation.
       Convergence metrics are measured relative to the {e first} failure.
+
+      [?monitors] are extra sinks — typically invariant checkers from the
+      check library — that receive the {e complete} event stream (every
+      category, down to [Debug]) regardless of [?trace]'s filters; each gets
+      its own sequence numbering. [?on_quiesce] runs once after the scheduler
+      drains, with a {!routing_view} of the final routing state.
 
       @raise Invalid_argument when [Config.validate] rejects [cfg], when
       [flows] is empty, or when a [Flow_path] index is out of range. *)
@@ -93,7 +117,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     ?src:Netsim.Types.node_id ->
     ?dst:Netsim.Types.node_id ->
     ?trace:Obs.Trace.t ->
+    ?monitors:Obs.Sink.t list ->
     ?metrics:Obs.Registry.t ->
+    ?on_quiesce:(routing_view -> unit) ->
     ?fail_link:Netsim.Types.node_id * Netsim.Types.node_id ->
     ?restore_after:float ->
     Config.t ->

@@ -240,7 +240,13 @@ let of_string s =
   if c.pos <> String.length s then error c "trailing garbage";
   v
 
-let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+let of_string_opt s =
+  (* Malformed input must never escape as an exception: a trace line may be
+     truncated mid-write or corrupted, and replay skips-and-counts instead of
+     dying. [Stack_overflow] covers pathologically nested input. *)
+  match of_string s with
+  | v -> Some v
+  | exception (Parse_error _ | Stack_overflow) -> None
 
 (* ---------- accessors ---------- *)
 

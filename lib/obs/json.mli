@@ -21,6 +21,8 @@ val of_string : string -> t
 (** @raise Parse_error on malformed input. *)
 
 val of_string_opt : string -> t option
+(** [None] on any malformed input (truncated line, bad escape, pathological
+    nesting) — never raises. *)
 
 (** {2 Accessors} — all return [None] on a type mismatch. *)
 

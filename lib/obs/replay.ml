@@ -9,11 +9,15 @@ let of_lines lines =
         let line = String.trim line in
         if line = "" then None
         else
+          (* A malformed line (truncated write, bad escape, foreign output
+             mixed into the stream) is counted and skipped, never fatal. The
+             parser itself returns [None] on bad input; the extra handler is
+             a backstop so no future decoder change can take replay down. *)
           match Option.bind (Json.of_string_opt line) Sink.record_of_json with
           | Some r ->
             incr parsed;
             Some r
-          | None ->
+          | None | (exception _) ->
             incr skipped;
             None)
       lines

@@ -1,42 +1,62 @@
-type t = {
-  active : bool;
+type collector = {
   cats : bool array;  (* indexed by Event.category_index *)
   min_severity : Event.severity;
   sink : Sink.t;
   mutable seq : int;
 }
 
-let null =
-  {
-    active = false;
-    cats = Array.make 4 false;
-    min_severity = Event.Warn;
-    sink = Sink.null;
-    seq = 0;
-  }
+(* A trace is either disabled, one filtering collector, or a fan-out to
+   several traces (each child keeps its own filters and sequence numbers —
+   this is how invariant monitors ride alongside a user's filtered trace). *)
+type t =
+  | Off
+  | Collector of collector
+  | Tee of t list
+
+let null = Off
 
 let create ?(categories = Event.all_categories)
     ?(min_severity = Event.Debug) sink =
   let cats = Array.make 4 false in
   List.iter (fun c -> cats.(Event.category_index c) <- true) categories;
-  { active = true; cats; min_severity; sink; seq = 0 }
+  Collector { cats; min_severity; sink; seq = 0 }
 
-let enabled t = t.active
+let tee ts =
+  let live = List.filter (function Off -> false | _ -> true) ts in
+  match live with [] -> Off | [ t ] -> t | ts -> Tee ts
 
-let on t cat = t.active && t.cats.(Event.category_index cat)
+let rec enabled = function
+  | Off -> false
+  | Collector _ -> true
+  | Tee ts -> List.exists enabled ts
 
-let emit t ~time event =
-  if
-    t.active
-    && t.cats.(Event.category_index (Event.category event))
-    && Event.severity_rank (Event.severity event)
-       >= Event.severity_rank t.min_severity
-  then begin
-    let seq = t.seq in
-    t.seq <- seq + 1;
-    t.sink.Sink.emit { Sink.time; seq; event }
-  end
+let rec on t cat =
+  match t with
+  | Off -> false
+  | Collector c -> c.cats.(Event.category_index cat)
+  | Tee ts -> List.exists (fun t -> on t cat) ts
 
-let flush t = t.sink.Sink.flush ()
+let rec emit t ~time event =
+  match t with
+  | Off -> ()
+  | Collector c ->
+    if
+      c.cats.(Event.category_index (Event.category event))
+      && Event.severity_rank (Event.severity event)
+         >= Event.severity_rank c.min_severity
+    then begin
+      let seq = c.seq in
+      c.seq <- seq + 1;
+      c.sink.Sink.emit { Sink.time; seq; event }
+    end
+  | Tee ts -> List.iter (fun t -> emit t ~time event) ts
 
-let close t = t.sink.Sink.close ()
+let rec flush = function
+  | Off -> ()
+  | Collector c -> c.sink.Sink.flush ()
+  | Tee ts -> List.iter flush ts
+
+let rec close = function
+  | Off -> ()
+  | Collector c -> c.sink.Sink.close ()
+  | Tee ts -> List.iter close ts

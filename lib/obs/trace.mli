@@ -20,6 +20,13 @@ val create :
     [?categories] restricts to the listed categories; [?min_severity] drops
     events below the given severity. *)
 
+val tee : t list -> t
+(** [tee ts] broadcasts every event to each of [ts]. Each child keeps its own
+    filters and sequence numbering, so an unfiltered invariant monitor can
+    ride alongside a user's category-restricted trace. {!enabled} and {!on}
+    are the disjunction over the children; disabled children are dropped
+    ([tee [] = null]). *)
+
 val enabled : t -> bool
 
 val on : t -> Event.category -> bool

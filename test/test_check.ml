@@ -1,0 +1,390 @@
+(* The check subsystem: invariant monitors, the differential oracle, and the
+   fuzz harness — including "teeth" tests that feed each one a deliberately
+   broken input and require it to object. *)
+
+let mesh33 = Netsim.Mesh.generate ~rows:3 ~cols:3 ~degree:4
+
+(* ---------- monitor: clean streams pass ---------- *)
+
+let record time seq event = { Obs.Sink.time; seq; event }
+
+let feed mon events =
+  let sink = Check.Monitor.sink mon in
+  List.iteri (fun i (t, ev) -> sink.Obs.Sink.emit (record t i ev)) events
+
+let kinds mon =
+  List.map (fun v -> v.Check.Monitor.v_kind) (Check.Monitor.finish mon)
+
+(* A correct little story: packet 0 goes 0 -> 1 -> 2 and is delivered. *)
+let clean_story =
+  [
+    (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+    (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 127 });
+    (1.2, Obs.Event.Packet_forwarded { pkt = 0; node = 1; next_hop = 2; ttl = 126 });
+    (1.3, Obs.Event.Packet_delivered { flow = 0; pkt = 0; delay = 0.3; looped = false });
+  ]
+
+let test_monitor_clean () =
+  let mon = Check.Monitor.create ~initial_ttl:127 ~topo:mesh33 () in
+  feed mon clean_story;
+  Alcotest.(check (list reject)) "no violations" [] (kinds mon);
+  Alcotest.(check int) "nothing in flight" 0 (Check.Monitor.in_flight mon)
+
+let test_monitor_tolerates_in_flight () =
+  let mon = Check.Monitor.create ~topo:mesh33 () in
+  feed mon
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 9 });
+    ];
+  Alcotest.(check (list reject)) "truncated run is fine" [] (kinds mon);
+  Alcotest.(check int) "one packet outstanding" 1 (Check.Monitor.in_flight mon)
+
+let test_monitor_anonymous_packets () =
+  (* Transport ACKs are forwarded without a Packet_sent announcement; hop
+     invariants still apply to them, terminations do not. *)
+  let mon = Check.Monitor.create ~topo:mesh33 () in
+  feed mon
+    [
+      (1.0, Obs.Event.Packet_forwarded { pkt = 7; node = 2; next_hop = 1; ttl = 64 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 7; node = 1; next_hop = 0; ttl = 63 });
+    ];
+  Alcotest.(check (list reject)) "anonymous hops are legal" [] (kinds mon)
+
+(* ---------- monitor: teeth ---------- *)
+
+let kind = Alcotest.testable (Fmt.of_to_string Check.Monitor.string_of_kind) ( = )
+
+let expect_kinds name story expected =
+  let mon = Check.Monitor.create ~initial_ttl:127 ~topo:mesh33 () in
+  feed mon story;
+  Alcotest.(check (list kind)) name expected (kinds mon)
+
+let test_double_delivery () =
+  expect_kinds "second delivery flagged"
+    (clean_story
+    @ [ (1.4, Obs.Event.Packet_delivered { flow = 0; pkt = 0; delay = 0.4; looped = false }) ])
+    [ Check.Monitor.Unknown_termination ]
+
+let test_unsent_drop () =
+  expect_kinds "dropping an unknown id flagged"
+    [
+      ( 1.0,
+        Obs.Event.Packet_dropped
+          { flow = 0; pkt = 42; reason = Netsim.Types.No_route; looped = false } );
+    ]
+    [ Check.Monitor.Unknown_termination ]
+
+let test_duplicate_send () =
+  expect_kinds "reused packet id flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+      (1.1, Obs.Event.Packet_sent { flow = 1; pkt = 0; src = 3; dst = 5 });
+    ]
+    [ Check.Monitor.Duplicate_send ]
+
+let test_non_neighbor_hop () =
+  (* 0 and 8 are opposite corners of the 3x3 mesh: no link. *)
+  expect_kinds "teleporting across the mesh flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 8 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 8; ttl = 127 });
+    ]
+    [ Check.Monitor.Non_neighbor_hop ]
+
+let test_ttl_not_decrementing () =
+  expect_kinds "constant ttl flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 127 });
+      (1.2, Obs.Event.Packet_forwarded { pkt = 0; node = 1; next_hop = 2; ttl = 127 });
+    ]
+    [ Check.Monitor.Ttl_violation ]
+
+let test_teleport () =
+  expect_kinds "hop starting where the packet is not flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 8 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 127 });
+      (1.2, Obs.Event.Packet_forwarded { pkt = 0; node = 4; next_hop = 5; ttl = 126 });
+    ]
+    [ Check.Monitor.Teleport ]
+
+let test_wrong_delivery_node () =
+  expect_kinds "delivery away from the destination flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 3; ttl = 127 });
+      (1.2, Obs.Event.Packet_delivered { flow = 0; pkt = 0; delay = 0.2; looped = false });
+    ]
+    [ Check.Monitor.Wrong_delivery_node ]
+
+let test_non_neighbor_ctrl () =
+  expect_kinds "control message between non-adjacent routers flagged"
+    [
+      ( 1.0,
+        Obs.Event.Ctrl_received
+          { proto = "RIP"; src = 0; dst = 8; kind = Obs.Event.Mixed } );
+    ]
+    [ Check.Monitor.Non_neighbor_ctrl ]
+
+(* ---------- monitor on a real run ---------- *)
+
+let quick_cfg =
+  {
+    Convergence.Config.quick with
+    rows = 3;
+    cols = 3;
+    send_rate_pps = 20.;
+    traffic_start = 30.;
+    warmup = 30.;
+    failure_time = 35.;
+    sim_end = 100.;
+    seed = 11;
+  }
+
+let run_with_checks ?on_quiesce engine =
+  let topo =
+    Netsim.Mesh.generate ~rows:quick_cfg.Convergence.Config.rows
+      ~cols:quick_cfg.Convergence.Config.cols
+      ~degree:quick_cfg.Convergence.Config.degree
+  in
+  let mon =
+    Check.Monitor.create ~initial_ttl:quick_cfg.Convergence.Config.ttl ~topo ()
+  in
+  let r =
+    Convergence.Engine_registry.run ~monitors:[ Check.Monitor.sink mon ]
+      ?on_quiesce quick_cfg engine
+  in
+  (mon, r)
+
+let test_real_runs_hold_invariants () =
+  List.iter
+    (fun engine ->
+      let mon, _ = run_with_checks engine in
+      Alcotest.(check int)
+        (Convergence.Engine_registry.name engine ^ " run is violation-free")
+        0
+        (List.length (Check.Monitor.finish mon)))
+    Convergence.Engine_registry.paper_four
+
+(* ---------- oracle ---------- *)
+
+let view_of_tables topo ~next_hop ~metric =
+  {
+    Convergence.Runner.rv_topology = topo;
+    rv_next_hop = (fun ~src ~dst -> next_hop src dst);
+    rv_metric = (fun ~src ~dst -> metric src dst);
+  }
+
+(* A synthetic, perfectly converged view: BFS tables computed right here. *)
+let perfect_view topo =
+  let n = Netsim.Topology.node_count topo in
+  let dist = Array.init n (fun dst -> Netsim.Topology.bfs_distances topo dst) in
+  view_of_tables topo
+    ~metric:(fun src dst ->
+      if dist.(dst).(src) = max_int then None else Some dist.(dst).(src))
+    ~next_hop:(fun src dst ->
+      if dist.(dst).(src) = max_int then None
+      else
+        List.find_opt
+          (fun h -> dist.(dst).(h) = dist.(dst).(src) - 1)
+          (Netsim.Topology.neighbors topo src))
+
+let test_oracle_accepts_perfect_tables () =
+  Alcotest.(check int) "no mismatches" 0
+    (List.length (Check.Oracle.check (perfect_view mesh33)))
+
+let test_oracle_max_metric () =
+  (* With max_metric 2, any destination >= 2 hops away must be unrouted; the
+     perfect tables still route them, so every such pair is a mismatch. *)
+  let mismatches = Check.Oracle.check ~max_metric:2 (perfect_view mesh33) in
+  let far_pairs =
+    List.length
+      (List.filter
+         (fun m ->
+           match m.Check.Oracle.m_kind with
+           | Check.Oracle.Unreachable_but_routed _ -> true
+           | _ -> false)
+         mismatches)
+  in
+  Alcotest.(check bool) "far pairs rejected" true (far_pairs > 0);
+  Alcotest.(check int) "nothing else rejected" far_pairs (List.length mismatches)
+
+let test_oracle_teeth () =
+  let ideal = perfect_view mesh33 in
+  let broken_metric =
+    view_of_tables mesh33
+      ~metric:(fun src dst ->
+        ideal.Convergence.Runner.rv_metric ~src ~dst
+        |> Option.map (fun m -> if src = 0 && dst = 8 then m + 1 else m))
+      ~next_hop:(fun src dst -> ideal.Convergence.Runner.rv_next_hop ~src ~dst)
+  in
+  (match Check.Oracle.check broken_metric with
+  | [ { Check.Oracle.m_src = 0; m_dst = 8; m_kind = Check.Oracle.Wrong_metric _ } ] -> ()
+  | ms ->
+    Alcotest.failf "expected one wrong-metric mismatch, got %a"
+      Fmt.(Dump.list Check.Oracle.pp_mismatch)
+      ms);
+  let black_hole =
+    view_of_tables mesh33
+      ~metric:(fun src dst ->
+        if src = 4 then None else ideal.Convergence.Runner.rv_metric ~src ~dst)
+      ~next_hop:(fun src dst ->
+        if src = 4 then None else ideal.Convergence.Runner.rv_next_hop ~src ~dst)
+  in
+  Alcotest.(check int) "a silent black hole is 8 missing routes" 8
+    (List.length (Check.Oracle.check black_hole) / 2)
+    (* each pair reports both Wrong_metric and Reachable_but_unrouted *);
+  let looping =
+    (* 1 claims dst 2 is behind 0: a next hop that is not closer. *)
+    view_of_tables mesh33
+      ~metric:(fun src dst -> ideal.Convergence.Runner.rv_metric ~src ~dst)
+      ~next_hop:(fun src dst ->
+        if src = 1 && dst = 2 then Some 0
+        else ideal.Convergence.Runner.rv_next_hop ~src ~dst)
+  in
+  match Check.Oracle.check looping with
+  | [ { Check.Oracle.m_kind = Check.Oracle.Non_shortest_next_hop _; _ } ] -> ()
+  | ms ->
+    Alcotest.failf "expected one non-shortest mismatch, got %a"
+      Fmt.(Dump.list Check.Oracle.pp_mismatch)
+      ms
+
+(* BGP's 30 s MRAI needs a few rounds on either side of the failure; the
+   tight monitor schedule above is not enough for its tables to settle. *)
+let converged_cfg =
+  {
+    quick_cfg with
+    traffic_start = 300.;
+    warmup = 300.;
+    failure_time = 310.;
+    sim_end = 700.;
+  }
+
+let test_oracle_on_converged_runs () =
+  (* Every paper protocol, run well past convergence, must match the oracle
+     exactly at quiescence. *)
+  List.iter
+    (fun engine ->
+      let name = Convergence.Engine_registry.name engine in
+      let max_metric =
+        match name with
+        | "RIP" | "DBF" ->
+          Some Protocols.Dv_core.default_config.Protocols.Dv_core.infinity_metric
+        | _ -> None
+      in
+      let mismatches = ref None in
+      let _ =
+        Convergence.Engine_registry.run
+          ~on_quiesce:(fun view ->
+            mismatches := Some (Check.Oracle.check ?max_metric view))
+          converged_cfg engine
+      in
+      match !mismatches with
+      | None -> Alcotest.failf "%s: on_quiesce never ran" name
+      | Some [] -> ()
+      | Some ms ->
+        Alcotest.failf "%s: %a" name Fmt.(Dump.list Check.Oracle.pp_mismatch) ms)
+    Convergence.Engine_registry.paper_four
+
+(* ---------- the injected-bug demo ---------- *)
+
+(* RIP with failure detection ripped out: the router next to the broken link
+   keeps forwarding into it, and at quiescence its table still disagrees with
+   shortest paths on the surviving topology. The differential oracle must
+   catch this class of bug (the monitor cannot — the packets themselves still
+   hop along real links). *)
+module Blind_rip = struct
+  include Protocols.Rip
+
+  let on_link_down _ ~neighbor:_ = ()
+end
+
+let test_oracle_catches_blind_rip () =
+  let module R = Convergence.Runner.Make (Blind_rip) in
+  let mismatches = ref [] in
+  let _ =
+    R.run ~label:"blind-rip"
+      ~on_quiesce:(fun view ->
+        mismatches :=
+          Check.Oracle.check
+            ~max_metric:
+              Protocols.Dv_core.default_config.Protocols.Dv_core.infinity_metric
+            view)
+      quick_cfg Protocols.Rip.default_config
+  in
+  Alcotest.(check bool)
+    "oracle reports stale routes into the failed link" true
+    (!mismatches <> [])
+
+(* ---------- fuzz harness ---------- *)
+
+let test_fuzz_deterministic () =
+  let g = QCheck2.Gen.generate ~n:5 ~rand:(Random.State.make [| 7 |]) Check.Fuzz.scenario_gen in
+  let h = QCheck2.Gen.generate ~n:5 ~rand:(Random.State.make [| 7 |]) Check.Fuzz.scenario_gen in
+  Alcotest.(check (list string))
+    "same seed, same scenarios"
+    (List.map Check.Fuzz.show_scenario g)
+    (List.map Check.Fuzz.show_scenario h)
+
+let test_fuzz_failures_never_partition () =
+  (* For any scenario, the resolved schedule keeps the network connected even
+     with every failed link removed simultaneously. *)
+  List.iter
+    (fun sc ->
+      let topo = Check.Fuzz.topology_of sc.Check.Fuzz.topo in
+      Alcotest.(check bool) "connected" true (Netsim.Topology.is_connected topo))
+    (QCheck2.Gen.generate ~n:25 ~rand:(Random.State.make [| 3 |])
+       Check.Fuzz.scenario_gen)
+
+let test_fuzz_smoke () =
+  match Check.Fuzz.check ~proto:"RIP" ~runs:3 ~seed:5 with
+  | Check.Fuzz.Passed { runs } -> Alcotest.(check int) "ran all" 3 runs
+  | Check.Fuzz.Failed { counterexample; _ } ->
+    Alcotest.failf "fuzz failed on %a" Check.Fuzz.pp_scenario counterexample
+  | Check.Fuzz.Crashed { message; _ } -> Alcotest.failf "fuzz crashed: %s" message
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "clean story" `Quick test_monitor_clean;
+          Alcotest.test_case "in-flight at end is fine" `Quick
+            test_monitor_tolerates_in_flight;
+          Alcotest.test_case "anonymous packets" `Quick
+            test_monitor_anonymous_packets;
+          Alcotest.test_case "double delivery" `Quick test_double_delivery;
+          Alcotest.test_case "unsent drop" `Quick test_unsent_drop;
+          Alcotest.test_case "duplicate send" `Quick test_duplicate_send;
+          Alcotest.test_case "non-neighbor hop" `Quick test_non_neighbor_hop;
+          Alcotest.test_case "ttl must decrement" `Quick
+            test_ttl_not_decrementing;
+          Alcotest.test_case "teleport" `Quick test_teleport;
+          Alcotest.test_case "wrong delivery node" `Quick
+            test_wrong_delivery_node;
+          Alcotest.test_case "non-neighbor ctrl" `Quick test_non_neighbor_ctrl;
+          Alcotest.test_case "real runs are violation-free" `Quick
+            test_real_runs_hold_invariants;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "accepts perfect tables" `Quick
+            test_oracle_accepts_perfect_tables;
+          Alcotest.test_case "bounded metric" `Quick test_oracle_max_metric;
+          Alcotest.test_case "rejects corrupted tables" `Quick test_oracle_teeth;
+          Alcotest.test_case "matches all four converged protocols" `Quick
+            test_oracle_on_converged_runs;
+          Alcotest.test_case "catches RIP without failure detection" `Quick
+            test_oracle_catches_blind_rip;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "generator is seed-deterministic" `Quick
+            test_fuzz_deterministic;
+          Alcotest.test_case "scenario topologies are connected" `Quick
+            test_fuzz_failures_never_partition;
+          Alcotest.test_case "smoke" `Quick test_fuzz_smoke;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Golden-trace regression: a fixed-seed 3x3 RIP failure scenario must emit
+   byte-for-byte the JSONL trace committed under [golden/]. Any change to
+   event content, ordering, severity classification, JSON encoding, or the
+   simulation's deterministic behavior shows up here as a diff.
+
+   The [Sched] category is deliberately excluded (its [cpu_s] field is
+   wall-clock) and the severity floor is [Info] (per-hop forwarding and timer
+   fires are volume, not behavior).
+
+   To regenerate after an intentional behavior change:
+     GOLDEN_REGEN=1 dune test test/test_golden.exe
+   then review the diff and commit it. *)
+
+let golden_path = "golden/rip_3x3.jsonl"
+
+let scenario_trace () =
+  let cfg =
+    {
+      Convergence.Config.quick with
+      rows = 3;
+      cols = 3;
+      degree = 4;
+      send_rate_pps = 5.;
+      traffic_start = 30.;
+      warmup = 30.;
+      failure_time = 35.;
+      sim_end = 60.;
+      seed = 7;
+    }
+  in
+  let buf = Buffer.create 4096 in
+  let sink =
+    Obs.Sink.jsonl_writer (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+  in
+  let trace =
+    Obs.Trace.create
+      ~categories:[ Obs.Event.Data; Obs.Event.Control; Obs.Event.Env ]
+      ~min_severity:Obs.Event.Info sink
+  in
+  let _ = Convergence.Engine_registry.run ~trace cfg Convergence.Engine_registry.rip in
+  Obs.Trace.close trace;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden () =
+  let actual = scenario_trace () in
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | Some target ->
+    (* Regeneration mode: GOLDEN_REGEN names the destination (use an absolute
+       path into the source tree — tests run inside _build). *)
+    let target = if target = "1" then golden_path else target in
+    let out = open_out_bin target in
+    output_string out actual;
+    close_out out;
+    Alcotest.failf "regenerated %s (%d bytes); review and commit it" target
+      (String.length actual)
+  | None ->
+    let expected = read_file golden_path in
+    if String.equal expected actual then ()
+    else begin
+      (* Byte comparison failed: locate the first diverging line so the
+         failure is readable without an external diff. *)
+      let el = String.split_on_char '\n' expected in
+      let al = String.split_on_char '\n' actual in
+      let rec first_diff i = function
+        | e :: es, a :: as_ ->
+          if String.equal e a then first_diff (i + 1) (es, as_) else (i, e, a)
+        | e :: _, [] -> (i, e, "<trace ended>")
+        | [], a :: _ -> (i, "<golden ended>", a)
+        | [], [] -> (i, "", "")
+      in
+      let line, e, a = first_diff 1 (el, al) in
+      Alcotest.failf
+        "trace diverges from %s at line %d@.  golden: %s@.  actual: %s@.(%d \
+         vs %d lines; GOLDEN_REGEN=1 to regenerate after an intentional \
+         change)"
+        golden_path line e a (List.length el) (List.length al)
+    end
+
+let test_golden_replays () =
+  (* The committed trace must round-trip through the replay decoder with no
+     skipped lines and internally consistent packet accounting. *)
+  let records, stats = Obs.Replay.of_string (read_file golden_path) in
+  Alcotest.(check int) "no unparseable lines" 0 stats.Obs.Replay.skipped;
+  Alcotest.(check bool) "non-empty" true (stats.Obs.Replay.parsed > 0);
+  let totals = Obs.Replay.totals records in
+  Alcotest.(check bool) "conservation" true (Obs.Replay.in_flight totals >= 0)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "rip 3x3",
+        [
+          Alcotest.test_case "trace matches byte-for-byte" `Quick test_golden;
+          Alcotest.test_case "trace replays cleanly" `Quick test_golden_replays;
+        ] );
+    ]

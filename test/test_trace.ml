@@ -175,6 +175,77 @@ let test_replay_tolerates_garbage () =
   Alcotest.(check int) "delivered" 1 t.Obs.Replay.delivered;
   Alcotest.(check int) "in flight" 0 (Obs.Replay.in_flight t)
 
+let test_trace_tee () =
+  (* tee broadcasts; each child keeps its own filters and sequence numbers. *)
+  let s1, get1 = Obs.Sink.memory () in
+  let s2, get2 = Obs.Sink.memory () in
+  let all = Obs.Trace.create s1 in
+  let warnings = Obs.Trace.create ~min_severity:Obs.Event.Warn s2 in
+  let t = Obs.Trace.tee [ all; warnings ] in
+  Alcotest.(check bool) "tee enabled" true (Obs.Trace.enabled t);
+  Obs.Trace.emit t ~time:1.0
+    (Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 1 });
+  Obs.Trace.emit t ~time:2.0 (Obs.Event.Link_failed { u = 0; v = 1 });
+  Alcotest.(check int) "unfiltered child sees both" 2 (List.length (get1 ()));
+  (match get2 () with
+  | [ { Obs.Sink.seq = 0; event = Obs.Event.Link_failed _; _ } ] -> ()
+  | rs ->
+    Alcotest.failf "warn child: expected just the failure with seq 0, got %d"
+      (List.length rs));
+  Alcotest.(check bool) "tee [] is disabled" false
+    (Obs.Trace.enabled (Obs.Trace.tee []))
+
+let test_replay_truncated_line () =
+  (* A line cut mid-write (process killed, partial flush) must be counted and
+     skipped, never raise. *)
+  let whole =
+    {|{"ts":1.0,"seq":0,"ev":"packet_sent","flow":0,"pkt":0,"src":1,"dst":2}|}
+  in
+  let lines =
+    [
+      whole;
+      String.sub whole 0 40;  (* truncated inside a field *)
+      String.sub whole 0 (String.length whole - 1);  (* missing final brace *)
+      {|{"ts":2.0,"seq":1,"ev":"packet_delivered","flow":0,"pkt":0,"delay":0.1,"looped":false}|};
+    ]
+  in
+  let records, stats = Obs.Replay.of_lines lines in
+  Alcotest.(check int) "parsed" 2 stats.Obs.Replay.parsed;
+  Alcotest.(check int) "skipped" 2 stats.Obs.Replay.skipped;
+  Alcotest.(check int) "records" 2 (List.length records)
+
+let test_replay_bad_escape () =
+  let lines =
+    [
+      {|{"ts":1.0,"seq":0,"ev":"packet_sent","flow":0,"pkt":0,"src":1,"dst":2}|};
+      {|{"ts":1.5,"seq":1,"ev":"link_failed","u":1,"v":"\uZZZZ"}|};  (* bad \u *)
+      {|{"ts":1.6,"seq":2,"ev":"link_failed","u":1,"v":"\u00|};  (* cut escape *)
+      {|{"ts":2.0,"seq":3,"ev":"link_healed","u":1,"v":2}|};
+    ]
+  in
+  let records, stats = Obs.Replay.of_lines lines in
+  Alcotest.(check int) "parsed" 2 stats.Obs.Replay.parsed;
+  Alcotest.(check int) "skipped" 2 stats.Obs.Replay.skipped;
+  Alcotest.(check int) "records" 2 (List.length records)
+
+let test_json_opt_never_raises () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string_opt s with
+      | Some _ | None -> ())
+    [
+      "";
+      "{";
+      "[1,2";
+      "\"unterminated";
+      "\"bad \\u12";
+      "\"bad \\uXYZW\"";
+      "{\"a\":}";
+      "nul";
+      "12e";
+      "{\"a\":1}garbage";
+    ]
+
 let test_replay_loop_report () =
   let mk time seq event = { Obs.Sink.time; seq; event } in
   let records =
@@ -287,11 +358,16 @@ let () =
         [
           Alcotest.test_case "filters" `Quick test_trace_filters;
           Alcotest.test_case "sequence numbers" `Quick test_trace_seq_numbers;
+          Alcotest.test_case "tee" `Quick test_trace_tee;
         ] );
       ( "replay",
         [
           Alcotest.test_case "tolerates garbage" `Quick
             test_replay_tolerates_garbage;
+          Alcotest.test_case "truncated line" `Quick test_replay_truncated_line;
+          Alcotest.test_case "bad escape" `Quick test_replay_bad_escape;
+          Alcotest.test_case "json parser never raises" `Quick
+            test_json_opt_never_raises;
           Alcotest.test_case "loop report" `Quick test_replay_loop_report;
         ] );
       ( "conservation",
