@@ -1,42 +1,108 @@
 (* The benchmark / reproduction harness.
 
-   Usage: main.exe [SECTION ...] [--quick | --full]
+   Usage: main.exe [SECTION ...] [--quick | --full] [--jobs N] [--out-dir DIR]
 
-   Sections (default: all):
-     micro             bechamel micro-benchmarks of the simulator primitives
-     scenarios         wall-clock cost of one full paper scenario per engine
-     fig3 fig4 fig5 fig6 fig7   regenerate the corresponding paper figure
-     overhead          control-message overhead (paper Section 2 discussion)
-     ablation-mrai     per-neighbor vs per-(neighbor,destination) MRAI
-     ablation-damping  DBF triggered-update damping sweep
-     ext-ls            link-state extension vs DBF / BGP-3
+   Sections (default: all): micro, plus every campaign section of
+   [Campaign.Sections.all] (fig3..fig7, overhead, scenarios, the ablations
+   and the extensions).
+
+   Every section except micro runs as a campaign: the sweep is decomposed
+   into independent (protocol, degree, seed) cells, executed on a domain
+   pool of --jobs workers, merged deterministically, and rendered from the
+   merged artifact. With --out-dir the artifact of each section is also
+   written to DIR/BENCH_<section>.json, and the tables are rendered from the
+   file just written — proving the committed artifacts regenerate the tables.
 
    --quick shrinks every sweep (3 seeds, degrees 3/4/6, shorter timeline);
    --full uses the paper's full setup (10 seeds, degrees 3..8, 800 s). The
    default is the paper timeline with 5 seeds, a compromise that keeps the
    whole harness under a few minutes. *)
 
-let quick_flag = ref false
+let usage oc =
+  Printf.fprintf oc
+    "usage: %s [SECTION ...] [--quick | --full] [--jobs N] [--out-dir DIR]\n\
+     \n\
+     sections (default: all):\n\
+    \  micro             bechamel micro-benchmarks of the simulator primitives\n\
+     %s\n\
+     options:\n\
+    \  --quick           tiny sweeps, short timeline (CI smoke)\n\
+    \  --full            the paper's full setup (10 seeds, degrees 3..8)\n\
+    \  --jobs N          parallel worker domains (default %d on this machine)\n\
+    \  --out-dir DIR     also write BENCH_<section>.json artifacts into DIR\n"
+    Sys.executable_name
+    (String.concat "\n"
+       (List.map
+          (fun (s : Campaign.Sections.t) ->
+            Printf.sprintf "  %-17s %s" s.Campaign.Sections.name
+              s.Campaign.Sections.doc)
+          Campaign.Sections.all))
+    (Campaign.Pool.default_jobs ())
 
-let full_flag = ref false
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "%s: %s\n\n" Sys.executable_name msg;
+      usage stderr;
+      exit 2)
+    fmt
 
-let sections = ref []
+type options = {
+  quick : bool;
+  full : bool;
+  jobs : int;
+  out_dir : string option;
+  sections : string list;  (** empty = all *)
+}
 
-let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick_flag := true
-        | "--full" -> full_flag := true
-        | s -> sections := s :: !sections)
-    Sys.argv
+let known_sections = "micro" :: Campaign.Sections.names
+
+let parse_args argv =
+  let opts =
+    ref { quick = false; full = false; jobs = Campaign.Pool.default_jobs ();
+          out_dir = None; sections = [] }
+  in
+  let n = Array.length argv in
+  let rec go i =
+    if i < n then begin
+      let next what =
+        if i + 1 >= n then die "%s expects an argument" what else argv.(i + 1)
+      in
+      (match argv.(i) with
+      | "--help" | "-h" ->
+        usage stdout;
+        exit 0
+      | "--quick" -> opts := { !opts with quick = true }
+      | "--full" -> opts := { !opts with full = true }
+      | "--jobs" -> (
+        match int_of_string_opt (next "--jobs") with
+        | Some j when j >= 1 -> opts := { !opts with jobs = j }
+        | Some _ | None -> die "--jobs expects a positive integer")
+      | "--out-dir" -> opts := { !opts with out_dir = Some (next "--out-dir") }
+      | s when String.length s > 0 && s.[0] = '-' -> die "unknown flag %S" s
+      | s when List.mem s known_sections || s = "all" ->
+        opts := { !opts with sections = !opts.sections @ [ s ] }
+      | s -> die "unknown section %S (try --help)" s);
+      let consumed = match argv.(i) with "--jobs" | "--out-dir" -> 2 | _ -> 1 in
+      go (i + consumed)
+    end
+  in
+  go 1;
+  if !opts.quick && !opts.full then die "--quick and --full are exclusive";
+  !opts
+
+let opts = parse_args Sys.argv
 
 let wants section =
-  match !sections with [] -> true | l -> List.mem section l || List.mem "all" l
+  match opts.sections with
+  | [] -> true
+  | l -> List.mem section l || List.mem "all" l
 
-let sweep () =
-  if !quick_flag then
+let mode =
+  if opts.quick then "quick" else if opts.full then "full" else "standard"
+
+let sweep =
+  if opts.quick then
     Convergence.Experiments.
       {
         degrees = [ 3; 4; 6 ];
@@ -51,11 +117,8 @@ let sweep () =
             sim_end = 220.;
           };
       }
-  else if !full_flag then Convergence.Experiments.paper_sweep
+  else if opts.full then Convergence.Experiments.paper_sweep
   else Convergence.Experiments.(scale ~runs:5 paper_sweep)
-
-let warmup_of sweep =
-  sweep.Convergence.Experiments.base.Convergence.Config.warmup
 
 let progress line = Fmt.pr "  .. %s@." line
 
@@ -137,319 +200,68 @@ let run_micro () =
   in
   List.iter (fun (name, ns) -> Fmt.pr "%-40s %12.1f ns/run@." name ns) rows
 
-(* ---------- scenario wall-clock ---------- *)
+(* ---------- campaign sections ---------- *)
 
-let run_scenarios () =
-  heading "full-scenario wall-clock cost (one paper run per engine)";
-  let cfg = (sweep ()).Convergence.Experiments.base in
-  let time_one engine =
-    let metrics = Obs.Registry.create () in
-    let t0 = Unix.gettimeofday () in
-    let r = Convergence.Engine_registry.run ~metrics cfg engine in
-    let dt = Unix.gettimeofday () -. t0 in
-    let gauge name =
-      match Obs.Registry.lookup metrics name with
-      | Some (Obs.Registry.Gauge_value v) -> v
-      | Some _ | None -> nan
-    in
-    Fmt.pr
-      "%-8s %6.2f s wall  (%d packets, %d control msgs, %.0f sched events, \
-       queue depth <= %.0f)@."
-      (Convergence.Engine_registry.name engine)
-      dt r.Convergence.Metrics.sent r.Convergence.Metrics.ctrl_messages
-      (gauge "scheduler.events_fired")
-      (gauge "scheduler.max_queue_depth")
+(* Pass the artifact through disk when --out-dir is given: the tables the
+   user sees are then provably regenerable from the committed JSON. *)
+let render_artifact (section : Campaign.Sections.t) artifact =
+  let artifact =
+    match opts.out_dir with
+    | None -> artifact
+    | Some dir ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "BENCH_%s.json" section.Campaign.Sections.name)
+      in
+      Campaign.Artifact.write ~path artifact;
+      progress (Printf.sprintf "wrote %s" path);
+      (match Campaign.Artifact.read ~path with
+      | Ok a -> a
+      | Error e -> failwith e)
   in
-  List.iter time_one Convergence.Engine_registry.all
+  heading section.Campaign.Sections.title;
+  section.Campaign.Sections.render Fmt.stdout artifact
 
-(* ---------- figures ---------- *)
-
-let grid_cache : Convergence.Experiments.grid option ref = ref None
-
-let paper_grid () =
-  match !grid_cache with
-  | Some g -> g
-  | None ->
-    heading "running the paper sweep (shared by fig3/4/5/6/7/overhead)";
-    let g =
-      Convergence.Experiments.run_grid ~progress (sweep ())
-        Convergence.Engine_registry.paper_four
-    in
-    grid_cache := Some g;
-    g
-
-let scalar ~title ~unit_label data =
-  Fmt.pr "%a@.@." (Convergence.Report.scalar_table ~title ~unit_label) data
-
-let series ~title ~unit_label ~mode data =
-  let warmup = warmup_of (sweep ()) in
-  Fmt.pr "%a@.@."
-    (fun ppf d ->
-      Convergence.Report.series_table ~title ~unit_label ~warmup
-        ~window:(0., 60.) ~mode ppf d)
-    data
-
-let run_fig3 () =
-  let g = paper_grid () in
-  heading "Figure 3: packet drops due to no route, vs node degree";
-  scalar ~title:"Fig 3 - drops (no route)" ~unit_label:"packets, mean over runs"
-    (Convergence.Experiments.fig3 g)
-
-let run_fig4 () =
-  let g = paper_grid () in
-  heading "Figure 4: TTL expirations during convergence, vs node degree";
-  scalar ~title:"Fig 4 - TTL expirations" ~unit_label:"packets, mean over runs"
-    (Convergence.Experiments.fig4 g)
-
-let run_fig5 () =
-  let g = paper_grid () in
-  heading "Figure 5: instantaneous throughput vs time";
-  let degrees = (sweep ()).Convergence.Experiments.degrees in
-  let wanted = List.filter (fun d -> List.mem d [ 3; 4; 6 ]) degrees in
+let run_campaigns () =
+  let requested =
+    List.filter
+      (fun (s : Campaign.Sections.t) -> wants s.Campaign.Sections.name)
+      Campaign.Sections.all
+  in
+  (* Sections with equal (family, sweep) share one simulation pass. *)
+  let families =
+    List.fold_left
+      (fun acc (s : Campaign.Sections.t) ->
+        let key = s.Campaign.Sections.family in
+        if List.mem_assoc key acc then
+          List.map (fun (k, v) -> if k = key then (k, v @ [ s ]) else (k, v)) acc
+        else acc @ [ (key, [ s ]) ])
+      [] requested
+  in
   List.iter
-    (fun d ->
-      series
-        ~title:(Printf.sprintf "Fig 5 - throughput, degree %d" d)
-        ~unit_label:"packets/s" ~mode:`Rate
-        (Convergence.Experiments.fig5 g ~degree:d))
-    wanted
-
-let run_fig6 () =
-  let g = paper_grid () in
-  heading "Figure 6: convergence times vs node degree";
-  scalar ~title:"Fig 6(a) - forwarding-path convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6a g);
-  scalar ~title:"Fig 6(b) - network routing convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6b g)
-
-let run_fig7 () =
-  let g = paper_grid () in
-  heading "Figure 7: instantaneous packet delay vs time";
-  let degrees = (sweep ()).Convergence.Experiments.degrees in
-  let wanted = List.filter (fun d -> List.mem d [ 4; 5; 6 ]) degrees in
-  List.iter
-    (fun d ->
-      series
-        ~title:(Printf.sprintf "Fig 7 - delay of delivered packets, degree %d" d)
-        ~unit_label:"seconds" ~mode:`Mean
-        (Convergence.Experiments.fig7 g ~degree:d))
-    wanted
-
-let run_overhead () =
-  let g = paper_grid () in
-  heading "Control-message overhead (Section 2 cost axis)";
-  scalar ~title:"Routing messages per run" ~unit_label:"messages, mean"
-    (Convergence.Experiments.overhead g)
-
-(* ---------- ablations and extensions ---------- *)
-
-let ablation_sweep () =
-  let s = sweep () in
-  if !full_flag then s
-  else
-    Convergence.Experiments.scale
-      ~runs:(min 5 s.Convergence.Experiments.runs)
-      ~degrees:(List.filter (fun d -> d <= 6) s.Convergence.Experiments.degrees)
-      s
-
-let run_ablation_mrai () =
-  heading "Ablation: MRAI granularity (per neighbor vs per (neighbor, destination))";
-  let g = Convergence.Experiments.ablation_mrai ~progress (ablation_sweep ()) in
-  scalar ~title:"drops (no route)" ~unit_label:"packets"
-    (Convergence.Experiments.fig3 g);
-  scalar ~title:"TTL expirations" ~unit_label:"packets"
-    (Convergence.Experiments.fig4 g);
-  scalar ~title:"routing convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6b g)
-
-let run_ablation_damping () =
-  heading "Ablation: DBF triggered-update damping interval";
-  let intervals = [ (0.1, 0.2); (1., 5.); (5., 10.) ] in
-  let g =
-    Convergence.Experiments.ablation_damping ~progress (ablation_sweep ()) intervals
-  in
-  scalar ~title:"drops (no route)" ~unit_label:"packets"
-    (Convergence.Experiments.fig3 g);
-  scalar ~title:"routing convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6b g);
-  scalar ~title:"control messages" ~unit_label:"messages"
-    (Convergence.Experiments.overhead g)
-
-let run_ext_multiflow () =
-  heading "Extension: multiple flows, overlapping failures (paper future work)";
-  let sweep = ablation_sweep () in
-  (* Four concurrent flows: halve the per-flow rate so the aggregate offered
-     load (and the event count) stays comparable to the single-flow runs. *)
-  let sweep =
-    {
-      sweep with
-      Convergence.Experiments.base =
-        { sweep.Convergence.Experiments.base with Convergence.Config.send_rate_pps = 100. };
-    }
-  in
-  let data =
-    Convergence.Experiments.multi_failure_study ~progress sweep ~flows:4
-      ~failures:2 ~gap:5. Convergence.Engine_registry.paper_four
-  in
-  let project f = List.map (fun (p, cells) -> (p, List.map f cells)) data in
-  scalar ~title:"aggregate delivery ratio (4 flows, 2 failures 5 s apart)"
-    ~unit_label:"fraction"
-    (project (fun c ->
-         Convergence.Experiments.(c.mc_degree, c.mc_delivery_ratio)));
-  scalar ~title:"no-route drops summed over flows" ~unit_label:"packets"
-    (project (fun c ->
-         Convergence.Experiments.(c.mc_degree, c.mc_no_route_drops)));
-  scalar ~title:"routing convergence from first failure" ~unit_label:"seconds"
-    (project (fun c ->
-         Convergence.Experiments.(c.mc_degree, c.mc_routing_convergence)))
-
-let run_ablation_rfd () =
-  heading "Ablation: route flap damping under a flapping link (intro refs [4]/[15])";
-  let sweep = ablation_sweep () in
-  let base = sweep.Convergence.Experiments.base in
-  let flap_scenario cfg =
-    (* Pin the flow across the mesh and flap a link in the middle of its
-       shortest path: down 4 s, up 4 s, three times, then up for good. *)
-    let topo =
-      Netsim.Mesh.generate ~rows:cfg.Convergence.Config.rows
-        ~cols:cfg.Convergence.Config.cols ~degree:cfg.Convergence.Config.degree
-    in
-    let src = 0 and dst = Convergence.Config.nodes cfg - 1 in
-    let path =
-      match Netsim.Topology.shortest_path topo src dst with
-      | Some p -> p
-      | None -> invalid_arg "rfd bench: disconnected mesh"
-    in
-    let rec nth_link i = function
-      | a :: (b :: _ as rest) -> if i = 0 then (a, b) else nth_link (i - 1) rest
-      | _ -> invalid_arg "rfd bench: path too short"
-    in
-    let u, v = nth_link (List.length path / 2) path in
-    let flap i =
-      {
-        Convergence.Runner.fail_at =
-          cfg.Convergence.Config.failure_time +. (float_of_int i *. 8.);
-        target = Convergence.Runner.Link (u, v);
-        heal_after = Some 4.;
-      }
-    in
-    let flow =
-      { Convergence.Runner.default_flow with flow_src = Some src; flow_dst = Some dst }
-    in
-    (flow, List.init 3 flap)
-  in
-  let cell engine degree =
-    let stats =
-      List.init sweep.Convergence.Experiments.runs (fun i ->
-          let cfg =
-            base |> Convergence.Config.with_degree degree
-            |> Convergence.Config.with_seed (base.Convergence.Config.seed + i)
-          in
-          let flow, failures = flap_scenario cfg in
-          let m =
-            Convergence.Engine_registry.run_multi ~flows:[ flow ] ~failures cfg
-              engine
-          in
-          match m.Convergence.Metrics.m_flows with
-          | [ f ] ->
-            ( Convergence.Metrics.flow_delivery_ratio f,
-              float_of_int f.Convergence.Metrics.f_drops_no_route,
-              m.Convergence.Metrics.m_routing_convergence )
-          | _ -> assert false)
-    in
-    let mean f = Dessim.Stat.mean (List.map f stats) in
-    ( mean (fun (d, _, _) -> d),
-      mean (fun (_, n, _) -> n),
-      mean (fun (_, _, c) -> c) )
-  in
-  let engines =
-    [ Convergence.Engine_registry.bgp3; Convergence.Engine_registry.bgp3_rfd ]
-  in
-  (* One simulation pass per (engine, degree); the three tables project it. *)
-  let memo = Hashtbl.create 16 in
-  let cell_memo e d =
-    let key = (Convergence.Engine_registry.name e, d) in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
-      let ((delivery, no_route, conv) as v) = cell e d in
-      Hashtbl.replace memo key v;
-      progress
-        (Printf.sprintf "%-10s degree=%d: delivery=%.3f no-route=%.1f conv=%.1fs"
-           (Convergence.Engine_registry.name e)
-           d delivery no_route conv);
-      v
-  in
-  let project pick =
-    List.map
-      (fun e ->
-        ( Convergence.Engine_registry.name e,
-          List.map
-            (fun d -> (d, pick (cell_memo e d)))
-            sweep.Convergence.Experiments.degrees ))
-      engines
-  in
-  scalar ~title:"delivery ratio across three flaps" ~unit_label:"fraction"
-    (project (fun (d, _, _) -> d));
-  scalar ~title:"no-route drops" ~unit_label:"packets"
-    (project (fun (_, n, _) -> n));
-  scalar ~title:"routing convergence from first flap" ~unit_label:"seconds"
-    (project (fun (_, _, c) -> c))
-
-let run_ext_transport () =
-  heading "Extension: reliable transport across the failure (paper future work)";
-  let sweep = ablation_sweep () in
-  (* A transfer sized to span the failure comfortably at the window-limited
-     rate (~100 pps on these paths). *)
-  let transport =
-    {
-      Convergence.Runner.default_transport with
-      window = 16;
-      rto = 0.5;
-      total_packets = 8000;
-    }
-  in
-  let data =
-    Convergence.Experiments.transport_study ~progress sweep ~transport
-      Convergence.Engine_registry.paper_four
-  in
-  let project f = List.map (fun (p, cells) -> (p, List.map f cells)) data in
-  scalar ~title:"transfer completion time (8000 packets, window 16, RTO 0.5 s)"
-    ~unit_label:"seconds from transfer start"
-    (project (fun c ->
-         Convergence.Experiments.(c.tr_degree, c.tr_completion)));
-  scalar ~title:"retransmissions" ~unit_label:"packets"
-    (project (fun c ->
-         Convergence.Experiments.(c.tr_degree, c.tr_retransmissions)));
-  scalar ~title:"goodput stall after the failure" ~unit_label:"seconds at zero goodput"
-    (project (fun c -> Convergence.Experiments.(c.tr_degree, c.tr_stall)))
-
-let run_ext_ls () =
-  heading "Extension: link-state protocol (paper future work)";
-  let g = Convergence.Experiments.extension_ls ~progress (ablation_sweep ()) in
-  scalar ~title:"drops (no route)" ~unit_label:"packets"
-    (Convergence.Experiments.fig3 g);
-  scalar ~title:"forwarding-path convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6a g);
-  scalar ~title:"routing convergence" ~unit_label:"seconds"
-    (Convergence.Experiments.fig6b g)
+    (fun (family, (members : Campaign.Sections.t list)) ->
+      let lead = List.hd members in
+      let sweep = Campaign.Sections.sweep_for lead ~full:opts.full sweep in
+      if List.length members > 1 || family = "paper" then
+        heading
+          (Printf.sprintf "running the %s sweep (%s)" family
+             (String.concat "/"
+                (List.map (fun (s : Campaign.Sections.t) -> s.Campaign.Sections.name)
+                   members)));
+      let cells, timing =
+        Campaign.Driver.run_tasks ~jobs:opts.jobs ~progress
+          (lead.Campaign.Sections.tasks sweep)
+      in
+      List.iter
+        (fun section ->
+          render_artifact section
+            (Campaign.Driver.artifact_of ~section ~mode ~timing sweep cells))
+        members)
+    families
 
 let () =
   let t0 = Unix.gettimeofday () in
-  Fmt.pr "routing-convergence bench harness (%s mode)@."
-    (if !quick_flag then "quick" else if !full_flag then "full" else "standard");
+  Fmt.pr "routing-convergence bench harness (%s mode, %d jobs)@." mode opts.jobs;
   if wants "micro" then run_micro ();
-  if wants "scenarios" then run_scenarios ();
-  if wants "fig3" then run_fig3 ();
-  if wants "fig4" then run_fig4 ();
-  if wants "fig5" then run_fig5 ();
-  if wants "fig6" then run_fig6 ();
-  if wants "fig7" then run_fig7 ();
-  if wants "overhead" then run_overhead ();
-  if wants "ablation-mrai" then run_ablation_mrai ();
-  if wants "ablation-damping" then run_ablation_damping ();
-  if wants "ablation-rfd" then run_ablation_rfd ();
-  if wants "ext-ls" then run_ext_ls ();
-  if wants "ext-multiflow" then run_ext_multiflow ();
-  if wants "ext-transport" then run_ext_transport ();
+  run_campaigns ();
   Fmt.pr "@.total wall clock: %.1f s@." (Unix.gettimeofday () -. t0)

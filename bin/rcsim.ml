@@ -634,6 +634,204 @@ let fuzz_cmd =
           differential shortest-path oracle")
     term
 
+(* ---------- campaign ---------- *)
+
+let campaign_cmd =
+  let quick_arg =
+    let doc = "Tiny sweep, short timeline (CI smoke)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let full_arg =
+    let doc = "The paper's full setup (10 seeds, degrees 3..8, 800 s)." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains executing campaign cells in parallel. The merged \
+       artifact is byte-identical whatever this is set to. Defaults to the \
+       machine's core count minus one; $(b,--jobs 1) runs sequentially."
+    in
+    Arg.(
+      value
+      & opt int (Campaign.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let out_arg section =
+    let doc = "Artifact output path." in
+    Arg.(
+      value
+      & opt string (Printf.sprintf "BENCH_%s.json" section)
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let runs_opt_arg =
+    let doc = "Override the number of seeds per (protocol, degree) cell." in
+    Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let degrees_opt_arg =
+    let doc = "Override the node degrees swept." in
+    Arg.(value & opt (some (list int)) None & info [ "degrees" ] ~docv:"D,D,..." ~doc)
+  in
+  let seed_opt_arg =
+    let doc = "Override the base RNG seed (cell $(i,i) uses seed + i)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-cell progress lines (stderr)." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let sweep_of ~quick ~full ~runs ~degrees ~seed =
+    let base =
+      if quick then
+        Convergence.Experiments.
+          {
+            degrees = [ 3; 4; 6 ];
+            runs = 3;
+            base =
+              {
+                Convergence.Config.default with
+                send_rate_pps = 100.;
+                traffic_start = 60.;
+                warmup = 70.;
+                failure_time = 80.;
+                sim_end = 220.;
+              };
+          }
+      else if full then Convergence.Experiments.paper_sweep
+      else Convergence.Experiments.(scale ~runs:5 paper_sweep)
+    in
+    let base = Convergence.Experiments.scale ?runs ?degrees base in
+    match seed with
+    | None -> base
+    | Some s ->
+      {
+        base with
+        Convergence.Experiments.base =
+          { base.Convergence.Experiments.base with Convergence.Config.seed = s };
+      }
+  in
+  let section_cmd (section : Campaign.Sections.t) =
+    let action quick full jobs out runs degrees seed quiet =
+      if quick && full then `Error (true, "--quick and --full are exclusive")
+      else if jobs < 1 then `Error (true, "--jobs must be at least 1")
+      else begin
+        let mode = if quick then "quick" else if full then "full" else "standard" in
+        let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
+        let sweep = Campaign.Sections.sweep_for section ~full sweep in
+        let progress line = if not quiet then Fmt.epr "  .. %s@." line in
+        let artifact =
+          Campaign.Driver.run ~jobs ~progress ~mode sweep section
+        in
+        Campaign.Artifact.write ~path:out artifact;
+        Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
+        section.Campaign.Sections.render Fmt.stdout artifact;
+        Fmt.pr "artifact: %s@." out;
+        `Ok ()
+      end
+    in
+    let term =
+      Term.(
+        ret
+          (const action $ quick_arg $ full_arg $ jobs_arg
+         $ out_arg section.Campaign.Sections.name
+         $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg))
+    in
+    Cmd.v
+      (Cmd.info section.Campaign.Sections.name
+         ~doc:
+           (Printf.sprintf "Run the %s campaign (%s)"
+              section.Campaign.Sections.name section.Campaign.Sections.doc))
+      term
+  in
+  let diff_cmd =
+    let file_arg n v =
+      Arg.(required & pos n (some file) None & info [] ~docv:v)
+    in
+    let tol_arg =
+      let doc = "Absolute tolerance for float comparisons (default: exact)." in
+      Arg.(value & opt float 0. & info [ "tol" ] ~docv:"EPS" ~doc)
+    in
+    let action a b tol =
+      match (Campaign.Artifact.read ~path:a, Campaign.Artifact.read ~path:b) with
+      | Error e, _ | _, Error e -> `Error (false, e)
+      | Ok aa, Ok bb -> (
+        match Campaign.Diff.artifacts ~tol aa bb with
+        | [] ->
+          Fmt.pr "identical (timing and git sha ignored)@.";
+          `Ok ()
+        | entries ->
+          List.iter (fun e -> Fmt.pr "%a@." Campaign.Diff.pp_entry e) entries;
+          `Error (false, Printf.sprintf "%d difference(s)" (List.length entries)))
+    in
+    let term = Term.(ret (const action $ file_arg 0 "A.json" $ file_arg 1 "B.json" $ tol_arg)) in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two campaign artifacts, ignoring timing and git sha; \
+            exits non-zero when results differ")
+      term
+  in
+  let validate_cmd =
+    let file_arg =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+    in
+    let action path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e -> `Error (false, e)
+      | raw -> (
+        match Obs.Json.of_string_opt raw with
+        | None -> `Error (false, Printf.sprintf "%s: not valid JSON" path)
+        | Some j -> (
+          match Campaign.Artifact.validate j with
+          | [] ->
+            Fmt.pr "%s: valid schema v%d artifact@." path Campaign.Artifact.version;
+            `Ok ()
+          | errs ->
+            List.iter (fun e -> Fmt.pr "%s: %s@." path e) errs;
+            `Error (false, Printf.sprintf "%d schema violation(s)" (List.length errs))))
+    in
+    let term = Term.(ret (const action $ file_arg)) in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:"Check a campaign artifact against the JSON schema")
+      term
+  in
+  let show_cmd =
+    let file_arg =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+    in
+    let action path =
+      match Campaign.Artifact.read ~path with
+      | Error e -> `Error (false, e)
+      | Ok artifact -> (
+        match Campaign.Sections.find artifact.Campaign.Artifact.section with
+        | None ->
+          `Error
+            ( false,
+              Printf.sprintf "%s: unknown section %S" path
+                artifact.Campaign.Artifact.section )
+        | Some section ->
+          Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
+          section.Campaign.Sections.render Fmt.stdout artifact;
+          `Ok ())
+    in
+    let term = Term.(ret (const action $ file_arg)) in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:"Re-render a section's tables from a committed artifact")
+      term
+  in
+  let info =
+    Cmd.info "campaign"
+      ~doc:
+        "Parallel experiment campaigns: run a bench section as independent \
+         (protocol, degree, seed) cells on a domain pool, merge \
+         deterministically, and write a versioned BENCH_<section>.json \
+         artifact"
+  in
+  Cmd.group info
+    (List.map section_cmd Campaign.Sections.all
+    @ [ diff_cmd; validate_cmd; show_cmd ])
+
 let () =
   let doc =
     "packet delivery during routing convergence (reproduction of Pei et al., DSN 2003)"
@@ -653,4 +851,5 @@ let () =
             loops_cmd;
             trace_cmd;
             fuzz_cmd;
+            campaign_cmd;
           ]))

@@ -1,0 +1,491 @@
+let version = 1
+
+let kind = "rcsim-campaign"
+
+type params = {
+  mode : string;
+  rows : int;
+  cols : int;
+  degrees : int list;
+  runs : int;
+  seed : int;
+  rate_pps : float;
+  warmup : float;
+  sim_end : float;
+}
+
+type stat = { mean : float; stddev : float }
+
+type aggregate = {
+  a_protocol : string;
+  a_degree : int;
+  a_runs : int;
+  a_metrics : (string * stat) list;
+  a_series : (string * Cell_result.series) list;
+}
+
+type cell_timing = {
+  ct_protocol : string;
+  ct_degree : int;
+  ct_seed : int;
+  ct_wall_s : float;
+}
+
+type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
+
+type t = {
+  section : string;
+  git_sha : string;
+  params : params;
+  cells : Cell_result.t list;
+  aggregates : aggregate list;
+  timing : timing option;
+  include_series : bool;
+}
+
+let params_of_sweep ~mode (sweep : Convergence.Experiments.sweep) =
+  let base = sweep.Convergence.Experiments.base in
+  {
+    mode;
+    rows = base.Convergence.Config.rows;
+    cols = base.Convergence.Config.cols;
+    degrees = sweep.Convergence.Experiments.degrees;
+    runs = sweep.Convergence.Experiments.runs;
+    seed = base.Convergence.Config.seed;
+    rate_pps = base.Convergence.Config.send_rate_pps;
+    warmup = base.Convergence.Config.warmup;
+    sim_end = base.Convergence.Config.sim_end;
+  }
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, sha when sha <> "" -> sha
+    | _ -> "unknown"
+    | exception _ -> "unknown")
+
+(* ---------- aggregation ---------- *)
+
+let aggregate cells =
+  let groups = ref [] (* (protocol, degree) keys in first-appearance order *) in
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Cell_result.t) ->
+      let k = (c.Cell_result.protocol, c.Cell_result.degree) in
+      if not (Hashtbl.mem by_key k) then begin
+        groups := k :: !groups;
+        Hashtbl.add by_key k []
+      end;
+      Hashtbl.replace by_key k (c :: Hashtbl.find by_key k))
+    cells;
+  let one (protocol, degree) =
+    let members = List.rev (Hashtbl.find by_key (protocol, degree)) in
+    let n = List.length members in
+    let metric_names = List.map fst (Cell_result.metrics (List.hd members)) in
+    let a_metrics =
+      List.map
+        (fun name ->
+          let samples =
+            List.map
+              (fun c -> List.assoc name (Cell_result.metrics c))
+              members
+          in
+          ( name,
+            { mean = Dessim.Stat.mean samples; stddev = Dessim.Stat.stddev samples } ))
+        metric_names
+    in
+    let a_series =
+      match members with
+      | [] | { Cell_result.series = []; _ } :: _ -> []
+      | first :: _ ->
+        List.map
+          (fun (name, (model : Cell_result.series)) ->
+            let counts = Array.make (Array.length model.Cell_result.s_counts) 0. in
+            let sums = Array.make (Array.length model.Cell_result.s_sums) 0. in
+            List.iter
+              (fun (c : Cell_result.t) ->
+                let s = List.assoc name c.Cell_result.series in
+                Array.iteri
+                  (fun i v -> counts.(i) <- counts.(i) +. v)
+                  s.Cell_result.s_counts;
+                Array.iteri
+                  (fun i v -> sums.(i) <- sums.(i) +. v)
+                  s.Cell_result.s_sums)
+              members;
+            let k = 1. /. float_of_int n in
+            Array.iteri (fun i v -> counts.(i) <- v *. k) counts;
+            Array.iteri (fun i v -> sums.(i) <- v *. k) sums;
+            ( name,
+              {
+                Cell_result.s_start = model.Cell_result.s_start;
+                s_width = model.Cell_result.s_width;
+                s_counts = counts;
+                s_sums = sums;
+              } ))
+          first.Cell_result.series
+    in
+    { a_protocol = protocol; a_degree = degree; a_runs = n; a_metrics; a_series }
+  in
+  List.map one (List.rev !groups)
+
+let build ~section ?git_sha:sha ?timing ~include_series params cells =
+  {
+    section;
+    git_sha = (match sha with Some s -> s | None -> git_sha ());
+    params;
+    cells;
+    aggregates = aggregate cells;
+    timing;
+    include_series;
+  }
+
+(* ---------- JSON writing ---------- *)
+
+let fnum f : Obs.Json.t = if Float.is_finite f then Float f else Null
+
+let params_to_json p : Obs.Json.t =
+  Obj
+    [
+      ("mode", String p.mode);
+      ("rows", Int p.rows);
+      ("cols", Int p.cols);
+      ("degrees", List (List.map (fun d -> Obs.Json.Int d) p.degrees));
+      ("runs", Int p.runs);
+      ("seed", Int p.seed);
+      ("rate_pps", fnum p.rate_pps);
+      ("warmup", fnum p.warmup);
+      ("sim_end", fnum p.sim_end);
+    ]
+
+let aggregate_to_json ~include_series a : Obs.Json.t =
+  let metrics =
+    List.map
+      (fun (name, s) ->
+        (name, Obs.Json.Obj [ ("mean", fnum s.mean); ("stddev", fnum s.stddev) ]))
+      a.a_metrics
+  in
+  let series =
+    match a.a_series with
+    | xs when include_series && xs <> [] ->
+      [
+        ( "series",
+          Obs.Json.Obj
+            (List.map (fun (k, s) -> (k, Cell_result.series_to_json s)) xs) );
+      ]
+    | _ -> []
+  in
+  Obj
+    ([
+       ("protocol", Obs.Json.String a.a_protocol);
+       ("degree", Obs.Json.Int a.a_degree);
+       ("runs", Obs.Json.Int a.a_runs);
+       ("metrics", Obs.Json.Obj metrics);
+     ]
+    @ series)
+
+let timing_to_json t : Obs.Json.t =
+  Obj
+    [
+      ("jobs", Int t.t_jobs);
+      ("wall_s", fnum t.t_wall_s);
+      ( "cells",
+        List
+          (List.map
+             (fun ct ->
+               Obs.Json.Obj
+                 [
+                   ("protocol", Obs.Json.String ct.ct_protocol);
+                   ("degree", Obs.Json.Int ct.ct_degree);
+                   ("seed", Obs.Json.Int ct.ct_seed);
+                   ("wall_s", fnum ct.ct_wall_s);
+                 ])
+             t.t_cells) );
+    ]
+
+let to_json_inner ~timing t : Obs.Json.t =
+  let base =
+    [
+      ("schema_version", Obs.Json.Int version);
+      ("kind", Obs.Json.String kind);
+      ("section", Obs.Json.String t.section);
+      ("git_sha", Obs.Json.String t.git_sha);
+      ("params", params_to_json t.params);
+      ( "cells",
+        Obs.Json.List
+          (List.map (Cell_result.to_json ~include_series:t.include_series) t.cells)
+      );
+      ( "aggregates",
+        Obs.Json.List
+          (List.map
+             (aggregate_to_json ~include_series:t.include_series)
+             t.aggregates) );
+    ]
+  in
+  let timing =
+    match (timing, t.timing) with
+    | true, Some tg -> [ ("timing", timing_to_json tg) ]
+    | _ -> []
+  in
+  Obj (base @ timing)
+
+let to_json t = to_json_inner ~timing:true t
+
+let to_string t = Obs.Json.to_string (to_json t)
+
+let canonical_string t = Obs.Json.to_string (to_json_inner ~timing:false t)
+
+(* ---------- JSON reading ---------- *)
+
+let float_of_json = function
+  | Obs.Json.Null -> Some Float.nan
+  | j -> Obs.Json.to_float j
+
+let params_of_json j =
+  let ( let* ) = Result.bind in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "params: missing or mistyped %S" what)
+  in
+  let str name = Option.bind (Obs.Json.member name j) Obs.Json.to_string_val in
+  let int name = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  let flt name = Option.bind (Obs.Json.member name j) float_of_json in
+  let* mode = need "mode" (str "mode") in
+  let* rows = need "rows" (int "rows") in
+  let* cols = need "cols" (int "cols") in
+  let* degrees =
+    need "degrees" (Option.bind (Obs.Json.member "degrees" j) Obs.Json.to_int_list)
+  in
+  let* runs = need "runs" (int "runs") in
+  let* seed = need "seed" (int "seed") in
+  let* rate_pps = need "rate_pps" (flt "rate_pps") in
+  let* warmup = need "warmup" (flt "warmup") in
+  let* sim_end = need "sim_end" (flt "sim_end") in
+  Ok { mode; rows; cols; degrees; runs; seed; rate_pps; warmup; sim_end }
+
+let stat_of_json j =
+  match
+    ( Option.bind (Obs.Json.member "mean" j) float_of_json,
+      Option.bind (Obs.Json.member "stddev" j) float_of_json )
+  with
+  | Some mean, Some stddev -> Ok { mean; stddev }
+  | _ -> Error "aggregate: malformed stat"
+
+let aggregate_of_json j =
+  let ( let* ) = Result.bind in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "aggregate: missing or mistyped %S" what)
+  in
+  let* protocol =
+    need "protocol" (Option.bind (Obs.Json.member "protocol" j) Obs.Json.to_string_val)
+  in
+  let* degree = need "degree" (Option.bind (Obs.Json.member "degree" j) Obs.Json.to_int) in
+  let* runs = need "runs" (Option.bind (Obs.Json.member "runs" j) Obs.Json.to_int) in
+  let* metrics =
+    match Obs.Json.member "metrics" j with
+    | Some (Obs.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          let* s = stat_of_json v in
+          Ok (acc @ [ (k, s) ]))
+        (Ok []) fields
+    | _ -> Error "aggregate: missing metrics object"
+  in
+  let* series =
+    match Obs.Json.member "series" j with
+    | None -> Ok []
+    | Some (Obs.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Cell_result.series_of_json v with
+          | Some s -> Ok (acc @ [ (k, s) ])
+          | None -> Error (Printf.sprintf "aggregate: series %S is malformed" k))
+        (Ok []) fields
+    | Some _ -> Error "aggregate: series is not an object"
+  in
+  Ok
+    {
+      a_protocol = protocol;
+      a_degree = degree;
+      a_runs = runs;
+      a_metrics = metrics;
+      a_series = series;
+    }
+
+let timing_of_json j =
+  let ( let* ) = Result.bind in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "timing: missing or mistyped %S" what)
+  in
+  let* jobs = need "jobs" (Option.bind (Obs.Json.member "jobs" j) Obs.Json.to_int) in
+  let* wall_s = need "wall_s" (Option.bind (Obs.Json.member "wall_s" j) float_of_json) in
+  let* cells =
+    match Obs.Json.member "cells" j with
+    | Some (Obs.Json.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let get_str n = Option.bind (Obs.Json.member n item) Obs.Json.to_string_val in
+          let get_int n = Option.bind (Obs.Json.member n item) Obs.Json.to_int in
+          let get_flt n = Option.bind (Obs.Json.member n item) float_of_json in
+          match (get_str "protocol", get_int "degree", get_int "seed", get_flt "wall_s") with
+          | Some p, Some d, Some s, Some w ->
+            Ok (acc @ [ { ct_protocol = p; ct_degree = d; ct_seed = s; ct_wall_s = w } ])
+          | _ -> Error "timing: malformed cell entry")
+        (Ok []) items
+    | _ -> Error "timing: missing cells list"
+  in
+  Ok { t_jobs = jobs; t_wall_s = wall_s; t_cells = cells }
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported schema_version %d (want %d)" v version)
+    | None -> Error "missing schema_version"
+  in
+  let* () =
+    match Option.bind (Obs.Json.member "kind" j) Obs.Json.to_string_val with
+    | Some k when k = kind -> Ok ()
+    | Some k -> Error (Printf.sprintf "kind %S is not %S" k kind)
+    | None -> Error "missing kind"
+  in
+  let* section =
+    match Option.bind (Obs.Json.member "section" j) Obs.Json.to_string_val with
+    | Some s -> Ok s
+    | None -> Error "missing section"
+  in
+  let* sha =
+    match Option.bind (Obs.Json.member "git_sha" j) Obs.Json.to_string_val with
+    | Some s -> Ok s
+    | None -> Error "missing git_sha"
+  in
+  let* params =
+    match Obs.Json.member "params" j with
+    | Some p -> params_of_json p
+    | None -> Error "missing params"
+  in
+  let* cells =
+    match Obs.Json.member "cells" j with
+    | Some (Obs.Json.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* c = Cell_result.of_json item in
+          Ok (acc @ [ c ]))
+        (Ok []) items
+    | _ -> Error "missing cells list"
+  in
+  let* aggregates =
+    match Obs.Json.member "aggregates" j with
+    | Some (Obs.Json.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* a = aggregate_of_json item in
+          Ok (acc @ [ a ]))
+        (Ok []) items
+    | _ -> Error "missing aggregates list"
+  in
+  let* timing =
+    match Obs.Json.member "timing" j with
+    | None -> Ok None
+    | Some tj ->
+      let* t = timing_of_json tj in
+      Ok (Some t)
+  in
+  let include_series =
+    List.exists (fun (c : Cell_result.t) -> c.Cell_result.series <> []) cells
+  in
+  Ok { section; git_sha = sha; params; cells; aggregates; timing; include_series }
+
+(* ---------- validation ---------- *)
+
+let validate j =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
+  | Some v when v = version -> ()
+  | Some v -> err "schema_version is %d, expected %d" v version
+  | None -> err "missing or mistyped schema_version");
+  (match Option.bind (Obs.Json.member "kind" j) Obs.Json.to_string_val with
+  | Some k when k = kind -> ()
+  | Some k -> err "kind is %S, expected %S" k kind
+  | None -> err "missing or mistyped kind");
+  (match Option.bind (Obs.Json.member "section" j) Obs.Json.to_string_val with
+  | Some _ -> ()
+  | None -> err "missing or mistyped section");
+  (match Option.bind (Obs.Json.member "git_sha" j) Obs.Json.to_string_val with
+  | Some _ -> ()
+  | None -> err "missing or mistyped git_sha");
+  (match Obs.Json.member "params" j with
+  | Some p -> ( match params_of_json p with Ok _ -> () | Error e -> err "%s" e)
+  | None -> err "missing params");
+  let cell_keys = Hashtbl.create 64 in
+  (match Obs.Json.member "cells" j with
+  | Some (Obs.Json.List items) ->
+    List.iteri
+      (fun i item ->
+        match Cell_result.of_json item with
+        | Ok c ->
+          let k = Cell_result.key c in
+          if Hashtbl.mem cell_keys k then
+            err "cells[%d]: duplicate cell key (%s, %d, %d)" i
+              c.Cell_result.protocol c.Cell_result.degree c.Cell_result.seed
+          else
+            Hashtbl.add cell_keys k ()
+        | Error e -> err "cells[%d]: %s" i e)
+      items
+  | Some _ -> err "cells is not a list"
+  | None -> err "missing cells");
+  (match Obs.Json.member "aggregates" j with
+  | Some (Obs.Json.List items) ->
+    List.iteri
+      (fun i item ->
+        match aggregate_of_json item with
+        | Ok a ->
+          let members =
+            Hashtbl.fold
+              (fun (p, d, _) () n ->
+                if p = a.a_protocol && d = a.a_degree then n + 1 else n)
+              cell_keys 0
+          in
+          if members <> a.a_runs then
+            err "aggregates[%d]: (%s, degree %d) claims %d runs but has %d cells"
+              i a.a_protocol a.a_degree a.a_runs members
+        | Error e -> err "aggregates[%d]: %s" i e)
+      items
+  | Some _ -> err "aggregates is not a list"
+  | None -> err "missing aggregates");
+  (match Obs.Json.member "timing" j with
+  | None -> ()
+  | Some tj -> ( match timing_of_json tj with Ok _ -> () | Error e -> err "%s" e));
+  List.rev !errors
+
+(* ---------- files ---------- *)
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let read ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match Obs.Json.of_string_opt (String.trim contents) with
+    | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+    | Some j -> (
+      match of_json j with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)))

@@ -1,0 +1,139 @@
+(** Versioned, machine-readable campaign artifacts ([BENCH_<section>.json]).
+
+    An artifact is the single source of truth for one campaign section: the
+    sweep parameters, one row per cell in cell-key order, per-(protocol,
+    degree) aggregates (mean and standard deviation of every scalar metric,
+    plus averaged time series where the section has them), and a [timing]
+    block (worker count, total and per-cell wall-clock).
+
+    {2 Schema v1}
+
+    {v
+    { "schema_version": 1,
+      "kind": "rcsim-campaign",
+      "section": "fig3",
+      "git_sha": "<short sha or "unknown">",
+      "params": { "mode": "full", "rows": 7, "cols": 7,
+                  "degrees": [3,4,5,6,7,8], "runs": 10, "seed": 1,
+                  "rate_pps": 200.0, "warmup": 390.0, "sim_end": 800.0 },
+      "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
+                   "sent": ..., "drops_no_route": ..., ...,
+                   "extras": {...}?, "series": {...}? }, ... ],
+      "aggregates": [ { "protocol": "RIP", "degree": 3, "runs": 10,
+                        "metrics": { "drops_no_route":
+                                       { "mean": ..., "stddev": ... }, ... },
+                        "series": {...}? }, ... ],
+      "timing": { "jobs": 8, "wall_s": ...,
+                  "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
+                               "wall_s": ... }, ... ] }? }
+    v}
+
+    Determinism contract: everything except [timing] is a pure function of
+    (code, section, params) — cells are merged in cell-key order and
+    aggregates are computed in that same order, so the {!canonical_string}
+    (the artifact with [timing] removed) is byte-identical whatever [--jobs]
+    was. [timing] is honest measurement and varies run to run; {!Diff}
+    ignores it. *)
+
+type params = {
+  mode : string;  (** ["quick"], ["standard"] or ["full"] — which sweep
+                      preset produced the artifact *)
+  rows : int;
+  cols : int;
+  degrees : int list;
+  runs : int;  (** seeds per (protocol, degree) cell *)
+  seed : int;  (** base seed; cell [i] of a group uses [seed + i] *)
+  rate_pps : float;
+  warmup : float;
+  sim_end : float;
+}
+
+type stat = { mean : float; stddev : float }
+(** Population standard deviation, as {!Dessim.Stat.stddev}. *)
+
+type aggregate = {
+  a_protocol : string;
+  a_degree : int;
+  a_runs : int;
+  a_metrics : (string * stat) list;  (** one entry per scalar metric, in
+                                         {!Cell_result.metrics} order *)
+  a_series : (string * Cell_result.series) list;
+      (** per-bucket (count, sum) averaged over the group's seeds — the same
+          accumulate-then-scale rule as {!Convergence.Metrics.summarize} *)
+}
+
+type cell_timing = {
+  ct_protocol : string;
+  ct_degree : int;
+  ct_seed : int;
+  ct_wall_s : float;
+}
+
+type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
+
+type t = {
+  section : string;
+  git_sha : string;
+  params : params;
+  cells : Cell_result.t list;  (** in canonical (task) order: engine-major,
+                                    then degree, then seed *)
+  aggregates : aggregate list;  (** one per (protocol, degree), in first-cell
+                                    order *)
+  timing : timing option;
+  include_series : bool;  (** whether cell rows serialize their series *)
+}
+
+val version : int
+(** The schema version this module reads and writes: [1]. *)
+
+val params_of_sweep : mode:string -> Convergence.Experiments.sweep -> params
+
+val git_sha : unit -> string
+(** The repository's short HEAD sha, or ["unknown"] outside a git checkout. *)
+
+val aggregate : Cell_result.t list -> aggregate list
+(** [aggregate cells] groups cells by (protocol, degree) in first-appearance
+    order and computes mean/stddev of every scalar metric and the averaged
+    series per group. Cells of one group must share the metric and series
+    name sets. *)
+
+val build :
+  section:string ->
+  ?git_sha:string ->
+  ?timing:timing ->
+  include_series:bool ->
+  params ->
+  Cell_result.t list ->
+  t
+(** [build ~section params cells] computes the aggregates and stamps the
+    schema metadata. [cells] must already be in canonical cell order — the
+    section's task order (engine-major, then degree, then seed), which is
+    what {!Driver.run} produces; the order determines both the artifact's
+    row order and the aggregates' (hence the tables') protocol column
+    order. [?git_sha] defaults to {!git_sha}[ ()]. *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict parse: fails on a missing field, a type mismatch, or an
+    unsupported schema version. *)
+
+val validate : Obs.Json.t -> string list
+(** [validate j] is every schema violation found (empty = valid): required
+    keys, types, schema version, and cells/aggregates consistency (each
+    aggregate's [runs] equals its group's cell count). Unlike {!of_json} it
+    keeps going after the first problem, for useful CI output. *)
+
+val to_string : t -> string
+(** Compact one-line JSON of the full artifact, including [timing]. *)
+
+val canonical_string : t -> string
+(** {!to_string} with [timing] removed — the byte-comparable form used by
+    the determinism tests and the [--jobs]-invariance guarantee. *)
+
+val write : path:string -> t -> unit
+(** Write {!to_string} plus a trailing newline to [path]. *)
+
+val read : path:string -> (t, string) result
+(** Read and parse an artifact file; [Error] names the file on I/O, JSON or
+    schema failures. *)

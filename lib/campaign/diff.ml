@@ -1,0 +1,158 @@
+type entry =
+  | Params of { field : string; a : string; b : string }
+  | Missing_cell of { only_in : [ `A | `B ]; protocol : string; degree : int; seed : int }
+  | Missing_aggregate of { only_in : [ `A | `B ]; protocol : string; degree : int }
+  | Cell_metric of {
+      protocol : string;
+      degree : int;
+      seed : int;
+      metric : string;
+      a : float;
+      b : float;
+    }
+  | Aggregate_metric of {
+      protocol : string;
+      degree : int;
+      metric : string;
+      a : float;
+      b : float;
+    }
+
+let side = function `A -> "A" | `B -> "B"
+
+let pp_entry ppf = function
+  | Params { field; a; b } ->
+    Fmt.pf ppf "params.%s differs: %s vs %s" field a b
+  | Missing_cell { only_in; protocol; degree; seed } ->
+    Fmt.pf ppf "cell (%s, degree %d, seed %d) only in %s" protocol degree seed
+      (side only_in)
+  | Missing_aggregate { only_in; protocol; degree } ->
+    Fmt.pf ppf "aggregate (%s, degree %d) only in %s" protocol degree
+      (side only_in)
+  | Cell_metric { protocol; degree; seed; metric; a; b } ->
+    Fmt.pf ppf "cell (%s, degree %d, seed %d) %s: %g -> %g" protocol degree
+      seed metric a b
+  | Aggregate_metric { protocol; degree; metric; a; b } ->
+    Fmt.pf ppf "aggregate (%s, degree %d) %s: %g -> %g" protocol degree metric
+      a b
+
+(* NaN = NaN here: "undefined in both" is agreement, not a regression. *)
+let differs ~tol a b =
+  if Float.is_nan a && Float.is_nan b then false
+  else if Float.is_nan a || Float.is_nan b then true
+  else Float.abs (a -. b) > tol
+
+let param_entries (a : Artifact.params) (b : Artifact.params) =
+  let p field av bv = Params { field; a = av; b = bv } in
+  let str f av bv acc = if av <> bv then p f av bv :: acc else acc in
+  let fint f av bv acc = if av <> bv then p f (string_of_int av) (string_of_int bv) :: acc else acc in
+  let fflt f av bv acc = if av <> bv then p f (Fmt.str "%g" av) (Fmt.str "%g" bv) :: acc else acc in
+  let degrees d = String.concat "," (List.map string_of_int d) in
+  []
+  |> str "mode" a.Artifact.mode b.Artifact.mode
+  |> fint "rows" a.Artifact.rows b.Artifact.rows
+  |> fint "cols" a.Artifact.cols b.Artifact.cols
+  |> str "degrees" (degrees a.Artifact.degrees) (degrees b.Artifact.degrees)
+  |> fint "runs" a.Artifact.runs b.Artifact.runs
+  |> fint "seed" a.Artifact.seed b.Artifact.seed
+  |> fflt "rate_pps" a.Artifact.rate_pps b.Artifact.rate_pps
+  |> fflt "warmup" a.Artifact.warmup b.Artifact.warmup
+  |> fflt "sim_end" a.Artifact.sim_end b.Artifact.sim_end
+  |> List.rev
+
+let artifacts ?(tol = 0.) (a : Artifact.t) (b : Artifact.t) =
+  let entries = ref [] in
+  let emit e = entries := e :: !entries in
+  if a.Artifact.section <> b.Artifact.section then
+    emit (Params { field = "section"; a = a.Artifact.section; b = b.Artifact.section });
+  List.iter emit (param_entries a.Artifact.params b.Artifact.params);
+  (* Cells, matched by key. *)
+  let index cells =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (c : Cell_result.t) -> Hashtbl.replace tbl (Cell_result.key c) c)
+      cells;
+    tbl
+  in
+  let bi = index b.Artifact.cells in
+  let ai = index a.Artifact.cells in
+  List.iter
+    (fun (ca : Cell_result.t) ->
+      let protocol, degree, seed = Cell_result.key ca in
+      match Hashtbl.find_opt bi (protocol, degree, seed) with
+      | None -> emit (Missing_cell { only_in = `A; protocol; degree; seed })
+      | Some cb ->
+        let mb = Cell_result.metrics cb in
+        List.iter
+          (fun (metric, va) ->
+            match List.assoc_opt metric mb with
+            | Some vb when not (differs ~tol va vb) -> ()
+            | Some vb ->
+              emit (Cell_metric { protocol; degree; seed; metric; a = va; b = vb })
+            | None ->
+              emit
+                (Cell_metric
+                   { protocol; degree; seed; metric; a = va; b = Float.nan }))
+          (Cell_result.metrics ca))
+    a.Artifact.cells;
+  List.iter
+    (fun (cb : Cell_result.t) ->
+      let protocol, degree, seed = Cell_result.key cb in
+      if not (Hashtbl.mem ai (protocol, degree, seed)) then
+        emit (Missing_cell { only_in = `B; protocol; degree; seed }))
+    b.Artifact.cells;
+  (* Aggregates, matched by (protocol, degree). *)
+  let agg_key (g : Artifact.aggregate) = (g.Artifact.a_protocol, g.Artifact.a_degree) in
+  let bagg = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace bagg (agg_key g) g) b.Artifact.aggregates;
+  List.iter
+    (fun (ga : Artifact.aggregate) ->
+      let protocol, degree = agg_key ga in
+      match Hashtbl.find_opt bagg (protocol, degree) with
+      | None -> emit (Missing_aggregate { only_in = `A; protocol; degree })
+      | Some gb ->
+        List.iter
+          (fun (name, (sa : Artifact.stat)) ->
+            match List.assoc_opt name gb.Artifact.a_metrics with
+            | None ->
+              emit
+                (Aggregate_metric
+                   {
+                     protocol;
+                     degree;
+                     metric = "mean " ^ name;
+                     a = sa.Artifact.mean;
+                     b = Float.nan;
+                   })
+            | Some sb ->
+              if differs ~tol sa.Artifact.mean sb.Artifact.mean then
+                emit
+                  (Aggregate_metric
+                     {
+                       protocol;
+                       degree;
+                       metric = "mean " ^ name;
+                       a = sa.Artifact.mean;
+                       b = sb.Artifact.mean;
+                     });
+              if differs ~tol sa.Artifact.stddev sb.Artifact.stddev then
+                emit
+                  (Aggregate_metric
+                     {
+                       protocol;
+                       degree;
+                       metric = "stddev " ^ name;
+                       a = sa.Artifact.stddev;
+                       b = sb.Artifact.stddev;
+                     }))
+          ga.Artifact.a_metrics)
+    a.Artifact.aggregates;
+  let aagg = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace aagg (agg_key g) g) a.Artifact.aggregates;
+  List.iter
+    (fun (gb : Artifact.aggregate) ->
+      let protocol, degree = agg_key gb in
+      if not (Hashtbl.mem aagg (protocol, degree)) then
+        emit (Missing_aggregate { only_in = `B; protocol; degree }))
+    b.Artifact.aggregates;
+  List.rev !entries

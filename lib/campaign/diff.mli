@@ -1,0 +1,42 @@
+(** Regression comparison between two campaign artifacts.
+
+    [rcsim campaign diff A.json B.json] is built on this module: it matches
+    cells by cell key and aggregates by (protocol, degree), and reports every
+    scalar that moved by more than a tolerance. Because artifacts are
+    deterministic (see {!Artifact}), the default tolerance is exact equality:
+    any difference between two runs of the same sweep on the same code is a
+    real behavioral change, not noise. The [timing] block and the recorded
+    [git_sha] are ignored — they are {e expected} to differ between runs.
+
+    Two NaNs compare equal (a metric that is undefined in both artifacts is
+    not a regression). *)
+
+type entry =
+  | Params of { field : string; a : string; b : string }
+      (** the sweeps are not comparable cell-by-cell (e.g. different seeds,
+          degrees or mode); cells are still compared where keys match *)
+  | Missing_cell of { only_in : [ `A | `B ]; protocol : string; degree : int; seed : int }
+  | Missing_aggregate of { only_in : [ `A | `B ]; protocol : string; degree : int }
+  | Cell_metric of {
+      protocol : string;
+      degree : int;
+      seed : int;
+      metric : string;
+      a : float;
+      b : float;
+    }
+  | Aggregate_metric of {
+      protocol : string;
+      degree : int;
+      metric : string;  (** ["mean drops_no_route"]-style label *)
+      a : float;
+      b : float;
+    }
+
+val pp_entry : entry Fmt.t
+
+val artifacts : ?tol:float -> Artifact.t -> Artifact.t -> entry list
+(** [artifacts a b] is every difference, cells first (in [a]'s cell order),
+    then aggregates. [tol] (default [0.]) is the absolute deviation under
+    which two scalars count as equal. [[]] means the artifacts agree on
+    everything except (possibly) timing and git sha. *)

@@ -1,0 +1,47 @@
+let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) (tasks : Sections.task array) =
+  let n = Array.length tasks in
+  let done_count = ref 0 in
+  let progress_mutex = Mutex.create () in
+  let timed_task (t : Sections.task) () =
+    let t0 = Unix.gettimeofday () in
+    let cell = t.Sections.t_run () in
+    let wall = Unix.gettimeofday () -. t0 in
+    Mutex.protect progress_mutex (fun () ->
+        incr done_count;
+        progress
+          (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
+             t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+             !done_count n wall));
+    { cell with Cell_result.wall_s = wall }
+  in
+  let t0 = Unix.gettimeofday () in
+  let cells = Pool.run ~jobs (Array.map timed_task tasks) in
+  let total = Unix.gettimeofday () -. t0 in
+  let timing =
+    {
+      Artifact.t_jobs = max 1 (min jobs (max 1 n));
+      t_wall_s = total;
+      t_cells =
+        Array.to_list
+          (Array.map
+             (fun (c : Cell_result.t) ->
+               {
+                 Artifact.ct_protocol = c.Cell_result.protocol;
+                 ct_degree = c.Cell_result.degree;
+                 ct_seed = c.Cell_result.seed;
+                 ct_wall_s = c.Cell_result.wall_s;
+               })
+             cells);
+    }
+  in
+  (cells, timing)
+
+let artifact_of ~(section : Sections.t) ~mode ?timing sweep cells =
+  Artifact.build ~section:section.Sections.name ?timing
+    ~include_series:section.Sections.include_series
+    (Artifact.params_of_sweep ~mode sweep)
+    (Array.to_list cells)
+
+let run ?jobs ?progress ~mode sweep (section : Sections.t) =
+  let cells, timing = run_tasks ?jobs ?progress (section.Sections.tasks sweep) in
+  artifact_of ~section ~mode ~timing sweep cells

@@ -1,0 +1,44 @@
+(** Campaign execution: cells onto the {!Pool}, results into an {!Artifact}.
+
+    The driver is the only component that measures wall-clock time; the cell
+    rows themselves stay deterministic (see {!Cell_result}). Splitting
+    {!run_tasks} from {!artifact_of} lets callers that run several sections
+    of one {e family} (e.g. fig3..fig7 and overhead all project the same
+    paper sweep) execute the shared cells once and emit one artifact per
+    section. *)
+
+val run_tasks :
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  Sections.task array ->
+  Cell_result.t array * Artifact.timing
+(** [run_tasks ~jobs ~progress tasks] executes every task on a {!Pool} of
+    [jobs] workers (default 1) and returns the results {e in task order} —
+    the canonical cell order — regardless of which worker finished which
+    cell when. Each returned cell has [wall_s] stamped, and the timing block
+    records the worker count, the total wall-clock, and the per-cell costs.
+
+    [progress] (default: silent) is called once per completed cell, from
+    whichever domain finished it, serialized by a mutex — e.g.
+    ["RIP d=3 seed=42 (17/240) 1.32s"]. The callback must not raise. *)
+
+val artifact_of :
+  section:Sections.t ->
+  mode:string ->
+  ?timing:Artifact.timing ->
+  Convergence.Experiments.sweep ->
+  Cell_result.t array ->
+  Artifact.t
+(** [artifact_of ~section ~mode sweep cells] assembles the artifact for
+    [section] from cells produced by {!run_tasks} (or by a section-sharing
+    sibling's run). *)
+
+val run :
+  ?jobs:int ->
+  ?progress:(string -> unit) ->
+  mode:string ->
+  Convergence.Experiments.sweep ->
+  Sections.t ->
+  Artifact.t
+(** [run ~jobs ~mode sweep section] = {!run_tasks} on [section.tasks sweep]
+    followed by {!artifact_of}, timing included. *)

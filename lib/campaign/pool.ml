@@ -1,0 +1,67 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Hard cap on spawned domains: the runtime supports ~128 concurrently and
+   recommends far fewer; campaign cells are coarse enough that more workers
+   than cores never pays. *)
+let max_workers = 64
+
+(* One contiguous slice of the task array, claimed index by index through an
+   atomic cursor. The owner and thieves race on the same cursor with
+   compare-and-set, so each index is handed out exactly once. *)
+type arena = { lo : int Atomic.t; hi : int }
+
+let claim arena =
+  let rec loop () =
+    let cur = Atomic.get arena.lo in
+    if cur >= arena.hi then None
+    else if Atomic.compare_and_set arena.lo cur (cur + 1) then Some cur
+    else loop ()
+  in
+  loop ()
+
+let sequential tasks = Array.map (fun task -> task ()) tasks
+
+let parallel ~jobs tasks =
+  let n = Array.length tasks in
+  let arenas =
+    (* Split [0, n) into [jobs] near-equal contiguous slices. *)
+    Array.init jobs (fun w ->
+        let lo = w * n / jobs and hi = (w + 1) * n / jobs in
+        { lo = Atomic.make lo; hi })
+  in
+  let results = Array.make n None in
+  let failures = Array.make n None in
+  let worker w () =
+    (* Drain the own arena first, then steal from the others round-robin. *)
+    let rec next k =
+      if k >= jobs then None
+      else
+        match claim arenas.((w + k) mod jobs) with
+        | Some i -> Some i
+        | None -> next (k + 1)
+    in
+    let rec loop () =
+      match next 0 with
+      | None -> ()
+      | Some i ->
+        (match tasks.(i) () with
+        | v -> results.(i) <- Some v
+        | exception e -> failures.(i) <- Some e);
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+  worker 0 ();
+  Array.iter Domain.join domains;
+  Array.iteri
+    (fun i -> function Some e -> raise e | None -> ignore i)
+    failures;
+  Array.map Option.get results
+
+let run ?(jobs = 1) tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else
+    let jobs = min (min jobs n) max_workers in
+    if jobs <= 1 then sequential tasks else parallel ~jobs tasks

@@ -1,0 +1,41 @@
+(** A fixed-size pool of OCaml 5 domains executing an array of independent
+    tasks.
+
+    The pool exists for one reason: an experiment campaign is a bag of
+    embarrassingly parallel cells (one seeded simulation each), and the
+    hardware should be saturated without perturbing the results. The contract
+    that makes this safe is {e index-preserving execution}: [run tasks] returns
+    an array where slot [i] holds the result of [tasks.(i)], whatever the
+    number of workers and whatever order tasks happened to finish in. Callers
+    therefore see a deterministic, sequential-looking result from a parallel
+    execution.
+
+    Scheduling is work-stealing over per-worker slices: the task array is
+    split into [jobs] contiguous arenas, each worker drains its own arena
+    first (cache-friendly, zero contention while balanced), and a worker that
+    runs dry steals unclaimed indices from other arenas. Claiming is a
+    compare-and-set on the arena cursor, so every task runs exactly once.
+
+    Tasks must not share mutable state (each simulation cell owns its RNG,
+    scheduler and topology — see {!Dessim.Rng} on domain safety). The pool
+    never re-runs a task and never drops one. *)
+
+val default_jobs : unit -> int
+(** [default_jobs ()] is [max 1 (Domain.recommended_domain_count () - 1)]:
+    one worker per available core, leaving a core for the spawning domain.
+    On a single-core machine this is [1], i.e. the sequential path. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] executes every task and returns their results in task
+    order. [jobs] defaults to [1].
+
+    - [jobs <= 1] runs the tasks sequentially in the calling domain — no
+      domain is spawned, so this is exactly the pre-campaign code path.
+    - [jobs > 1] spawns [min jobs (Array.length tasks)] worker domains
+      (capped at 64) and work-steals as described above. The calling domain
+      blocks until all workers have joined.
+
+    If any task raises, every remaining claimed task still completes, the
+    workers are joined, and the exception of the {e lowest-indexed} failing
+    task is re-raised in the caller — deterministic even when several tasks
+    fail in the same run. *)

@@ -1,0 +1,545 @@
+module E = Convergence.Engine_registry
+module X = Convergence.Experiments
+module C = Convergence.Config
+module M = Convergence.Metrics
+module R = Convergence.Runner
+
+type task = {
+  t_protocol : string;
+  t_degree : int;
+  t_seed : int;
+  t_run : unit -> Cell_result.t;
+}
+
+type t = {
+  name : string;
+  family : string;
+  title : string;
+  doc : string;
+  include_series : bool;
+  tasks : X.sweep -> task array;
+  render : Format.formatter -> Artifact.t -> unit;
+}
+
+(* The inclusive normalized window the paper's time-series figures print,
+   matching the old bench's [~window:(0., 60.)]. *)
+let window_lo = 0.
+
+let window_hi = 60.
+
+let cfg_of (sweep : X.sweep) degree i =
+  sweep.X.base |> C.with_degree degree |> C.with_seed (sweep.X.base.C.seed + i)
+
+(* ---------- task builders ---------- *)
+
+(* One task per (engine, degree, seed), in that nesting order — the canonical
+   cell order every grid artifact uses. *)
+let sweep_tasks (sweep : X.sweep) ~engines cell =
+  engines
+  |> List.concat_map (fun engine ->
+         sweep.X.degrees
+         |> List.concat_map (fun degree ->
+                List.init sweep.X.runs (fun i ->
+                    let cfg = cfg_of sweep degree i in
+                    {
+                      t_protocol = E.name engine;
+                      t_degree = degree;
+                      t_seed = cfg.C.seed;
+                      t_run = (fun () -> cell cfg engine);
+                    })))
+  |> Array.of_list
+
+let grid_tasks ?(with_series = false) ~engines sweep =
+  sweep_tasks sweep ~engines (fun cfg engine ->
+      let r = E.run cfg engine in
+      let series =
+        if with_series then
+          let windowed s =
+            Cell_result.windowed ~warmup:cfg.C.warmup ~lo:window_lo
+              ~hi:window_hi s
+          in
+          [
+            ("throughput", windowed r.M.throughput);
+            ("delay", windowed r.M.delay);
+          ]
+        else []
+      in
+      Cell_result.of_run ~series r)
+
+(* ---------- render helpers ---------- *)
+
+let protocols_of (a : Artifact.t) =
+  List.fold_left
+    (fun acc (g : Artifact.aggregate) ->
+      if List.mem g.Artifact.a_protocol acc then acc
+      else acc @ [ g.Artifact.a_protocol ])
+    [] a.Artifact.aggregates
+
+let scalar_data (a : Artifact.t) metric =
+  List.map
+    (fun proto ->
+      ( proto,
+        List.filter_map
+          (fun (g : Artifact.aggregate) ->
+            if g.Artifact.a_protocol <> proto then None
+            else
+              Option.map
+                (fun (s : Artifact.stat) -> (g.Artifact.a_degree, s.Artifact.mean))
+                (List.assoc_opt metric g.Artifact.a_metrics))
+          a.Artifact.aggregates ))
+    (protocols_of a)
+
+let scalar_table ~title ~unit_label ~metric ppf a =
+  Fmt.pf ppf "%a@.@."
+    (Convergence.Report.scalar_table ~title ~unit_label)
+    (scalar_data a metric)
+
+(* Same layout as {!Convergence.Report.series_table}, driven by the stored
+   (count, sum) buckets instead of a live [Dessim.Series.t]. *)
+let series_table ~title ~unit_label ~mode ~metric ~degree ppf (a : Artifact.t) =
+  let data =
+    List.filter_map
+      (fun (g : Artifact.aggregate) ->
+        if g.Artifact.a_degree <> degree then None
+        else
+          Option.map
+            (fun s -> (g.Artifact.a_protocol, s))
+            (List.assoc_opt metric g.Artifact.a_series))
+      a.Artifact.aggregates
+  in
+  let rule width = Fmt.pf ppf "%s@," (String.make width '-') in
+  let width = 8 + (10 * List.length data) in
+  Fmt.pf ppf "@[<v>%s (%s; time normalized to warmup end)@," title unit_label;
+  rule width;
+  Fmt.pf ppf "%-8s" "t(s)";
+  List.iter (fun (p, _) -> Fmt.pf ppf "%10s" p) data;
+  Fmt.pf ppf "@,";
+  rule width;
+  (match data with
+  | [] -> ()
+  | (_, (model : Cell_result.series)) :: _ ->
+    for i = 0 to Array.length model.Cell_result.s_counts - 1 do
+      let t =
+        model.Cell_result.s_start +. (float_of_int i *. model.Cell_result.s_width)
+      in
+      Fmt.pf ppf "%-8.0f" t;
+      List.iter
+        (fun (_, (s : Cell_result.series)) ->
+          let c = s.Cell_result.s_counts.(i) and v = s.Cell_result.s_sums.(i) in
+          let value =
+            match mode with
+            | `Rate -> c /. s.Cell_result.s_width
+            | `Mean -> if c = 0. then 0. else v /. c
+          in
+          Fmt.pf ppf "%10.3f" value)
+        data;
+      Fmt.pf ppf "@,"
+    done);
+  rule width;
+  Fmt.pf ppf "@]@.@."
+
+let series_section ~metric ~mode ~degrees ~title_of ~unit_label ppf
+    (a : Artifact.t) =
+  List.iter
+    (fun degree ->
+      if List.mem degree a.Artifact.params.Artifact.degrees then
+        series_table ~title:(title_of degree) ~unit_label ~mode ~metric ~degree
+          ppf a)
+    degrees
+
+(* ---------- the paper-grid family ---------- *)
+
+let paper_tasks sweep = grid_tasks ~with_series:true ~engines:E.paper_four sweep
+
+let paper name ~include_series ~title ~doc render =
+  { name; family = "paper"; title; doc; include_series; tasks = paper_tasks; render }
+
+let fig3 =
+  paper "fig3" ~include_series:false
+    ~title:"Figure 3: packet drops due to no route, vs node degree"
+    ~doc:"packet drops due to no route, vs node degree"
+    (fun ppf a ->
+      scalar_table ~title:"Fig 3 - drops (no route)"
+        ~unit_label:"packets, mean over runs" ~metric:"drops_no_route" ppf a)
+
+let fig4 =
+  paper "fig4" ~include_series:false
+    ~title:"Figure 4: TTL expirations during convergence, vs node degree"
+    ~doc:"TTL expirations during convergence, vs node degree"
+    (fun ppf a ->
+      scalar_table ~title:"Fig 4 - TTL expirations"
+        ~unit_label:"packets, mean over runs" ~metric:"drops_ttl" ppf a)
+
+let fig5 =
+  paper "fig5" ~include_series:true
+    ~title:"Figure 5: instantaneous throughput vs time"
+    ~doc:"instantaneous throughput vs time (degrees 3, 4, 6)"
+    (series_section ~metric:"throughput" ~mode:`Rate ~degrees:[ 3; 4; 6 ]
+       ~title_of:(Printf.sprintf "Fig 5 - throughput, degree %d")
+       ~unit_label:"packets/s")
+
+let fig6 =
+  paper "fig6" ~include_series:false
+    ~title:"Figure 6: convergence times vs node degree"
+    ~doc:"forwarding-path and network routing convergence vs node degree"
+    (fun ppf a ->
+      scalar_table ~title:"Fig 6(a) - forwarding-path convergence"
+        ~unit_label:"seconds" ~metric:"fwd_convergence" ppf a;
+      scalar_table ~title:"Fig 6(b) - network routing convergence"
+        ~unit_label:"seconds" ~metric:"routing_convergence" ppf a)
+
+let fig7 =
+  paper "fig7" ~include_series:true
+    ~title:"Figure 7: instantaneous packet delay vs time"
+    ~doc:"instantaneous delay of delivered packets vs time (degrees 4, 5, 6)"
+    (series_section ~metric:"delay" ~mode:`Mean ~degrees:[ 4; 5; 6 ]
+       ~title_of:(Printf.sprintf "Fig 7 - delay of delivered packets, degree %d")
+       ~unit_label:"seconds")
+
+let overhead =
+  paper "overhead" ~include_series:false
+    ~title:"Control-message overhead (Section 2 cost axis)"
+    ~doc:"routing messages per run, vs node degree"
+    (fun ppf a ->
+      scalar_table ~title:"Routing messages per run" ~unit_label:"messages, mean"
+        ~metric:"ctrl_messages" ppf a)
+
+(* ---------- scenarios ---------- *)
+
+let scenarios_tasks (sweep : X.sweep) =
+  let cfg = sweep.X.base in
+  E.all
+  |> List.map (fun engine ->
+         {
+           t_protocol = E.name engine;
+           t_degree = cfg.C.degree;
+           t_seed = cfg.C.seed;
+           t_run =
+             (fun () ->
+               let metrics = Obs.Registry.create () in
+               let r = E.run ~metrics cfg engine in
+               let gauge name =
+                 match Obs.Registry.lookup metrics name with
+                 | Some (Obs.Registry.Gauge_value v) -> v
+                 | Some _ | None -> Float.nan
+               in
+               Cell_result.of_run
+                 ~extras:
+                   [
+                     ("sched_events", gauge "scheduler.events_fired");
+                     ("max_queue_depth", gauge "scheduler.max_queue_depth");
+                   ]
+                 r);
+         })
+  |> Array.of_list
+
+let render_scenarios ppf (a : Artifact.t) =
+  let wall_of (c : Cell_result.t) =
+    match a.Artifact.timing with
+    | None -> Float.nan
+    | Some t -> (
+      match
+        List.find_opt
+          (fun (ct : Artifact.cell_timing) ->
+            ct.Artifact.ct_protocol = c.Cell_result.protocol
+            && ct.Artifact.ct_degree = c.Cell_result.degree
+            && ct.Artifact.ct_seed = c.Cell_result.seed)
+          t.Artifact.t_cells
+      with
+      | Some ct -> ct.Artifact.ct_wall_s
+      | None -> Float.nan)
+  in
+  List.iter
+    (fun (c : Cell_result.t) ->
+      let extra name = Option.value ~default:Float.nan (List.assoc_opt name c.Cell_result.extras) in
+      Fmt.pf ppf
+        "%-8s %6.2f s wall  (%d packets, %d control msgs, %.0f sched events, \
+         queue depth <= %.0f)@."
+        c.Cell_result.protocol (wall_of c) c.Cell_result.sent
+        c.Cell_result.ctrl_messages (extra "sched_events")
+        (extra "max_queue_depth"))
+    a.Artifact.cells;
+  Fmt.pf ppf "@."
+
+let scenarios =
+  {
+    name = "scenarios";
+    family = "scenarios";
+    title = "full-scenario wall-clock cost (one paper run per engine)";
+    doc = "wall-clock cost of one full paper scenario per engine";
+    include_series = false;
+    tasks = scenarios_tasks;
+    render = render_scenarios;
+  }
+
+(* ---------- ablations and extensions ---------- *)
+
+let ablation_mrai =
+  {
+    name = "ablation-mrai";
+    family = "ablation-mrai";
+    title = "Ablation: MRAI granularity (per neighbor vs per (neighbor, destination))";
+    doc = "BGP MRAI per neighbor vs per (neighbor, destination)";
+    include_series = false;
+    tasks = (fun sweep -> grid_tasks ~engines:[ E.bgp; E.bgp_per_dest ] sweep);
+    render =
+      (fun ppf a ->
+        scalar_table ~title:"drops (no route)" ~unit_label:"packets"
+          ~metric:"drops_no_route" ppf a;
+        scalar_table ~title:"TTL expirations" ~unit_label:"packets"
+          ~metric:"drops_ttl" ppf a;
+        scalar_table ~title:"routing convergence" ~unit_label:"seconds"
+          ~metric:"routing_convergence" ppf a);
+  }
+
+let damping_intervals = [ (0.1, 0.2); (1., 5.); (5., 10.) ]
+
+let damping_engines =
+  List.map
+    (fun (dmin, dmax) ->
+      let cfg =
+        { Protocols.Dv_core.default_config with damp_min = dmin; damp_max = dmax }
+      in
+      E.Engine ((module Protocols.Dbf), cfg, Printf.sprintf "DBF[%g-%gs]" dmin dmax))
+    damping_intervals
+
+let ablation_damping =
+  {
+    name = "ablation-damping";
+    family = "ablation-damping";
+    title = "Ablation: DBF triggered-update damping interval";
+    doc = "DBF under different triggered-update damping intervals";
+    include_series = false;
+    tasks = (fun sweep -> grid_tasks ~engines:damping_engines sweep);
+    render =
+      (fun ppf a ->
+        scalar_table ~title:"drops (no route)" ~unit_label:"packets"
+          ~metric:"drops_no_route" ppf a;
+        scalar_table ~title:"routing convergence" ~unit_label:"seconds"
+          ~metric:"routing_convergence" ppf a;
+        scalar_table ~title:"control messages" ~unit_label:"messages"
+          ~metric:"ctrl_messages" ppf a);
+  }
+
+(* A link on the flow's shortest path flaps three times (4 s down, 4 s up),
+   then stays up — the scenario the intro's route-flap-damping references
+   [4]/[15] describe. *)
+let flap_scenario (cfg : C.t) =
+  let topo = Netsim.Mesh.generate ~rows:cfg.C.rows ~cols:cfg.C.cols ~degree:cfg.C.degree in
+  let src = 0 and dst = C.nodes cfg - 1 in
+  let path =
+    match Netsim.Topology.shortest_path topo src dst with
+    | Some p -> p
+    | None -> invalid_arg "campaign rfd: disconnected mesh"
+  in
+  let rec nth_link i = function
+    | a :: (b :: _ as rest) -> if i = 0 then (a, b) else nth_link (i - 1) rest
+    | _ -> invalid_arg "campaign rfd: path too short"
+  in
+  let u, v = nth_link (List.length path / 2) path in
+  let flap i =
+    {
+      R.fail_at = cfg.C.failure_time +. (float_of_int i *. 8.);
+      target = R.Link (u, v);
+      heal_after = Some 4.;
+    }
+  in
+  let flow = { R.default_flow with flow_src = Some src; flow_dst = Some dst } in
+  (flow, List.init 3 flap)
+
+let rfd_cell cfg engine =
+  let flow, failures = flap_scenario cfg in
+  let m = E.run_multi ~flows:[ flow ] ~failures cfg engine in
+  let ratio =
+    match m.M.m_flows with
+    | [ f ] -> M.flow_delivery_ratio f
+    | _ -> Float.nan
+  in
+  Cell_result.of_multi ~extras:[ ("delivery_ratio", ratio) ] m
+
+let ablation_rfd =
+  {
+    name = "ablation-rfd";
+    family = "ablation-rfd";
+    title = "Ablation: route flap damping under a flapping link (intro refs [4]/[15])";
+    doc = "BGP-3 with and without route flap damping under a flapping link";
+    include_series = false;
+    tasks = (fun sweep -> sweep_tasks sweep ~engines:[ E.bgp3; E.bgp3_rfd ] rfd_cell);
+    render =
+      (fun ppf a ->
+        scalar_table ~title:"delivery ratio across three flaps"
+          ~unit_label:"fraction" ~metric:"delivery_ratio" ppf a;
+        scalar_table ~title:"no-route drops" ~unit_label:"packets"
+          ~metric:"drops_no_route" ppf a;
+        scalar_table ~title:"routing convergence from first flap"
+          ~unit_label:"seconds" ~metric:"routing_convergence" ppf a);
+  }
+
+let ext_ls =
+  {
+    name = "ext-ls";
+    family = "ext-ls";
+    title = "Extension: link-state protocol (paper future work)";
+    doc = "link-state extension vs DBF and BGP-3";
+    include_series = false;
+    tasks = (fun sweep -> grid_tasks ~engines:[ E.ls; E.dbf; E.bgp3 ] sweep);
+    render =
+      (fun ppf a ->
+        scalar_table ~title:"drops (no route)" ~unit_label:"packets"
+          ~metric:"drops_no_route" ppf a;
+        scalar_table ~title:"forwarding-path convergence" ~unit_label:"seconds"
+          ~metric:"fwd_convergence" ppf a;
+        scalar_table ~title:"routing convergence" ~unit_label:"seconds"
+          ~metric:"routing_convergence" ppf a);
+  }
+
+(* Four concurrent flows, two failures 5 s apart. The per-flow rate is halved
+   (200 -> 100 pps) so the aggregate offered load stays comparable to the
+   single-flow sections. *)
+let multiflow_cell cfg engine =
+  let cfg = { cfg with C.send_rate_pps = 100. } in
+  let flows = List.init 4 (fun _ -> R.default_flow) in
+  let failures =
+    List.init 2 (fun i ->
+        {
+          R.fail_at = cfg.C.failure_time +. (float_of_int i *. 5.);
+          target = R.Flow_path (i mod 4);
+          heal_after = None;
+        })
+  in
+  let m = E.run_multi ~flows ~failures cfg engine in
+  let ratio = Dessim.Stat.mean (List.map M.flow_delivery_ratio m.M.m_flows) in
+  Cell_result.of_multi ~extras:[ ("delivery_ratio", ratio) ] m
+
+let ext_multiflow =
+  {
+    name = "ext-multiflow";
+    family = "ext-multiflow";
+    title = "Extension: multiple flows, overlapping failures (paper future work)";
+    doc = "four flows, two overlapping failures";
+    include_series = false;
+    tasks = (fun sweep -> sweep_tasks sweep ~engines:E.paper_four multiflow_cell);
+    render =
+      (fun ppf a ->
+        scalar_table
+          ~title:"aggregate delivery ratio (4 flows, 2 failures 5 s apart)"
+          ~unit_label:"fraction" ~metric:"delivery_ratio" ppf a;
+        scalar_table ~title:"no-route drops summed over flows"
+          ~unit_label:"packets" ~metric:"drops_no_route" ppf a;
+        scalar_table ~title:"routing convergence from first failure"
+          ~unit_label:"seconds" ~metric:"routing_convergence" ppf a);
+  }
+
+(* A go-back-N transfer sized to span the failure comfortably at the
+   window-limited rate (~100 pps on these paths). *)
+let transport_config =
+  { R.default_transport with window = 16; rto = 0.5; total_packets = 8000 }
+
+(* Seconds of zero goodput in the minute after the failure, stopping at
+   transfer completion: zero goodput after the last ack is not a stall. *)
+let stall_seconds (cfg : C.t) (o : R.transport_outcome) =
+  let g = o.R.t_goodput in
+  let count = ref 0 in
+  let from_bucket =
+    match Dessim.Series.bucket_of_time g cfg.C.failure_time with
+    | Some b -> b
+    | None -> 0
+  in
+  let horizon =
+    match o.R.t_completed_at with
+    | Some t -> (
+      match Dessim.Series.bucket_of_time g t with
+      | Some b -> b
+      | None -> Dessim.Series.buckets g - 1)
+    | None -> Dessim.Series.buckets g - 1
+  in
+  let upto = min horizon (from_bucket + 60) in
+  for i = from_bucket to upto do
+    if Dessim.Series.count g i = 0 then incr count
+  done;
+  float_of_int !count
+
+let transport_cell cfg engine =
+  let failures =
+    [ { R.fail_at = cfg.C.failure_time; target = R.Flow_path 0; heal_after = None } ]
+  in
+  let o = E.run_transport ~failures transport_config cfg engine in
+  let finish = Option.value o.R.t_completed_at ~default:cfg.C.sim_end in
+  Cell_result.of_multi
+    ~extras:
+      [
+        ("completion_s", finish -. cfg.C.traffic_start);
+        ("retransmissions", float_of_int o.R.t_retransmissions);
+        ("stall_s", stall_seconds cfg o);
+      ]
+    o.R.t_multi
+
+let ext_transport =
+  {
+    name = "ext-transport";
+    family = "ext-transport";
+    title = "Extension: reliable transport across the failure (paper future work)";
+    doc = "go-back-N transfer crossing the failure";
+    include_series = false;
+    tasks = (fun sweep -> sweep_tasks sweep ~engines:E.paper_four transport_cell);
+    render =
+      (fun ppf a ->
+        scalar_table
+          ~title:"transfer completion time (8000 packets, window 16, RTO 0.5 s)"
+          ~unit_label:"seconds from transfer start" ~metric:"completion_s" ppf a;
+        scalar_table ~title:"retransmissions" ~unit_label:"packets"
+          ~metric:"retransmissions" ppf a;
+        scalar_table ~title:"goodput stall after the failure"
+          ~unit_label:"seconds at zero goodput" ~metric:"stall_s" ppf a);
+  }
+
+(* ---------- sweep scaling ---------- *)
+
+let ablation_scale ~full (sweep : X.sweep) =
+  if full then sweep
+  else
+    X.scale ~runs:(min 5 sweep.X.runs)
+      ~degrees:(List.filter (fun d -> d <= 6) sweep.X.degrees)
+      sweep
+
+let sweep_for t ~full sweep =
+  match t.family with
+  | "paper" | "scenarios" -> sweep
+  | _ -> ablation_scale ~full sweep
+
+(* ---------- registry ---------- *)
+
+let all =
+  [
+    fig3;
+    fig4;
+    fig5;
+    fig6;
+    fig7;
+    overhead;
+    scenarios;
+    ablation_mrai;
+    ablation_damping;
+    ablation_rfd;
+    ext_ls;
+    ext_multiflow;
+    ext_transport;
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let grid ~name ?(title = name) ~engines () =
+  {
+    name;
+    family = name;
+    title;
+    doc = title;
+    include_series = false;
+    tasks = (fun sweep -> grid_tasks ~engines sweep);
+    render =
+      (fun ppf a ->
+        scalar_table ~title:"drops (no route)" ~unit_label:"packets"
+          ~metric:"drops_no_route" ppf a);
+  }

@@ -7,26 +7,51 @@
     all-pairs BFS independently of the protocol code and reports every
     (src, dst) pair whose converged table disagrees.
 
+    This is a {e differential} check: the reference computation shares no
+    code with the protocol implementations (it never sees a routing message,
+    only the surviving adjacency), so a bug has to corrupt two unrelated
+    algorithms identically to slip through. The fuzzer drives it over random
+    scenarios; the integration tests pin it to the paper's.
+
     [?max_metric] models bounded-metric protocols: RIP and DBF treat
     [infinity_metric] (16) as unreachable, so destinations at [>= max_metric]
     hops must be {e absent} from their tables rather than matched exactly.
     Leave it [None] for BGP and LS, whose comparison is exact at any
     distance. *)
 
+(** How one (src, dst) entry can disagree with the BFS reference. The first
+    three compare metrics; the last two catch tables whose {e metric} is
+    right but whose {e next hop} cannot realize it — the states that produce
+    the paper's transient forwarding loops if they persist to quiescence. *)
 type mismatch_kind =
   | Unreachable_but_routed of { next_hop : int option; metric : int option }
+      (** BFS says [dst] is unreachable (or beyond [max_metric]), yet the
+          table still routes toward it *)
   | Reachable_but_unrouted of { dist : int }
+      (** BFS reaches [dst] in [dist] hops, but the table has no entry *)
   | Wrong_metric of { expected : int; got : int option }
+      (** both agree [dst] is reachable, at different distances ([got] is
+          [None] when the protocol exposes no metric for the entry) *)
   | Invalid_next_hop of { next_hop : int }
       (** points across a removed or never-existing edge *)
   | Non_shortest_next_hop of { next_hop : int; dist : int; dist_nh : int }
-      (** the next hop is not strictly closer to the destination *)
+      (** the next hop is not strictly closer to the destination:
+          [dist_nh >= dist], so some shortest path is not being followed —
+          the signature of a routing loop frozen into the final tables *)
 
 type mismatch = { m_src : int; m_dst : int; m_kind : mismatch_kind }
+(** One disagreement, identified by the (source, destination) pair whose
+    forwarding entry is wrong. *)
 
 val pp_mismatch : mismatch Fmt.t
+(** One-line rendering, e.g.
+    ["7->42: wrong metric (expected 4, got 6)"] — the format the fuzzer's
+    counterexample reports and [rcsim fuzz] print. *)
 
 val check : ?max_metric:int -> Convergence.Runner.routing_view -> mismatch list
 (** [check view] is every disagreement between [view] and the independent
     BFS computation; [[]] means the tables are provably converged and
-    loop-free. Obtain the [view] from [?on_quiesce]. *)
+    loop-free. Obtain the [view] from [?on_quiesce] — it must be consulted
+    only inside the hook (the underlying tables are live simulation state).
+    Runs one BFS per destination: O(nodes * edges) total, negligible next to
+    the simulation that produced the view. *)

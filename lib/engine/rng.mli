@@ -1,40 +1,67 @@
 (** Deterministic pseudo-random numbers (splitmix64).
 
     Every simulation run owns its own generator seeded from the run index, so
-    experiments are bit-reproducible and independent of [Stdlib.Random]. *)
+    experiments are bit-reproducible and independent of [Stdlib.Random]: the
+    sequence drawn from a given seed is a pure function of this module's code,
+    stable across processes, platforms, and OCaml releases.
+
+    The algorithm is Steele, Lea & Flood's splitmix64: the state is a single
+    64-bit counter advanced by the golden-ratio increment, and each output is
+    a bijective finalizer (xor-shift-multiply) of the counter. It is fast,
+    splittable, and passes BigCrush; it is {e not} cryptographic.
+
+    {b Domain safety.} A generator is mutable, unsynchronized state: two
+    domains drawing from the same [t] race and destroy reproducibility. The
+    campaign runner relies on the convention used throughout this repo — each
+    simulation run [create]s its own generator from its own seed, so cells
+    executing concurrently on a campaign worker pool never share one. Use
+    {!split} (before spawning) or distinct seeds to give parallel work
+    independent streams; never hand one [t] to two domains. *)
 
 type t
-(** A mutable generator. *)
+(** A mutable generator: 8 bytes of state, no global registry. *)
 
 val create : int -> t
 (** [create seed] is a generator seeded with [seed]. Equal seeds yield equal
-    streams. *)
+    streams; nearby seeds yield statistically unrelated streams (the seed is
+    mixed through the output finalizer before first use). *)
 
 val copy : t -> t
-(** [copy t] is an independent generator with the same current state. *)
+(** [copy t] is an independent generator with the same current state: it will
+    replay exactly the draws [t] would have made. Useful for lookahead and
+    for checkpoint/replay debugging. *)
 
 val split : t -> t
-(** [split t] derives a new generator from [t], advancing [t]. Streams of the
-    parent and child are statistically independent. *)
+(** [split t] derives a new generator from [t], advancing [t] by one draw.
+    Streams of the parent and child are statistically independent — this is
+    the safe way to fan one seed out to concurrent tasks. *)
 
 val bits64 : t -> int64
-(** [bits64 t] is the next raw 64-bit output. *)
+(** [bits64 t] is the next raw 64-bit output, uniform over all of [int64].
+    All other draws below consume exactly one [bits64] call, which makes
+    stream positions easy to reason about. *)
 
 val int : t -> int -> int
-(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+(** [int t n] is uniform in [\[0, n)], computed from the top 62 bits by
+    modulo; the bias is negligible for any [n] a simulation plausibly uses
+    ([n << 2^62]). @raise Invalid_argument if [n <= 0]. *)
 
 val float : t -> float -> float
-(** [float t x] is uniform in [\[0, x)]. [x] must be positive. *)
+(** [float t x] is uniform in [\[0, x)], built from 53 uniform mantissa bits
+    (every [float] in [\[0, 1)] of the form [k/2^53] is equally likely).
+    [x] must be positive. *)
 
 val uniform : t -> float -> float -> float
-(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+(** [uniform t lo hi] is uniform in [\[lo, hi)]; equals
+    [lo +. float t (hi -. lo)]. *)
 
 val bool : t -> bool
-(** [bool t] is a fair coin flip. *)
+(** [bool t] is a fair coin flip (the low bit of {!bits64}). *)
 
 val pick : t -> 'a list -> 'a
-(** [pick t xs] is a uniformly chosen element of [xs].
+(** [pick t xs] is a uniformly chosen element of [xs]. O(length).
     @raise Invalid_argument on the empty list. *)
 
 val shuffle : t -> 'a array -> unit
-(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+(** [shuffle t a] permutes [a] in place with Fisher-Yates; all [n!]
+    permutations are equally likely (up to {!int}'s negligible bias). *)
