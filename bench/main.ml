@@ -248,14 +248,15 @@ let run_campaigns () =
              (String.concat "/"
                 (List.map (fun (s : Campaign.Sections.t) -> s.Campaign.Sections.name)
                    members)));
-      let cells, timing =
+      let cells, quarantined, timing =
         Campaign.Driver.run_tasks ~jobs:opts.jobs ~progress
           (lead.Campaign.Sections.tasks sweep)
       in
       List.iter
         (fun section ->
           render_artifact section
-            (Campaign.Driver.artifact_of ~section ~mode ~timing sweep cells))
+            (Campaign.Driver.artifact_of ~section ~mode ~timing ~quarantined
+               sweep cells))
         members)
     families
 

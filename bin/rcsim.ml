@@ -141,34 +141,91 @@ let csv_arg =
   let doc = "Also write the results as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let loss_arg =
+  let doc =
+    "Drop each transmission independently with probability $(docv) (0..1); \
+     see $(b,--loss-scope). Protocols that use a reliable control transport \
+     (BGP, BGP-3, LS) retransmit through the loss unless $(b,--no-rtx)."
+  in
+  Arg.(value & opt (some float) None & info [ "loss" ] ~docv:"P" ~doc)
+
+let loss_scope_arg =
+  let doc = "What --loss applies to: $(b,control), $(b,data) or $(b,all)." in
+  Arg.(value & opt string "control" & info [ "loss-scope" ] ~docv:"SCOPE" ~doc)
+
+let no_rtx_arg =
+  let doc =
+    "Keep the idealized (lossless-bypass) control transport even under \
+     injected loss — the \"what breaks without retransmission\" run."
+  in
+  Arg.(value & flag & info [ "no-rtx" ] ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for fault randomness (defaults to the run seed). Varying it \
+     re-rolls the injected faults while holding the simulated world fixed."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let faults_of ~loss ~loss_scope ~no_rtx ~fault_seed =
+  let scope =
+    match String.lowercase_ascii loss_scope with
+    | "control" -> Ok Fault.Perturb.Control_only
+    | "data" -> Ok Fault.Perturb.Data_only
+    | "all" -> Ok Fault.Perturb.All
+    | s -> Error (Printf.sprintf "unknown --loss-scope %S" s)
+  in
+  match (loss, scope) with
+  | _, Error e -> Error e
+  | None, Ok _ -> Ok { Fault.Spec.none with Fault.Spec.fault_seed }
+  | Some p, Ok scope -> (
+    let spec =
+      {
+        Fault.Spec.none with
+        Fault.Spec.noise =
+          Some { Fault.Perturb.none with Fault.Perturb.drop = p; scope };
+        rtx = (if no_rtx then None else Some Fault.Rtx.default_config);
+        fault_seed;
+      }
+    in
+    match Fault.Spec.validate spec with
+    | Ok () -> Ok spec
+    | Error e -> Error e)
+
 let run_cmd =
   let action protocol degree rows cols seed rate trace_file trace_filter stats
-      csv =
+      csv loss loss_scope no_rtx fault_seed =
     match engine_of_name protocol with
     | Error e -> `Error (false, e)
     | Ok engine -> (
-      match make_trace ~file:trace_file ~filter:trace_filter with
+      match faults_of ~loss ~loss_scope ~no_rtx ~fault_seed with
       | Error e -> `Error (false, e)
-      | Ok trace ->
-        let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
-        let metrics = if stats then Some (Obs.Registry.create ()) else None in
-        let run = Convergence.Engine_registry.run ~trace ?metrics cfg engine in
-        Obs.Trace.close trace;
-        Fmt.pr "%a@." Convergence.Report.run_details run;
-        (match metrics with
-        | Some m -> Fmt.pr "@.run metrics:@.%a@." Obs.Registry.pp m
-        | None -> ());
-        (match csv with
-        | Some path ->
-          Convergence.Export.to_file (Convergence.Export.run_csv [ run ]) ~path
-        | None -> ());
-        `Ok ())
+      | Ok faults -> (
+        match make_trace ~file:trace_file ~filter:trace_filter with
+        | Error e -> `Error (false, e)
+        | Ok trace ->
+          let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+          let metrics = if stats then Some (Obs.Registry.create ()) else None in
+          let run =
+            Convergence.Engine_registry.run ~faults ~trace ?metrics cfg engine
+          in
+          Obs.Trace.close trace;
+          Fmt.pr "%a@." Convergence.Report.run_details run;
+          (match metrics with
+          | Some m -> Fmt.pr "@.run metrics:@.%a@." Obs.Registry.pp m
+          | None -> ());
+          (match csv with
+          | Some path ->
+            Convergence.Export.to_file (Convergence.Export.run_csv [ run ]) ~path
+          | None -> ());
+          `Ok ()))
   in
   let term =
     Term.(
       ret
         (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
-       $ rate_arg $ trace_file_arg $ trace_filter_arg $ stats_arg $ csv_arg))
+       $ rate_arg $ trace_file_arg $ trace_filter_arg $ stats_arg $ csv_arg
+       $ loss_arg $ loss_scope_arg $ no_rtx_arg $ fault_seed_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one failure scenario under one routing protocol")
@@ -513,6 +570,9 @@ let trace_cmd =
       | exception Sys_error e -> `Error (false, e)
       | records, stats ->
         Fmt.pr "%s: %d events" file stats.Obs.Replay.parsed;
+        if stats.Obs.Replay.opaque > 0 then
+          Fmt.pr " (%d unknown-event lines preserved as opaque)"
+            stats.Obs.Replay.opaque;
         if stats.Obs.Replay.skipped > 0 then
           Fmt.pr " (%d unparseable lines skipped)" stats.Obs.Replay.skipped;
         Fmt.pr "@.@.";
@@ -537,6 +597,13 @@ let trace_cmd =
             Fmt.pr "@.%d loop episode(s):@." (List.length episodes);
             List.iter
               (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_loop_episode e)
+              episodes);
+          (match Obs.Replay.link_report records with
+          | [] -> ()
+          | episodes ->
+            Fmt.pr "@.%d link outage episode(s):@." (List.length episodes);
+            List.iter
+              (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_link_episode e)
               episodes)
         end;
         `Ok ()
@@ -679,6 +746,36 @@ let campaign_cmd =
     let doc = "Suppress per-cell progress lines (stderr)." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
+  let cell_budget_arg =
+    let doc =
+      "Wall-clock watchdog per cell attempt, in seconds. A cell exceeding it \
+       is retried (see $(b,--retries)) and finally quarantined into the \
+       artifact instead of aborting the campaign."
+    in
+    Arg.(value & opt (some float) None & info [ "cell-budget" ] ~docv:"SECS" ~doc)
+  in
+  let retries_arg =
+    let doc = "Additional same-seed attempts after a cell fails (default 1)." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let hang_cell_arg =
+    let doc =
+      "CI fault hook: make the cell $(docv) (PROTO:DEGREE:SEED) spin forever \
+       instead of running, proving the watchdog quarantines it. Requires \
+       $(b,--cell-budget)."
+    in
+    Arg.(value & opt (some string) None & info [ "hang-cell" ] ~docv:"CELL" ~doc)
+  in
+  let hang_of = function
+    | None -> Ok None
+    | Some s -> (
+      match String.split_on_char ':' s with
+      | [ proto; degree; seed ] -> (
+        match (int_of_string_opt degree, int_of_string_opt seed) with
+        | Some d, Some sd -> Ok (Some (proto, d, sd))
+        | _ -> Error (Printf.sprintf "--hang-cell %S: DEGREE and SEED must be integers" s))
+      | _ -> Error (Printf.sprintf "--hang-cell %S is not PROTO:DEGREE:SEED" s))
+  in
   let sweep_of ~quick ~full ~runs ~degrees ~seed =
     let base =
       if quick then
@@ -710,22 +807,41 @@ let campaign_cmd =
       }
   in
   let section_cmd (section : Campaign.Sections.t) =
-    let action quick full jobs out runs degrees seed quiet =
+    let action quick full jobs out runs degrees seed quiet cell_budget retries
+        hang_cell =
       if quick && full then `Error (true, "--quick and --full are exclusive")
       else if jobs < 1 then `Error (true, "--jobs must be at least 1")
+      else if retries < 0 then `Error (true, "--retries must be >= 0")
       else begin
-        let mode = if quick then "quick" else if full then "full" else "standard" in
-        let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
-        let sweep = Campaign.Sections.sweep_for section ~full sweep in
-        let progress line = if not quiet then Fmt.epr "  .. %s@." line in
-        let artifact =
-          Campaign.Driver.run ~jobs ~progress ~mode sweep section
-        in
-        Campaign.Artifact.write ~path:out artifact;
-        Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
-        section.Campaign.Sections.render Fmt.stdout artifact;
-        Fmt.pr "artifact: %s@." out;
-        `Ok ()
+        match hang_of hang_cell with
+        | Error e -> `Error (true, e)
+        | Ok (Some _) when cell_budget = None ->
+          `Error (true, "--hang-cell requires --cell-budget")
+        | Ok hang ->
+          let mode = if quick then "quick" else if full then "full" else "standard" in
+          let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
+          let sweep = Campaign.Sections.sweep_for section ~full sweep in
+          let progress line = if not quiet then Fmt.epr "  .. %s@." line in
+          let artifact =
+            Campaign.Driver.run ~jobs ~progress ?cell_budget ~retries ?hang
+              ~mode sweep section
+          in
+          Campaign.Artifact.write ~path:out artifact;
+          Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
+          section.Campaign.Sections.render Fmt.stdout artifact;
+          (match artifact.Campaign.Artifact.quarantined with
+          | [] -> ()
+          | qs ->
+            Fmt.pr "%d cell(s) quarantined:@." (List.length qs);
+            List.iter
+              (fun (q : Campaign.Artifact.quarantine) ->
+                Fmt.pr "  %s d=%d seed=%d after %d attempt(s): %s@."
+                  q.Campaign.Artifact.q_protocol q.Campaign.Artifact.q_degree
+                  q.Campaign.Artifact.q_seed q.Campaign.Artifact.q_attempts
+                  q.Campaign.Artifact.q_error)
+              qs);
+          Fmt.pr "artifact: %s@." out;
+          `Ok ()
       end
     in
     let term =
@@ -733,7 +849,8 @@ let campaign_cmd =
         ret
           (const action $ quick_arg $ full_arg $ jobs_arg
          $ out_arg section.Campaign.Sections.name
-         $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg))
+         $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg
+         $ cell_budget_arg $ retries_arg $ hang_cell_arg))
     in
     Cmd.v
       (Cmd.info section.Campaign.Sections.name
@@ -783,7 +900,14 @@ let campaign_cmd =
         | Some j -> (
           match Campaign.Artifact.validate j with
           | [] ->
-            Fmt.pr "%s: valid schema v%d artifact@." path Campaign.Artifact.version;
+            let v =
+              match
+                Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int
+              with
+              | Some v -> string_of_int v
+              | None -> "?"
+            in
+            Fmt.pr "%s: valid schema v%s artifact@." path v;
             `Ok ()
           | errs ->
             List.iter (fun e -> Fmt.pr "%s: %s@." path e) errs;

@@ -1,4 +1,6 @@
-let version = 1
+let version = 2
+
+let min_version = 1
 
 let kind = "rcsim-campaign"
 
@@ -33,15 +35,26 @@ type cell_timing = {
 
 type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
 
+type quarantine = {
+  q_protocol : string;
+  q_degree : int;
+  q_seed : int;
+  q_error : string;
+  q_attempts : int;
+}
+
 type t = {
   section : string;
   git_sha : string;
   params : params;
   cells : Cell_result.t list;
+  quarantined : quarantine list;
   aggregates : aggregate list;
   timing : timing option;
   include_series : bool;
 }
+
+let quarantine_key q = (q.q_protocol, q.q_degree, q.q_seed)
 
 let params_of_sweep ~mode (sweep : Convergence.Experiments.sweep) =
   let base = sweep.Convergence.Experiments.base in
@@ -131,12 +144,14 @@ let aggregate cells =
   in
   List.map one (List.rev !groups)
 
-let build ~section ?git_sha:sha ?timing ~include_series params cells =
+let build ~section ?git_sha:sha ?timing ?(quarantined = []) ~include_series
+    params cells =
   {
     section;
     git_sha = (match sha with Some s -> s | None -> git_sha ());
     params;
     cells;
+    quarantined;
     aggregates = aggregate cells;
     timing;
     include_series;
@@ -186,6 +201,16 @@ let aggregate_to_json ~include_series a : Obs.Json.t =
      ]
     @ series)
 
+let quarantine_to_json q : Obs.Json.t =
+  Obj
+    [
+      ("protocol", String q.q_protocol);
+      ("degree", Int q.q_degree);
+      ("seed", Int q.q_seed);
+      ("error", String q.q_error);
+      ("attempts", Int q.q_attempts);
+    ]
+
 let timing_to_json t : Obs.Json.t =
   Obj
     [
@@ -217,6 +242,8 @@ let to_json_inner ~timing t : Obs.Json.t =
         Obs.Json.List
           (List.map (Cell_result.to_json ~include_series:t.include_series) t.cells)
       );
+      ( "quarantined",
+        Obs.Json.List (List.map quarantine_to_json t.quarantined) );
       ( "aggregates",
         Obs.Json.List
           (List.map
@@ -317,6 +344,22 @@ let aggregate_of_json j =
       a_series = series;
     }
 
+let quarantine_of_json j =
+  let get_str n = Option.bind (Obs.Json.member n j) Obs.Json.to_string_val in
+  let get_int n = Option.bind (Obs.Json.member n j) Obs.Json.to_int in
+  match
+    ( get_str "protocol",
+      get_int "degree",
+      get_int "seed",
+      get_str "error",
+      get_int "attempts" )
+  with
+  | Some p, Some d, Some s, Some e, Some a when a >= 1 ->
+    Ok { q_protocol = p; q_degree = d; q_seed = s; q_error = e; q_attempts = a }
+  | Some _, Some _, Some _, Some _, Some a when a < 1 ->
+    Error "quarantine entry: attempts must be >= 1"
+  | _ -> Error "quarantine entry: missing or mistyped field"
+
 let timing_of_json j =
   let ( let* ) = Result.bind in
   let need what = function
@@ -345,10 +388,13 @@ let timing_of_json j =
 
 let of_json j =
   let ( let* ) = Result.bind in
-  let* () =
+  let* schema =
     match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
-    | Some v when v = version -> Ok ()
-    | Some v -> Error (Printf.sprintf "unsupported schema_version %d (want %d)" v version)
+    | Some v when v >= min_version && v <= version -> Ok v
+    | Some v ->
+      Error
+        (Printf.sprintf "unsupported schema_version %d (want %d..%d)" v
+           min_version version)
     | None -> Error "missing schema_version"
   in
   let* () =
@@ -383,6 +429,19 @@ let of_json j =
         (Ok []) items
     | _ -> Error "missing cells list"
   in
+  let* quarantined =
+    match (Obs.Json.member "quarantined" j, schema) with
+    | None, 1 -> Ok []  (* v1 predates graceful degradation *)
+    | None, _ -> Error "schema v2: missing quarantined list"
+    | Some (Obs.Json.List items), _ ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* q = quarantine_of_json item in
+          Ok (acc @ [ q ]))
+        (Ok []) items
+    | Some _, _ -> Error "quarantined is not a list"
+  in
   let* aggregates =
     match Obs.Json.member "aggregates" j with
     | Some (Obs.Json.List items) ->
@@ -404,17 +463,33 @@ let of_json j =
   let include_series =
     List.exists (fun (c : Cell_result.t) -> c.Cell_result.series <> []) cells
   in
-  Ok { section; git_sha = sha; params; cells; aggregates; timing; include_series }
+  Ok
+    {
+      section;
+      git_sha = sha;
+      params;
+      cells;
+      quarantined;
+      aggregates;
+      timing;
+      include_series;
+    }
 
 (* ---------- validation ---------- *)
 
 let validate j =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  (match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
-  | Some v when v = version -> ()
-  | Some v -> err "schema_version is %d, expected %d" v version
-  | None -> err "missing or mistyped schema_version");
+  let schema =
+    match Option.bind (Obs.Json.member "schema_version" j) Obs.Json.to_int with
+    | Some v when v >= min_version && v <= version -> v
+    | Some v ->
+      err "schema_version is %d, expected %d..%d" v min_version version;
+      version
+    | None ->
+      err "missing or mistyped schema_version";
+      version
+  in
   (match Option.bind (Obs.Json.member "kind" j) Obs.Json.to_string_val with
   | Some k when k = kind -> ()
   | Some k -> err "kind is %S, expected %S" k kind
@@ -445,6 +520,28 @@ let validate j =
       items
   | Some _ -> err "cells is not a list"
   | None -> err "missing cells");
+  (match (Obs.Json.member "quarantined" j, schema) with
+  | None, 1 -> ()
+  | None, _ -> err "schema v%d requires a quarantined list" schema
+  | Some (Obs.Json.List items), _ ->
+    let qkeys = Hashtbl.create 8 in
+    List.iteri
+      (fun i item ->
+        match quarantine_of_json item with
+        | Ok q ->
+          let k = quarantine_key q in
+          if Hashtbl.mem qkeys k then
+            err "quarantined[%d]: duplicate quarantine key (%s, %d, %d)" i
+              q.q_protocol q.q_degree q.q_seed
+          else Hashtbl.add qkeys k ();
+          if Hashtbl.mem cell_keys k then
+            err
+              "quarantined[%d]: cell (%s, %d, %d) is both completed and \
+               quarantined"
+              i q.q_protocol q.q_degree q.q_seed
+        | Error e -> err "quarantined[%d]: %s" i e)
+      items
+  | Some _, _ -> err "quarantined is not a list");
   (match Obs.Json.member "aggregates" j with
   | Some (Obs.Json.List items) ->
     List.iteri

@@ -6,10 +6,10 @@
     plus averaged time series where the section has them), and a [timing]
     block (worker count, total and per-cell wall-clock).
 
-    {2 Schema v1}
+    {2 Schema v2}
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "kind": "rcsim-campaign",
       "section": "fig3",
       "git_sha": "<short sha or "unknown">",
@@ -19,6 +19,9 @@
       "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
                    "sent": ..., "drops_no_route": ..., ...,
                    "extras": {...}?, "series": {...}? }, ... ],
+      "quarantined": [ { "protocol": "RIP", "degree": 3, "seed": 7,
+                         "error": "wall budget exceeded (2.0 s)",
+                         "attempts": 2 }, ... ],
       "aggregates": [ { "protocol": "RIP", "degree": 3, "runs": 10,
                         "metrics": { "drops_no_route":
                                        { "mean": ..., "stddev": ... }, ... },
@@ -27,6 +30,13 @@
                   "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
                                "wall_s": ... }, ... ] }? }
     v}
+
+    Version history: v1 had no [quarantined] list ({!of_json} and {!validate}
+    still accept it, reading an empty quarantine). v2 (current) requires it —
+    cells the {!Driver} gave up on (watchdog timeout or a raised exception,
+    after bounded same-seed retries) are recorded there instead of aborting
+    the whole campaign, and aggregates are computed from the surviving cells
+    only. A key may not appear both as a cell and as a quarantine entry.
 
     Determinism contract: everything except [timing] is a pure function of
     (code, section, params) — cells are merged in cell-key order and
@@ -71,20 +81,42 @@ type cell_timing = {
 
 type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
 
+type quarantine = {
+  q_protocol : string;
+  q_degree : int;
+  q_seed : int;
+  q_error : string;  (** why the cell's last attempt failed *)
+  q_attempts : int;  (** total attempts made, including retries; [>= 1] *)
+}
+(** A cell the driver abandoned: every attempt either exceeded the wall-clock
+    budget or raised. Quarantine is honest failure bookkeeping like [timing]
+    ([q_error]/[q_attempts] can vary with machine load), so byte-determinism
+    of {!canonical_string} is only guaranteed for artifacts whose quarantine
+    is empty — {!Diff} accordingly compares quarantine entries by key only. *)
+
 type t = {
   section : string;
   git_sha : string;
   params : params;
   cells : Cell_result.t list;  (** in canonical (task) order: engine-major,
                                     then degree, then seed *)
+  quarantined : quarantine list;  (** in canonical task order, too *)
   aggregates : aggregate list;  (** one per (protocol, degree), in first-cell
-                                    order *)
+                                    order, over surviving cells only *)
   timing : timing option;
   include_series : bool;  (** whether cell rows serialize their series *)
 }
 
+val quarantine_key : quarantine -> string * int * int
+
+val quarantine_to_json : quarantine -> Obs.Json.t
+(** The (protocol, degree, seed) cell key the entry stands in for. *)
+
 val version : int
-(** The schema version this module reads and writes: [1]. *)
+(** The schema version this module writes: [2]. *)
+
+val min_version : int
+(** The oldest schema version {!of_json} and {!validate} accept: [1]. *)
 
 val params_of_sweep : mode:string -> Convergence.Experiments.sweep -> params
 
@@ -101,6 +133,7 @@ val build :
   section:string ->
   ?git_sha:string ->
   ?timing:timing ->
+  ?quarantined:quarantine list ->
   include_series:bool ->
   params ->
   Cell_result.t list ->
@@ -110,7 +143,8 @@ val build :
     section's task order (engine-major, then degree, then seed), which is
     what {!Driver.run} produces; the order determines both the artifact's
     row order and the aggregates' (hence the tables') protocol column
-    order. [?git_sha] defaults to {!git_sha}[ ()]. *)
+    order. [?git_sha] defaults to {!git_sha}[ ()]; [?quarantined] (default
+    none) records the cells the driver gave up on. *)
 
 val to_json : t -> Obs.Json.t
 
@@ -120,9 +154,12 @@ val of_json : Obs.Json.t -> (t, string) result
 
 val validate : Obs.Json.t -> string list
 (** [validate j] is every schema violation found (empty = valid): required
-    keys, types, schema version, and cells/aggregates consistency (each
-    aggregate's [runs] equals its group's cell count). Unlike {!of_json} it
-    keeps going after the first problem, for useful CI output. *)
+    keys, types, schema version ([{!min_version}..{!version}]), the
+    quarantine block (well-formed entries, no duplicate keys, no key that is
+    also a completed cell, required from v2 on), and cells/aggregates
+    consistency (each aggregate's [runs] equals its group's cell count).
+    Unlike {!of_json} it keeps going after the first problem, for useful CI
+    output. *)
 
 val to_string : t -> string
 (** Compact one-line JSON of the full artifact, including [timing]. *)

@@ -17,6 +17,12 @@ type entry =
       a : float;
       b : float;
     }
+  | Quarantine of {
+      only_in : [ `A | `B ];
+      protocol : string;
+      degree : int;
+      seed : int;
+    }
 
 let side = function `A -> "A" | `B -> "B"
 
@@ -35,6 +41,9 @@ let pp_entry ppf = function
   | Aggregate_metric { protocol; degree; metric; a; b } ->
     Fmt.pf ppf "aggregate (%s, degree %d) %s: %g -> %g" protocol degree metric
       a b
+  | Quarantine { only_in; protocol; degree; seed } ->
+    Fmt.pf ppf "cell (%s, degree %d, seed %d) quarantined only in %s" protocol
+      degree seed (side only_in)
 
 (* NaN = NaN here: "undefined in both" is agreement, not a regression. *)
 let differs ~tol a b =
@@ -101,6 +110,30 @@ let artifacts ?(tol = 0.) (a : Artifact.t) (b : Artifact.t) =
       if not (Hashtbl.mem ai (protocol, degree, seed)) then
         emit (Missing_cell { only_in = `B; protocol; degree; seed }))
     b.Artifact.cells;
+  (* Quarantine, matched by key only: the error text and attempt count are
+     wall-clock artifacts (machine load), not behavior. *)
+  let qindex qs =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (q : Artifact.quarantine) ->
+        Hashtbl.replace tbl (Artifact.quarantine_key q) ())
+      qs;
+    tbl
+  in
+  let aq = qindex a.Artifact.quarantined
+  and bq = qindex b.Artifact.quarantined in
+  List.iter
+    (fun (q : Artifact.quarantine) ->
+      let protocol, degree, seed = Artifact.quarantine_key q in
+      if not (Hashtbl.mem bq (protocol, degree, seed)) then
+        emit (Quarantine { only_in = `A; protocol; degree; seed }))
+    a.Artifact.quarantined;
+  List.iter
+    (fun (q : Artifact.quarantine) ->
+      let protocol, degree, seed = Artifact.quarantine_key q in
+      if not (Hashtbl.mem aq (protocol, degree, seed)) then
+        emit (Quarantine { only_in = `B; protocol; degree; seed }))
+    b.Artifact.quarantined;
   (* Aggregates, matched by (protocol, degree). *)
   let agg_key (g : Artifact.aggregate) = (g.Artifact.a_protocol, g.Artifact.a_degree) in
   let bagg = Hashtbl.create 16 in

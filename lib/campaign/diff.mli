@@ -32,6 +32,15 @@ type entry =
       a : float;
       b : float;
     }
+  | Quarantine of {
+      only_in : [ `A | `B ];
+      protocol : string;
+      degree : int;
+      seed : int;
+    }
+      (** quarantine entries are matched by cell key only — their error text
+          and attempt count are load-dependent, so two artifacts that
+          quarantined the same cells agree *)
 
 val pp_entry : entry Fmt.t
 

@@ -1,22 +1,112 @@
-let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) (tasks : Sections.task array) =
+(* A cell that hangs or crashes must not take the campaign down with it: the
+   whole point of a 240-cell overnight sweep is that cell 173 misbehaving
+   still leaves 239 rows of data. Each task therefore runs under an optional
+   wall-clock budget (cooperative: Dessim.Scheduler.run checks the deadline
+   between events, which covers every real cell since cells are simulator
+   runs) and a bounded number of same-seed retries — a timeout on a loaded
+   machine is the one failure a retry can genuinely cure. What still fails
+   is quarantined into the artifact rather than aborted on. *)
+
+type outcome =
+  | Done of Cell_result.t
+  | Failed of { error : string; attempts : int }
+
+(* The CI hook that proves the watchdog works: a scheduler that reschedules
+   itself forever, exactly the shape of a runaway simulation. Only
+   interruptible by the wall budget, so requiring [cell_budget] alongside
+   [hang] (checked in run_tasks) keeps a mistyped flag from hanging CI. *)
+let hang_forever () =
+  let s = Dessim.Scheduler.create () in
+  let rec tick () = ignore (Dessim.Scheduler.after s ~delay:1.0 tick) in
+  tick ();
+  Dessim.Scheduler.run s;
+  assert false
+
+let attempt_task ?cell_budget ~hung (t : Sections.task) =
+  let body () = if hung then hang_forever () else t.Sections.t_run () in
+  let guarded () =
+    match cell_budget with
+    | None -> body ()
+    | Some b -> Dessim.Scheduler.with_wall_budget b body
+  in
+  match guarded () with
+  | cell -> Ok cell
+  | exception Dessim.Scheduler.Wall_timeout ->
+    Error
+      (Printf.sprintf "wall budget exceeded (%.1f s)"
+         (Option.value cell_budget ~default:0.))
+  | exception exn -> Error (Printexc.to_string exn)
+
+let task_key (t : Sections.task) =
+  (t.Sections.t_protocol, t.Sections.t_degree, t.Sections.t_seed)
+
+let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?cell_budget ?(retries = 1)
+    ?hang (tasks : Sections.task array) =
+  if retries < 0 then invalid_arg "Driver.run_tasks: retries must be >= 0";
+  (match (hang, cell_budget) with
+  | Some _, None ->
+    invalid_arg "Driver.run_tasks: hang requires a cell_budget to escape"
+  | _ -> ());
   let n = Array.length tasks in
   let done_count = ref 0 in
   let progress_mutex = Mutex.create () in
-  let timed_task (t : Sections.task) () =
-    let t0 = Unix.gettimeofday () in
-    let cell = t.Sections.t_run () in
-    let wall = Unix.gettimeofday () -. t0 in
+  let report line =
     Mutex.protect progress_mutex (fun () ->
         incr done_count;
-        progress
+        progress line)
+  in
+  let timed_task (t : Sections.task) () =
+    let hung = hang = Some (task_key t) in
+    let rec go attempt_no =
+      let t0 = Unix.gettimeofday () in
+      let result = attempt_task ?cell_budget ~hung t in
+      let wall = Unix.gettimeofday () -. t0 in
+      match result with
+      | Ok cell ->
+        report
           (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
              t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
-             !done_count n wall));
-    { cell with Cell_result.wall_s = wall }
+             !done_count n wall);
+        Done { cell with Cell_result.wall_s = wall }
+      | Error e when attempt_no <= retries ->
+        Mutex.protect progress_mutex (fun () ->
+            progress
+              (Printf.sprintf "%-6s d=%d seed=%d attempt %d failed (%s), retrying"
+                 t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+                 attempt_no e));
+        go (attempt_no + 1)
+      | Error e ->
+        report
+          (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) QUARANTINED after %d \
+                           attempts: %s"
+             t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+             !done_count n attempt_no e);
+        Failed { error = e; attempts = attempt_no }
+    in
+    go 1
   in
   let t0 = Unix.gettimeofday () in
-  let cells = Pool.run ~jobs (Array.map timed_task tasks) in
+  let outcomes = Pool.run ~jobs (Array.map timed_task tasks) in
   let total = Unix.gettimeofday () -. t0 in
+  let cells = ref [] and quarantined = ref [] in
+  Array.iteri
+    (fun i outcome ->
+      let t = tasks.(i) in
+      match outcome with
+      | Done c -> cells := c :: !cells
+      | Failed { error; attempts } ->
+        quarantined :=
+          {
+            Artifact.q_protocol = t.Sections.t_protocol;
+            q_degree = t.Sections.t_degree;
+            q_seed = t.Sections.t_seed;
+            q_error = error;
+            q_attempts = attempts;
+          }
+          :: !quarantined)
+    outcomes;
+  let cells = Array.of_list (List.rev !cells) in
+  let quarantined = List.rev !quarantined in
   let timing =
     {
       Artifact.t_jobs = max 1 (min jobs (max 1 n));
@@ -34,14 +124,18 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) (tasks : Sections.task array
              cells);
     }
   in
-  (cells, timing)
+  (cells, quarantined, timing)
 
-let artifact_of ~(section : Sections.t) ~mode ?timing sweep cells =
-  Artifact.build ~section:section.Sections.name ?timing
+let artifact_of ~(section : Sections.t) ~mode ?timing ?quarantined sweep cells =
+  Artifact.build ~section:section.Sections.name ?timing ?quarantined
     ~include_series:section.Sections.include_series
     (Artifact.params_of_sweep ~mode sweep)
     (Array.to_list cells)
 
-let run ?jobs ?progress ~mode sweep (section : Sections.t) =
-  let cells, timing = run_tasks ?jobs ?progress (section.Sections.tasks sweep) in
-  artifact_of ~section ~mode ~timing sweep cells
+let run ?jobs ?progress ?cell_budget ?retries ?hang ~mode sweep
+    (section : Sections.t) =
+  let cells, quarantined, timing =
+    run_tasks ?jobs ?progress ?cell_budget ?retries ?hang
+      (section.Sections.tasks sweep)
+  in
+  artifact_of ~section ~mode ~timing ~quarantined sweep cells

@@ -5,27 +5,53 @@
     {!run_tasks} from {!artifact_of} lets callers that run several sections
     of one {e family} (e.g. fig3..fig7 and overhead all project the same
     paper sweep) execute the shared cells once and emit one artifact per
-    section. *)
+    section.
+
+    {2 Graceful degradation}
+
+    A campaign survives individual cells misbehaving. Each task may run under
+    a wall-clock budget ([?cell_budget]) — cooperative, enforced by
+    {!Dessim.Scheduler.with_wall_budget}, so it interrupts any cell whose
+    time is spent inside a scheduler loop (all real cells are) — and a cell
+    whose attempt times out or raises is retried with the same seed up to
+    [?retries] more times before being {e quarantined}: recorded in the
+    artifact's [quarantined] list instead of killing the campaign. *)
 
 val run_tasks :
   ?jobs:int ->
   ?progress:(string -> unit) ->
+  ?cell_budget:float ->
+  ?retries:int ->
+  ?hang:string * int * int ->
   Sections.task array ->
-  Cell_result.t array * Artifact.timing
+  Cell_result.t array * Artifact.quarantine list * Artifact.timing
 (** [run_tasks ~jobs ~progress tasks] executes every task on a {!Pool} of
-    [jobs] workers (default 1) and returns the results {e in task order} —
-    the canonical cell order — regardless of which worker finished which
-    cell when. Each returned cell has [wall_s] stamped, and the timing block
-    records the worker count, the total wall-clock, and the per-cell costs.
+    [jobs] workers (default 1) and returns the surviving results {e in task
+    order} — the canonical cell order — regardless of which worker finished
+    which cell when, plus the quarantine entries (also in task order) and a
+    timing block (worker count, total wall-clock, per-surviving-cell costs).
+    Each returned cell has [wall_s] stamped.
 
-    [progress] (default: silent) is called once per completed cell, from
-    whichever domain finished it, serialized by a mutex — e.g.
-    ["RIP d=3 seed=42 (17/240) 1.32s"]. The callback must not raise. *)
+    [?cell_budget] (seconds; default none) is the per-attempt watchdog.
+    [?retries] (default 1) is the number of {e additional} same-seed attempts
+    after a failure, so an entry's [q_attempts] is at most [retries + 1].
+    [?hang] is the CI fault hook: the task with that (protocol, degree, seed)
+    key runs an infinite scheduler loop instead of its real cell, which only
+    the watchdog can stop — supplying [hang] without [cell_budget] is
+    rejected.
+
+    [progress] (default: silent) is called per completed or quarantined cell
+    and per failed attempt, from whichever domain ran it, serialized by a
+    mutex — e.g. ["RIP d=3 seed=42 (17/240) 1.32s"]. It must not raise.
+
+    @raise Invalid_argument if [retries < 0], or [hang] without
+    [cell_budget]. *)
 
 val artifact_of :
   section:Sections.t ->
   mode:string ->
   ?timing:Artifact.timing ->
+  ?quarantined:Artifact.quarantine list ->
   Convergence.Experiments.sweep ->
   Cell_result.t array ->
   Artifact.t
@@ -36,9 +62,12 @@ val artifact_of :
 val run :
   ?jobs:int ->
   ?progress:(string -> unit) ->
+  ?cell_budget:float ->
+  ?retries:int ->
+  ?hang:string * int * int ->
   mode:string ->
   Convergence.Experiments.sweep ->
   Sections.t ->
   Artifact.t
 (** [run ~jobs ~mode sweep section] = {!run_tasks} on [section.tasks sweep]
-    followed by {!artifact_of}, timing included. *)
+    followed by {!artifact_of}, timing and quarantine included. *)

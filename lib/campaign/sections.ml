@@ -493,6 +493,132 @@ let ext_transport =
           ~unit_label:"seconds at zero goodput" ~metric:"stall_s" ppf a);
   }
 
+(* ---------- fault injection ---------- *)
+
+(* The faults grid sweeps a fault axis, not mesh degree: cells reuse the
+   artifact's degree field as the axis code — a loss cell stores its loss
+   percentage directly, a flap cell stores [100 + period] so the two ranges
+   cannot collide. The mesh degree stays the sweep base's. *)
+let fault_loss_pcts = [ 0; 2; 5; 10 ]
+
+let fault_flap_periods = [ 4; 8; 16 ]
+
+let fault_axis_points =
+  List.map (fun p -> `Loss p) fault_loss_pcts
+  @ List.map (fun p -> `Flap p) fault_flap_periods
+
+let fault_code = function `Loss pct -> pct | `Flap period -> 100 + period
+
+(* Loss cells drop each control unit independently; flap cells drive one
+   random link through three down/up cycles starting just after the paper
+   failure. Both enable the reliable control transport, which only protocols
+   with [uses_reliable_transport] (BGP, BGP-3) actually engage — RIP and DBF
+   must survive on their periodic refresh, which is the comparison the
+   section exists to draw. *)
+let fault_spec (cfg : C.t) = function
+  | `Loss pct -> Fault.Spec.control_loss (float_of_int pct /. 100.)
+  | `Flap period ->
+    let half = float_of_int period /. 2. in
+    {
+      Fault.Spec.none with
+      Fault.Spec.flaps =
+        [
+          Fault.Schedule.flap ~start:(cfg.C.failure_time +. 5.) ~cycles:3
+            ~down:half ~up:half ();
+        ];
+      rtx = Some Fault.Rtx.default_config;
+    }
+
+let faults_cell axis cfg engine =
+  let faults = fault_spec cfg axis in
+  let metrics = Obs.Registry.create () in
+  let r = E.run ~faults ~metrics cfg engine in
+  let gauge name =
+    match Obs.Registry.lookup metrics name with
+    | Some (Obs.Registry.Gauge_value v) -> v
+    | Some _ | None -> 0.
+  in
+  let ratio =
+    if r.M.sent = 0 then Float.nan
+    else float_of_int r.M.delivered /. float_of_int r.M.sent
+  in
+  (* The cell's degree field carries the fault-axis code, not the (constant)
+     mesh degree — it is the cell key's sweep dimension here. *)
+  {
+    (Cell_result.of_run
+       ~extras:
+         [
+           ("delivery_ratio", ratio);
+           ("retransmissions", gauge "rtx.retransmissions");
+           ("injected_ctrl_drops", gauge "fault.injected_ctrl_drops");
+         ]
+       r)
+    with
+    Cell_result.degree = fault_code axis;
+  }
+
+let faults_tasks (sweep : X.sweep) =
+  E.paper_four
+  |> List.concat_map (fun engine ->
+         fault_axis_points
+         |> List.concat_map (fun axis ->
+                List.init sweep.X.runs (fun i ->
+                    let cfg = C.with_seed (sweep.X.base.C.seed + i) sweep.X.base in
+                    {
+                      t_protocol = E.name engine;
+                      t_degree = fault_code axis;
+                      t_seed = cfg.C.seed;
+                      t_run = (fun () -> faults_cell axis cfg engine);
+                    })))
+  |> Array.of_list
+
+let fault_axis_table ~title ~unit_label ~metric ~keep ~relabel ppf a =
+  let data =
+    List.map
+      (fun (proto, points) ->
+        ( proto,
+          List.filter_map
+            (fun (d, v) -> if keep d then Some (relabel d, v) else None)
+            points ))
+      (scalar_data a metric)
+  in
+  Fmt.pf ppf "%a@.@." (Convergence.Report.scalar_table ~title ~unit_label) data
+
+let render_faults ppf a =
+  let loss ~title ~unit_label ~metric =
+    fault_axis_table ~title ~unit_label ~metric
+      ~keep:(fun d -> d < 100)
+      ~relabel:Fun.id ppf a
+  and flap ~title ~unit_label ~metric =
+    fault_axis_table ~title ~unit_label ~metric
+      ~keep:(fun d -> d >= 100)
+      ~relabel:(fun d -> d - 100)
+      ppf a
+  in
+  loss ~title:"delivery ratio vs control-plane loss"
+    ~unit_label:"fraction; rows are loss %" ~metric:"delivery_ratio";
+  loss ~title:"routing convergence vs control-plane loss"
+    ~unit_label:"seconds; rows are loss %" ~metric:"routing_convergence";
+  loss ~title:"control retransmissions vs loss (reliable-transport protocols)"
+    ~unit_label:"segments; rows are loss %" ~metric:"retransmissions";
+  flap ~title:"delivery ratio vs link flapping"
+    ~unit_label:"fraction; rows are flap period (s)" ~metric:"delivery_ratio";
+  flap ~title:"routing convergence vs link flapping"
+    ~unit_label:"seconds; rows are flap period (s)" ~metric:"routing_convergence"
+
+let faults =
+  {
+    name = "faults";
+    family = "faults";
+    title =
+      "Fault injection: delivery and convergence under control-plane loss \
+       and link flapping";
+    doc = "delivery ratio and convergence vs injected loss rate and flap period";
+    include_series = false;
+    tasks = faults_tasks;
+    render = render_faults;
+  }
+
 (* ---------- sweep scaling ---------- *)
 
 let ablation_scale ~full (sweep : X.sweep) =
@@ -524,6 +650,7 @@ let all =
     ext_ls;
     ext_multiflow;
     ext_transport;
+    faults;
   ]
 
 let names = List.map (fun s -> s.name) all

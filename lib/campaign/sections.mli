@@ -59,9 +59,15 @@ val all : t list
 (** Every artifact-backed section, in bench order: [fig3], [fig4], [fig5],
     [fig6], [fig7], [overhead], [scenarios], [ablation-mrai],
     [ablation-damping], [ablation-rfd], [ext-ls], [ext-multiflow],
-    [ext-transport]. (The bechamel [micro] section stays in the bench
-    binary: its output is pure wall-clock and has no deterministic part to
-    archive.) *)
+    [ext-transport], [faults]. (The bechamel [micro] section stays in the
+    bench binary: its output is pure wall-clock and has no deterministic part
+    to archive.)
+
+    The [faults] section sweeps a fault axis instead of mesh degree, reusing
+    each cell's degree field as the axis code: loss cells store their
+    control-plane loss percentage (0/2/5/10), flap cells store [100 + period]
+    for three down/up cycles of [period] seconds. Its extras are
+    [delivery_ratio], [retransmissions] and [injected_ctrl_drops]. *)
 
 val names : string list
 

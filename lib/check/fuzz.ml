@@ -15,12 +15,21 @@ type failure = {
   heal : int option;  (** restore the link this many seconds later *)
 }
 
+type flap_spec = {
+  flap_dt : int;  (** first down transition, seconds after [traffic_start] *)
+  flap_pick : int;  (** index into the non-bridge candidate edges *)
+  flap_cycles : int;  (** down/up cycles *)
+  flap_half : int;  (** seconds down and seconds up per cycle *)
+}
+
 type scenario = {
   topo : topo_spec;
   flows : (int * int) list;  (** raw pairs, resolved mod node count *)
   rate : int;  (** CBR pps per flow *)
   cfg_seed : int;
   failures : failure list;
+  loss_pct : int;  (** control-plane loss percentage, 0..10 *)
+  flap : flap_spec option;  (** a flapping non-bridge link *)
   dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
   dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
   mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)
@@ -82,30 +91,87 @@ let flows_of topo sc =
    partition the network: each failure picks among the non-bridge edges of
    the topology minus every previously failed link (heals are ignored, which
    is conservative — a healed link only adds connectivity). A failure with no
-   candidate is skipped, which keeps the property total under shrinking. *)
-let failures_of topo sc =
+   candidate is skipped, which keeps the property total under shrinking.
+   Returns the surviving topology too, so the flap link can be drawn from
+   what is non-bridge even with every failed link down. *)
+let resolve_failures topo sc =
   let live = ref topo in
-  List.filter_map
-    (fun f ->
+  let failures =
+    List.filter_map
+      (fun f ->
+        let candidates =
+          List.filter
+            (fun (u, v) ->
+              Netsim.Topology.is_connected (Netsim.Topology.remove_edge !live u v))
+            (Netsim.Topology.edges !live)
+        in
+        match candidates with
+        | [] -> None
+        | cs ->
+          let u, v = List.nth cs (f.pick mod List.length cs) in
+          live := Netsim.Topology.remove_edge !live u v;
+          Some
+            {
+              Convergence.Runner.fail_at =
+                traffic_start +. float_of_int f.fail_dt;
+              target = Convergence.Runner.Link (u, v);
+              heal_after = Option.map float_of_int f.heal;
+            })
+      sc.failures
+  in
+  (failures, !live)
+
+(* Injected faults follow the same non-partitioning discipline as failures:
+   the flap link must be a non-bridge of the topology with every failed link
+   already removed, so however the flap's down windows interleave with the
+   failures, the network stays connected. Loss is control-scope only and the
+   reliable transport rides along whenever any fault is active, so protocols
+   without periodic refresh still converge and the oracle's expectation at
+   quiescence stays exact. Flap timing is bounded (dt <= 40, cycles <= 3,
+   half <= 6 => last transition by traffic_start + 76), leaving the same
+   generous quiet window before the oracle reads the tables. *)
+let faults_of ~live sc =
+  let noise =
+    if sc.loss_pct = 0 then None
+    else
+      Some
+        {
+          Fault.Perturb.none with
+          Fault.Perturb.drop = float_of_int sc.loss_pct /. 100.;
+          scope = Fault.Perturb.Control_only;
+        }
+  in
+  let flaps =
+    match sc.flap with
+    | None -> []
+    | Some f -> (
       let candidates =
         List.filter
           (fun (u, v) ->
-            Netsim.Topology.is_connected (Netsim.Topology.remove_edge !live u v))
-          (Netsim.Topology.edges !live)
+            Netsim.Topology.is_connected (Netsim.Topology.remove_edge live u v))
+          (Netsim.Topology.edges live)
       in
       match candidates with
-      | [] -> None
+      | [] -> []
       | cs ->
-        let u, v = List.nth cs (f.pick mod List.length cs) in
-        live := Netsim.Topology.remove_edge !live u v;
-        Some
-          {
-            Convergence.Runner.fail_at =
-              traffic_start +. float_of_int f.fail_dt;
-            target = Convergence.Runner.Link (u, v);
-            heal_after = Option.map float_of_int f.heal;
-          })
-    sc.failures
+        let u, v = List.nth cs (f.flap_pick mod List.length cs) in
+        [
+          Fault.Schedule.flap
+            ~link:(Fault.Schedule.Edge (u, v))
+            ~start:(traffic_start +. float_of_int f.flap_dt)
+            ~cycles:f.flap_cycles
+            ~down:(float_of_int f.flap_half)
+            ~up:(float_of_int f.flap_half) ();
+        ])
+  in
+  {
+    Fault.Spec.none with
+    Fault.Spec.noise;
+    flaps;
+    rtx =
+      (if noise <> None || flaps <> [] then Some Fault.Rtx.default_config
+       else None);
+  }
 
 let dv_config sc =
   {
@@ -155,12 +221,14 @@ let run_scenario ~proto sc =
   in
   let mismatches = ref [] in
   let eng = engine ~proto sc in
+  let failures, live = resolve_failures topo sc in
   ignore
     (Convergence.Engine_registry.run_multi ~topology:topo
+       ~faults:(faults_of ~live sc)
        ~monitors:[ Monitor.sink monitor ]
        ~on_quiesce:(fun view ->
          mismatches := Oracle.check ?max_metric:(max_metric_of ~proto sc) view)
-       ~flows:(flows_of topo sc) ~failures:(failures_of topo sc) cfg eng);
+       ~flows:(flows_of topo sc) ~failures cfg eng);
   { o_violations = Monitor.finish monitor; o_mismatches = !mismatches }
 
 (* ---------- generators ---------- *)
@@ -185,6 +253,14 @@ let failure_gen =
   let* heal = opt ~ratio:0.4 (int_range 5 25) in
   return { fail_dt; pick; heal }
 
+let flap_gen =
+  let open Gen in
+  let* flap_dt = int_range 10 40 in
+  let* flap_pick = int_range 0 9999 in
+  let* flap_cycles = int_range 1 3 in
+  let* flap_half = int_range 2 6 in
+  return { flap_dt; flap_pick; flap_cycles; flap_half }
+
 let scenario_gen =
   let open Gen in
   let* topo = topo_gen in
@@ -194,10 +270,24 @@ let scenario_gen =
   let* rate = int_range 2 10 in
   let* cfg_seed = int_range 1 99999 in
   let* failures = list_size (int_range 0 3) failure_gen in
+  let* loss_pct = int_range 0 10 in
+  let* flap = opt ~ratio:0.3 flap_gen in
   let* dv_period = int_range 20 30 in
   let* dv_damp_max = int_range 2 5 in
   let* mrai_pct = int_range 50 100 in
-  return { topo; flows; rate; cfg_seed; failures; dv_period; dv_damp_max; mrai_pct }
+  return
+    {
+      topo;
+      flows;
+      rate;
+      cfg_seed;
+      failures;
+      loss_pct;
+      flap;
+      dv_period;
+      dv_damp_max;
+      mrai_pct;
+    }
 
 (* ---------- printing ---------- *)
 
@@ -211,15 +301,21 @@ let pp_failure ppf f =
     Fmt.(option (fun ppf h -> pf ppf " heal=%d" h))
     f.heal
 
+let pp_flap ppf f =
+  Fmt.pf ppf "{dt=%d pick=%d cycles=%d half=%d}" f.flap_dt f.flap_pick
+    f.flap_cycles f.flap_half
+
 let pp_scenario ppf sc =
   Fmt.pf ppf
-    "@[<h>%a; flows %a; rate %d pps; cfg_seed %d; failures %a; dv period %d \
-     damp_max %d; mrai %d%%@]"
+    "@[<h>%a; flows %a; rate %d pps; cfg_seed %d; failures %a; loss %d%%; \
+     flap %a; dv period %d damp_max %d; mrai %d%%@]"
     pp_topo sc.topo
     Fmt.(list ~sep:comma (pair ~sep:(any "->") int int))
     sc.flows sc.rate sc.cfg_seed
     Fmt.(brackets (list ~sep:sp pp_failure))
-    sc.failures sc.dv_period sc.dv_damp_max sc.mrai_pct
+    sc.failures sc.loss_pct
+    Fmt.(option ~none:(any "none") pp_flap)
+    sc.flap sc.dv_period sc.dv_damp_max sc.mrai_pct
 
 let show_scenario sc = Fmt.str "%a" pp_scenario sc
 

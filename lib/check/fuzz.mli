@@ -11,7 +11,14 @@
     resolved to a non-bridge edge of the topology minus all previously failed
     links, so the oracle's expectation (all-pairs shortest paths on the
     surviving topology, bounded by the protocol's infinity where relevant) is
-    well-defined for every generated scenario. *)
+    well-defined for every generated scenario.
+
+    Scenarios also carry a fault dimension: control-plane loss (0..10%) and
+    an optional flapping link, injected through {!Fault.Spec} with the
+    reliable control transport enabled whenever either is active. The flap
+    link follows the same non-bridge discipline (resolved against the
+    topology minus every failed link) and its last transition lands well
+    before quiescence, so the oracle's expectation is unchanged. *)
 
 type topo_spec =
   | Mesh of { rows : int; cols : int; degree : int }
@@ -24,12 +31,21 @@ type failure = {
   heal : int option;  (** restore the link this many seconds later *)
 }
 
+type flap_spec = {
+  flap_dt : int;  (** first down transition, seconds after [traffic_start] *)
+  flap_pick : int;  (** index into the non-bridge candidate edges *)
+  flap_cycles : int;  (** down/up cycles *)
+  flap_half : int;  (** seconds down and seconds up per cycle *)
+}
+
 type scenario = {
   topo : topo_spec;
   flows : (int * int) list;  (** raw pairs, resolved mod node count *)
   rate : int;  (** CBR pps per flow *)
   cfg_seed : int;
   failures : failure list;
+  loss_pct : int;  (** control-plane loss percentage, 0..10 *)
+  flap : flap_spec option;  (** a flapping non-bridge link *)
   dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
   dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
   mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)

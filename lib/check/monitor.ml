@@ -165,6 +165,23 @@ let on_record t { Obs.Sink.time; seq; event } =
     if not (Netsim.Topology.has_edge t.topo src dst) then
       flag t ~time ~seq Non_neighbor_ctrl
         "control message between non-adjacent routers %d and %d" src dst
+  (* Reliable-transport traffic obeys the same adjacency rule as the control
+     messages it carries: sessions exist per link, so a retransmission or a
+     session reset between non-neighbors is a wiring bug. Retransmission
+     itself is legal by design — a control message may be received several
+     times (duplication noise, retransmitted segments), which is why control
+     receipt is never dedup-checked above. *)
+  | Obs.Event.Rtx_sent { src; dst; _ } | Obs.Event.Session_reset { src; dst; _ }
+    ->
+    if not (Netsim.Topology.has_edge t.topo src dst) then
+      flag t ~time ~seq Non_neighbor_ctrl
+        "reliable-transport traffic between non-adjacent routers %d and %d" src
+        dst
+  (* Fault-injection events are environment facts, not protocol actions:
+     nothing to hold them to beyond what the link/packet events already
+     cover. [Rtx_timeout] likewise only reports a timer expiry. *)
+  | Obs.Event.Fault_injected _ | Obs.Event.Node_crash _ | Obs.Event.Node_reboot _
+  | Obs.Event.Rtx_timeout _ -> ()
   | _ -> ()
 
 let in_flight t = Hashtbl.length t.live

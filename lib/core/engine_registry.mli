@@ -41,6 +41,7 @@ val find : string -> t option
 
 val run :
   ?topology:Netsim.Topology.t ->
+  ?faults:Fault.Spec.t ->
   ?src:Netsim.Types.node_id ->
   ?dst:Netsim.Types.node_id ->
   ?trace:Obs.Trace.t ->
@@ -58,6 +59,7 @@ val run :
 
 val run_multi :
   ?topology:Netsim.Topology.t ->
+  ?faults:Fault.Spec.t ->
   ?trace:Obs.Trace.t ->
   ?monitors:Obs.Sink.t list ->
   ?metrics:Obs.Registry.t ->
@@ -71,6 +73,7 @@ val run_multi :
 
 val run_transport :
   ?topology:Netsim.Topology.t ->
+  ?faults:Fault.Spec.t ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Registry.t ->
   ?src:Netsim.Types.node_id ->

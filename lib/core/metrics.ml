@@ -10,6 +10,7 @@ type run = {
   drops_ttl : int;
   drops_queue : int;
   drops_link : int;
+  drops_injected : int;
   looped_delivered : int;
   looped_dropped : int;
   ctrl_messages : int;
@@ -28,6 +29,7 @@ type run = {
 
 let total_drops r =
   r.drops_no_route + r.drops_ttl + r.drops_queue + r.drops_link
+  + r.drops_injected
 
 let in_flight r = r.sent - r.delivered - total_drops r
 
@@ -36,12 +38,13 @@ let conservation_ok r = in_flight r >= 0
 let pp_run ppf r =
   Fmt.pf ppf
     "@[<v>%s degree=%d seed=%d %d->%d@ sent=%d delivered=%d drops: \
-     no-route=%d ttl=%d queue=%d link=%d (in flight %d)@ loops: \
+     no-route=%d ttl=%d queue=%d link=%d injected=%d (in flight %d)@ loops: \
      delivered-after-loop=%d dropped-after-loop=%d@ control: msgs=%d \
      bytes=%d lost=%d@ convergence: forwarding=%.2fs routing=%.2fs transient \
      paths=%d@ failed link=%a@ pre-failure %a@ final %a%s@]"
     r.protocol r.degree r.seed r.src r.dst r.sent r.delivered r.drops_no_route
-    r.drops_ttl r.drops_queue r.drops_link (in_flight r) r.looped_delivered
+    r.drops_ttl r.drops_queue r.drops_link r.drops_injected (in_flight r)
+    r.looped_delivered
     r.looped_dropped r.ctrl_messages r.ctrl_bytes r.ctrl_lost r.fwd_convergence
     r.routing_convergence r.transient_paths
     Fmt.(option ~none:(any "none") (pair ~sep:(any "-") int int))
@@ -124,6 +127,7 @@ type flow = {
   f_drops_ttl : int;
   f_drops_queue : int;
   f_drops_link : int;
+  f_drops_injected : int;
   f_looped_delivered : int;
   f_looped_dropped : int;
   f_throughput : Dessim.Series.t;
@@ -149,6 +153,7 @@ type multi = {
 
 let flow_total_drops f =
   f.f_drops_no_route + f.f_drops_ttl + f.f_drops_queue + f.f_drops_link
+  + f.f_drops_injected
 
 let flow_delivery_ratio f =
   if f.f_sent = 0 then 1.
@@ -162,10 +167,11 @@ let multi_delivered m =
 let pp_flow ppf f =
   Fmt.pf ppf
     "flow %d->%d: sent=%d delivered=%d (%.1f%%) drops[no-route=%d ttl=%d \
-     queue=%d link=%d] fwd-conv=%.2fs paths=%d"
+     queue=%d link=%d injected=%d] fwd-conv=%.2fs paths=%d"
     f.f_src f.f_dst f.f_sent f.f_delivered
     (100. *. flow_delivery_ratio f)
     f.f_drops_no_route f.f_drops_ttl f.f_drops_queue f.f_drops_link
+    f.f_drops_injected
     f.f_fwd_convergence f.f_transient_paths
 
 let pp_multi ppf m =
@@ -195,6 +201,7 @@ let run_of_multi m =
       drops_ttl = f.f_drops_ttl;
       drops_queue = f.f_drops_queue;
       drops_link = f.f_drops_link;
+      drops_injected = f.f_drops_injected;
       looped_delivered = f.f_looped_delivered;
       looped_dropped = f.f_looped_dropped;
       ctrl_messages = m.m_ctrl_messages;

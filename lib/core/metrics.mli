@@ -17,6 +17,7 @@ type run = {
   drops_ttl : int;
   drops_queue : int;
   drops_link : int;  (** dropped on/over the failed link before detection *)
+  drops_injected : int;  (** discarded or corrupted by fault injection *)
   looped_delivered : int;  (** delivered packets that escaped a loop *)
   looped_dropped : int;  (** dropped packets that had looped *)
   ctrl_messages : int;
@@ -92,6 +93,7 @@ type flow = {
   f_drops_ttl : int;
   f_drops_queue : int;
   f_drops_link : int;
+  f_drops_injected : int;
   f_looped_delivered : int;
   f_looped_dropped : int;
   f_throughput : Dessim.Series.t;

@@ -65,6 +65,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
   type payload =
     | Data of Netsim.Packet.t
     | Ctrl of { from : Netsim.Types.node_id; msg : P.message }
+    | Rseg of { from : Netsim.Types.node_id; seg : P.message Fault.Rtx.segment }
+        (* a reliable-transport segment; only exists when [Fault.Spec.rtx]
+           is enabled for a [uses_reliable_transport] protocol *)
 
   (* Per-flow measurement state. *)
   type flow_state = {
@@ -79,6 +82,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     mutable drops_ttl : int;
     mutable drops_queue : int;
     mutable drops_link : int;
+    mutable drops_injected : int;
     mutable looped_delivered : int;
     mutable looped_dropped : int;
     throughput : Dessim.Series.t;
@@ -115,6 +119,22 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     mutable last_route_change : float;
     mutable failed_links : (int * int) list;  (* newest first *)
     mutable next_packet_id : int;
+    (* fault injection; all inert when [faults] is [Fault.Spec.none] *)
+    faults : Fault.Spec.t;
+    rtx_on : bool;  (* route control messages through Fault.Rtx sessions *)
+    rtx_sessions : (int * int, P.message Fault.Rtx.t) Hashtbl.t;
+        (* (owner, neighbor) -> owner's session toward neighbor *)
+    link_rngs : (int * int, Dessim.Rng.t) Hashtbl.t;
+        (* per-directed-link perturbation streams, independent of the master *)
+    down_refs : (int * int, int ref) Hashtbl.t;
+        (* undirected link -> concurrent down causes (flap + crash compose) *)
+    generation : int array;  (* protocol instance generation, bumped on crash *)
+    crashed : bool array;
+    mutable injected_data_drops : int;
+    mutable injected_ctrl_drops : int;
+    mutable rtx_retransmissions : int;
+    mutable rtx_timeouts : int;
+    mutable session_resets : int;
   }
 
   let link st u v =
@@ -223,25 +243,103 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
             (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits (Data p))
         end
 
+  and deliver_ctrl st ~from at_node msg =
+    if tracing st Obs.Event.Control then
+      emit st
+        (Obs.Event.Ctrl_received
+           {
+             proto = P.name;
+             src = from;
+             dst = at_node;
+             kind = msg_kind_of (P.message_kind msg);
+           });
+    P.on_message st.routers.(at_node) ~from msg
+
   and on_arrival st at_node payload =
     match payload with
     | Data p -> forward st at_node p
-    | Ctrl { from; msg } ->
+    | Ctrl { from; msg } -> deliver_ctrl st ~from at_node msg
+    | Rseg { from; seg } -> (
+      match Hashtbl.find_opt st.rtx_sessions (at_node, from) with
+      | Some session -> Fault.Rtx.on_segment session seg
+      | None -> ())
+
+  let fault_seed st =
+    Option.value st.faults.Fault.Spec.fault_seed ~default:st.cfg.Config.seed
+
+  let link_rng st u v =
+    match Hashtbl.find_opt st.link_rngs (u, v) with
+    | Some rng -> rng
+    | None ->
+      let rng =
+        Dessim.Rng.create (Fault.Spec.link_seed ~seed:(fault_seed st) ~u ~v)
+      in
+      Hashtbl.replace st.link_rngs (u, v) rng;
+      rng
+
+  let perturb_applies (noise : Fault.Perturb.t) payload =
+    match (noise.Fault.Perturb.scope, payload) with
+    | Fault.Perturb.All, _ -> true
+    | Fault.Perturb.Control_only, (Ctrl _ | Rseg _) -> true
+    | Fault.Perturb.Control_only, Data _ -> false
+    | Fault.Perturb.Data_only, Data _ -> true
+    | Fault.Perturb.Data_only, (Ctrl _ | Rseg _) -> false
+
+  let injected_loss st u v payload reason what =
+    if tracing st Obs.Event.Env then
+      emit st (Obs.Event.Fault_injected { u; v; what });
+    match payload with
+    | Data p ->
+      st.injected_data_drops <- st.injected_data_drops + 1;
+      drop_data st p reason
+    | Ctrl _ ->
+      st.injected_ctrl_drops <- st.injected_ctrl_drops + 1;
+      st.ctrl_lost <- st.ctrl_lost + 1;
       if tracing st Obs.Event.Control then
-        emit st
-          (Obs.Event.Ctrl_received
-             {
-               proto = P.name;
-               src = from;
-               dst = at_node;
-               kind = msg_kind_of (P.message_kind msg);
-             });
-      P.on_message st.routers.(at_node) ~from msg
+        emit st (Obs.Event.Ctrl_lost { reason })
+    | Rseg _ ->
+      (* Segment loss is not protocol-message loss: the transport will
+         retransmit, so only the injection counter records it. *)
+      st.injected_ctrl_drops <- st.injected_ctrl_drops + 1
+
+  (* Link egress with the perturbation layer in front of [on_arrival]. Data
+     packets are never duplicated (their delivery accounting is exactly-once
+     by construction); control units may be dropped, corrupted, duplicated,
+     or jittered. *)
+  let ingress st u v payload =
+    match st.faults.Fault.Spec.noise with
+    | Some noise when perturb_applies noise payload -> (
+      match Fault.Perturb.decide (link_rng st u v) noise with
+      | Fault.Perturb.Drop ->
+        injected_loss st u v payload Netsim.Types.Injected_loss "drop"
+      | Fault.Perturb.Corrupt ->
+        injected_loss st u v payload Netsim.Types.Corrupted "corrupt"
+      | Fault.Perturb.Deliver { copies; delay } ->
+        let copies = match payload with Data _ -> 1 | Ctrl _ | Rseg _ -> copies in
+        if copies > 1 && tracing st Obs.Event.Env then
+          emit st (Obs.Event.Fault_injected { u; v; what = "duplicate" });
+        if delay = 0. then
+          for _ = 1 to copies do
+            on_arrival st v payload
+          done
+        else begin
+          if tracing st Obs.Event.Env then
+            emit st (Obs.Event.Fault_injected { u; v; what = "reorder" });
+          for _ = 1 to copies do
+            ignore
+              (Dessim.Scheduler.after st.sched ~delay (fun () ->
+                   on_arrival st v payload))
+          done
+        end)
+    | Some _ | None -> on_arrival st v payload
 
   let on_link_drop st payload reason =
     match payload with
     | Data p -> drop_data st p reason
-    | Ctrl _ ->
+    | Ctrl _ | Rseg _ ->
+      (* Rseg counts like Ctrl here: a segment caught on a failing link is a
+         control-plane loss event, exactly as the idealized transport's
+         message would have been. *)
       st.ctrl_lost <- st.ctrl_lost + 1;
       if tracing st Obs.Event.Control then
         emit st (Obs.Event.Ctrl_lost { reason })
@@ -253,7 +351,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         Netsim.Link.create ~sched:st.sched ~bandwidth_bps:cfg.Config.bandwidth_bps
           ~prop_delay:cfg.Config.prop_delay
           ~queue_capacity:cfg.Config.queue_capacity
-          ~deliver:(fun payload -> on_arrival st v payload)
+          ~deliver:(fun payload -> ingress st u v payload)
           ~dropped:(fun payload reason -> on_link_drop st payload reason)
           ()
       in
@@ -265,57 +363,135 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     in
     List.iter both (Netsim.Topology.edges st.topo)
 
-  let make_routers st pcfg master_rng =
-    let n = Netsim.Topology.node_count st.topo in
+  let rtx_session st u v =
+    match Hashtbl.find_opt st.rtx_sessions (u, v) with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Runner: no rtx session %d->%d" u v)
+
+  (* Tear down / re-establish both endpoints' sessions over one undirected
+     link. No-ops when the reliable transport is disabled. *)
+  let rtx_link_down st u v =
+    if st.rtx_on then begin
+      Fault.Rtx.link_down (rtx_session st u v);
+      Fault.Rtx.link_down (rtx_session st v u)
+    end
+
+  let rtx_link_up st u v =
+    if st.rtx_on then begin
+      Fault.Rtx.link_up (rtx_session st u v);
+      Fault.Rtx.link_up (rtx_session st v u)
+    end
+
+  (* One endpoint's reliable session: [a]'s side of the (a, b) adjacency.
+     Segments ride the same link with the same reliable flag and message
+     size the idealized transport used — so at zero injected loss the wire
+     behavior (transmission times, queue occupancy) is unchanged — but ACKs,
+     retransmission and session epochs are now real. ACK segments are zero
+     bits: framing overhead is not part of the paper's cost model. *)
+  let make_rtx_session st a b =
+    let config =
+      Option.value st.faults.Fault.Spec.rtx ~default:Fault.Rtx.default_config
+    in
+    Fault.Rtx.create ~config ~sched:st.sched
+      ~send:(fun seg ->
+        let size_bits =
+          match seg with
+          | Fault.Rtx.Seg_data { msg; _ } -> P.message_size_bits msg
+          | Fault.Rtx.Seg_ack _ -> 0
+        in
+        ignore
+          (Netsim.Link.send (link st a b) ~reliable:true ~size_bits
+             (Rseg { from = a; seg })))
+      ~deliver:(fun msg -> deliver_ctrl st ~from:b a msg)
+      ~on_reset:(fun ~epoch ->
+        st.session_resets <- st.session_resets + 1;
+        if tracing st Obs.Event.Control then
+          emit st (Obs.Event.Session_reset { src = a; dst = b; epoch });
+        (* Bounce the routing session: the protocol drops what it learned
+           over the dead session and re-advertises over the new epoch. *)
+        P.on_link_down st.routers.(a) ~neighbor:b;
+        P.on_link_up st.routers.(a) ~neighbor:b)
+      ~on_event:(function
+        | Fault.Rtx.Retransmit { seq; attempt } ->
+          st.rtx_retransmissions <- st.rtx_retransmissions + 1;
+          if tracing st Obs.Event.Control then
+            emit st
+              (Obs.Event.Rtx_sent
+                 { proto = P.name; src = a; dst = b; seq; attempt })
+        | Fault.Rtx.Timeout { rto; attempt } ->
+          st.rtx_timeouts <- st.rtx_timeouts + 1;
+          if tracing st Obs.Event.Control then
+            emit st (Obs.Event.Rtx_timeout { src = a; dst = b; rto; attempt }))
+      ()
+
+  (* Build one protocol instance. [gen] pins the instance's generation:
+     timers scheduled by a crashed (or rebooted-over) instance find their
+     generation stale and fall silent, which is how a crash discards a
+     router's pending protocol work without tracking timer handles. *)
+  let make_router st pcfg ~rng id =
+    let gen = st.generation.(id) in
+    let live () = st.generation.(id) = gen in
     (* When control-plane tracing is off, protocol timers are scheduled
        directly; otherwise each timer callback is wrapped to announce its
-       firing. Decided once per run, not per timer. *)
+       firing. Decided once per router, not per timer. *)
     let trace_control = tracing st Obs.Event.Control in
-    let make id =
-      let rng = Dessim.Rng.split master_rng in
-      let after_action =
-        if trace_control then fun delay fn ->
-          Dessim.Scheduler.after st.sched ~delay (fun () ->
+    if st.rtx_on then
+      List.iter
+        (fun nb ->
+          if not (Hashtbl.mem st.rtx_sessions (id, nb)) then
+            Hashtbl.replace st.rtx_sessions (id, nb) (make_rtx_session st id nb))
+        (Netsim.Topology.neighbors st.topo id);
+    let after_action =
+      if trace_control then fun delay fn ->
+        Dessim.Scheduler.after st.sched ~delay (fun () ->
+            if live () then begin
               emit st (Obs.Event.Timer_fired { node = id });
-              fn ())
-        else fun delay fn -> Dessim.Scheduler.after st.sched ~delay fn
-      in
-      let actions =
-        {
-          Protocols.Proto_intf.now = (fun () -> Dessim.Scheduler.now st.sched);
-          send =
-            (fun neighbor msg ->
-              st.ctrl_messages <- st.ctrl_messages + 1;
-              st.ctrl_bytes <- st.ctrl_bytes + (P.message_size_bits msg / 8);
-              if trace_control then
-                emit st
-                  (Obs.Event.Ctrl_sent
-                     {
-                       proto = P.name;
-                       src = id;
-                       dst = neighbor;
-                       kind = msg_kind_of (P.message_kind msg);
-                       bits = P.message_size_bits msg;
-                     });
+              fn ()
+            end)
+      else fun delay fn ->
+        Dessim.Scheduler.after st.sched ~delay (fun () -> if live () then fn ())
+    in
+    let actions =
+      {
+        Protocols.Proto_intf.now = (fun () -> Dessim.Scheduler.now st.sched);
+        send =
+          (fun neighbor msg ->
+            st.ctrl_messages <- st.ctrl_messages + 1;
+            st.ctrl_bytes <- st.ctrl_bytes + (P.message_size_bits msg / 8);
+            if trace_control then
+              emit st
+                (Obs.Event.Ctrl_sent
+                   {
+                     proto = P.name;
+                     src = id;
+                     dst = neighbor;
+                     kind = msg_kind_of (P.message_kind msg);
+                     bits = P.message_size_bits msg;
+                   });
+            if st.rtx_on then Fault.Rtx.send (rtx_session st id neighbor) msg
+            else
               ignore
                 (Netsim.Link.send (link st id neighbor)
                    ~reliable:P.uses_reliable_transport
                    ~size_bits:(P.message_size_bits msg)
                    (Ctrl { from = id; msg })));
-          after = after_action;
-          route_changed = (fun dst -> on_route_changed st id dst);
-          note =
-            (fun n ->
-              if trace_control then
-                match n with
-                | Protocols.Proto_intf.Mrai_deferred { neighbor; dsts } ->
-                  emit st (Obs.Event.Mrai_defer { node = id; neighbor; dsts }));
-        }
-      in
-      P.create pcfg ~rng ~id
-        ~neighbors:(Netsim.Topology.neighbors st.topo id)
-        ~actions
+        after = after_action;
+        route_changed = (fun dst -> on_route_changed st id dst);
+        note =
+          (fun n ->
+            if trace_control then
+              match n with
+              | Protocols.Proto_intf.Mrai_deferred { neighbor; dsts } ->
+                emit st (Obs.Event.Mrai_defer { node = id; neighbor; dsts }));
+      }
     in
+    P.create pcfg ~rng ~id
+      ~neighbors:(Netsim.Topology.neighbors st.topo id)
+      ~actions
+
+  let make_routers st pcfg master_rng =
+    let n = Netsim.Topology.node_count st.topo in
+    let make id = make_router st pcfg ~rng:(Dessim.Rng.split master_rng) id in
     st.routers <- Array.init n make;
     Array.iter P.start st.routers
 
@@ -365,7 +541,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
             | Netsim.Types.No_route -> f.drops_no_route <- f.drops_no_route + 1
             | Netsim.Types.Ttl_expired -> f.drops_ttl <- f.drops_ttl + 1
             | Netsim.Types.Queue_overflow -> f.drops_queue <- f.drops_queue + 1
-            | Netsim.Types.Link_down -> f.drops_link <- f.drops_link + 1);
+            | Netsim.Types.Link_down -> f.drops_link <- f.drops_link + 1
+            | Netsim.Types.Injected_loss | Netsim.Types.Corrupted ->
+              f.drops_injected <- f.drops_injected + 1);
             let looped = Netsim.Packet.looped p in
             if looped then f.looped_dropped <- f.looped_dropped + 1;
             if tracing st Obs.Event.Data then
@@ -444,6 +622,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       ignore
         (Dessim.Scheduler.after st.sched ~delay:cfg.Config.detection_delay
            (fun () ->
+             rtx_link_down st u v;
              P.on_link_down st.routers.(u) ~neighbor:v;
              P.on_link_down st.routers.(v) ~neighbor:u;
              (* The failure may have changed the forwarding picture even if
@@ -459,10 +638,136 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
                  emit st (Obs.Event.Link_healed { u; v });
                Netsim.Link.restore (link st u v);
                Netsim.Link.restore (link st v u);
+               rtx_link_up st u v;
                P.on_link_up st.routers.(u) ~neighbor:v;
                P.on_link_up st.routers.(v) ~neighbor:u))
     in
     ignore (Dessim.Scheduler.schedule st.sched ~at:spec.fail_at act)
+
+  (* ---------- declarative fault schedules ---------- *)
+
+  (* Flap and crash schedules can down the same link concurrently (a flapping
+     link whose endpoint also crashes), so link state is refcounted per
+     undirected edge: the link physically fails on 0 -> 1 and heals on
+     1 -> 0, and every down/up cause just moves the count. *)
+  let down_ref st u v =
+    let key = if u <= v then (u, v) else (v, u) in
+    match Hashtbl.find_opt st.down_refs key with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace st.down_refs key r;
+      r
+
+  let sched_take_down st u v =
+    let r = down_ref st u v in
+    incr r;
+    if !r = 1 then begin
+      if st.first_failure_at = None then begin
+        st.first_failure_at <- Some (Dessim.Scheduler.now st.sched);
+        Array.iter
+          (fun f -> f.pre_failure_path <- Observer.nodes_of (sample_path st f))
+          st.flows
+      end;
+      st.failed_links <- (u, v) :: st.failed_links;
+      if tracing st Obs.Event.Env then emit st (Obs.Event.Link_failed { u; v });
+      Netsim.Link.fail (link st u v);
+      Netsim.Link.fail (link st v u);
+      ignore
+        (Dessim.Scheduler.after st.sched ~delay:st.cfg.Config.detection_delay
+           (fun () ->
+             (* Skip notification if the link already came back up: a flap
+                shorter than the detection delay is invisible to routing,
+                exactly like a real loss-of-signal debounce. *)
+             if !(down_ref st u v) > 0 then begin
+               rtx_link_down st u v;
+               P.on_link_down st.routers.(u) ~neighbor:v;
+               P.on_link_down st.routers.(v) ~neighbor:u;
+               Array.iter (record_path_sample st) st.flows
+             end))
+    end
+
+  let sched_bring_up st u v =
+    let r = down_ref st u v in
+    if !r > 0 then begin
+      decr r;
+      if !r = 0 then begin
+        if tracing st Obs.Event.Env then emit st (Obs.Event.Link_healed { u; v });
+        Netsim.Link.restore (link st u v);
+        Netsim.Link.restore (link st v u);
+        rtx_link_up st u v;
+        P.on_link_up st.routers.(u) ~neighbor:v;
+        P.on_link_up st.routers.(v) ~neighbor:u
+      end
+    end
+
+  let apply_flap st srng (f : Fault.Schedule.flap) =
+    let u, v =
+      match f.Fault.Schedule.flap_link with
+      | Fault.Schedule.Edge (u, v) ->
+        if not (Netsim.Topology.has_edge st.topo u v) then
+          invalid_arg
+            (Printf.sprintf "Runner: cannot flap nonexistent link %d-%d" u v);
+        (u, v)
+      | Fault.Schedule.Any_edge ->
+        Dessim.Rng.pick srng (Netsim.Topology.edges st.topo)
+    in
+    List.iter
+      (fun { Fault.Schedule.at; up } ->
+        ignore
+          (Dessim.Scheduler.schedule st.sched ~at (fun () ->
+               if up then sched_bring_up st u v else sched_take_down st u v)))
+      (Fault.Schedule.flap_transitions srng f)
+
+  let apply_crash st pcfg (c : Fault.Schedule.crash) =
+    let node = c.Fault.Schedule.crash_node in
+    ignore
+      (Dessim.Scheduler.schedule st.sched ~at:c.Fault.Schedule.crash_at
+         (fun () ->
+           if (not st.crashed.(node)) && node >= 0
+              && node < Array.length st.routers
+           then begin
+             st.crashed.(node) <- true;
+             (* Bumping the generation silences every timer the dying
+                instance has pending — its state is gone, not paused. *)
+             st.generation.(node) <- st.generation.(node) + 1;
+             if tracing st Obs.Event.Env then
+               emit st (Obs.Event.Node_crash { node });
+             List.iter
+               (fun nb -> sched_take_down st node nb)
+               (Netsim.Topology.neighbors st.topo node);
+             match c.Fault.Schedule.reboot_after with
+             | None -> ()
+             | Some d ->
+               ignore
+                 (Dessim.Scheduler.after st.sched ~delay:d (fun () ->
+                      st.crashed.(node) <- false;
+                      if tracing st Obs.Event.Env then
+                        emit st (Obs.Event.Node_reboot { node });
+                      (* A fresh instance with a derived RNG: the reboot must
+                         not consume master-stream draws, or a crash schedule
+                         would perturb every later random choice of the run. *)
+                      let rng =
+                        Dessim.Rng.create
+                          (Fault.Spec.node_seed ~seed:(fault_seed st) ~node
+                             ~gen:st.generation.(node))
+                      in
+                      st.routers.(node) <- make_router st pcfg ~rng node;
+                      P.start st.routers.(node);
+                      List.iter
+                        (fun nb -> sched_bring_up st node nb)
+                        (Netsim.Topology.neighbors st.topo node)))
+           end))
+
+  let apply_faults st pcfg =
+    let spec = st.faults in
+    if spec.Fault.Spec.flaps <> [] || spec.Fault.Spec.crashes <> [] then begin
+      let srng =
+        Dessim.Rng.create (Fault.Spec.schedule_seed ~seed:(fault_seed st))
+      in
+      List.iter (apply_flap st srng) spec.Fault.Spec.flaps;
+      List.iter (apply_crash st pcfg) spec.Fault.Spec.crashes
+    end
 
   (* Forwarding-path convergence delay (paper Section 5.4): the time from the
      first failure until the flow's path last becomes equal to its final
@@ -512,6 +817,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       f_drops_ttl = f.drops_ttl;
       f_drops_queue = f.drops_queue;
       f_drops_link = f.drops_link;
+      f_drops_injected = f.drops_injected;
       f_looped_delivered = f.looped_delivered;
       f_looped_dropped = f.looped_dropped;
       f_throughput = f.throughput;
@@ -528,11 +834,14 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
      the master RNG, positioned identically regardless of what traffic will
      run on top — so a CBR run and a transport run over the same seed see the
      same flow endpoints and failure choices. *)
-  let prepare ?topology ~trace ~monitors ~metrics ~flows (cfg : Config.t)
-      (pcfg : P.config) =
+  let prepare ?topology ?(faults = Fault.Spec.none) ~trace ~monitors ~metrics
+      ~flows (cfg : Config.t) (pcfg : P.config) =
     (match Config.validate cfg with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Runner.run: " ^ msg));
+    (match Fault.Spec.validate faults with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Runner.run: faults: " ^ msg));
     if flows = [] then invalid_arg "Runner.run: no flows";
     (* Monitors get the full, unfiltered event stream regardless of the
        user trace's category/severity restrictions. *)
@@ -579,6 +888,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         drops_ttl = 0;
         drops_queue = 0;
         drops_link = 0;
+        drops_injected = 0;
         looped_delivered = 0;
         looped_dropped = 0;
         throughput = Dessim.Series.create ~start:cfg.Config.warmup ~width:1. ~buckets;
@@ -608,10 +918,26 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         last_route_change = 0.;
         failed_links = [];
         next_packet_id = 0;
+        faults;
+        rtx_on =
+          (match faults.Fault.Spec.rtx with
+          | Some _ -> P.uses_reliable_transport
+          | None -> false);
+        rtx_sessions = Hashtbl.create 64;
+        link_rngs = Hashtbl.create 64;
+        down_refs = Hashtbl.create 16;
+        generation = Array.make (Netsim.Topology.node_count topo) 0;
+        crashed = Array.make (Netsim.Topology.node_count topo) false;
+        injected_data_drops = 0;
+        injected_ctrl_drops = 0;
+        rtx_retransmissions = 0;
+        rtx_timeouts = 0;
+        session_resets = 0;
       }
     in
     make_links st;
     make_routers st pcfg rng;
+    apply_faults st pcfg;
     (st, rng)
 
   let collect_multi ?label st =
@@ -654,7 +980,26 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       Obs.Registry.set (Obs.Registry.gauge m "scenario.cpu_s") cpu_s;
       Obs.Registry.incr ~by:st.ctrl_messages (Obs.Registry.counter m "ctrl.messages");
       Obs.Registry.incr ~by:st.ctrl_bytes (Obs.Registry.counter m "ctrl.bytes");
-      Obs.Registry.incr ~by:st.ctrl_lost (Obs.Registry.counter m "ctrl.lost"));
+      Obs.Registry.incr ~by:st.ctrl_lost (Obs.Registry.counter m "ctrl.lost");
+      (* Fault gauges appear only for faulted runs, so a plain run's metric
+         listing is unchanged. *)
+      if not (Fault.Spec.is_none st.faults) then begin
+        Obs.Registry.set
+          (Obs.Registry.gauge m "fault.injected_data_drops")
+          (float_of_int st.injected_data_drops);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "fault.injected_ctrl_drops")
+          (float_of_int st.injected_ctrl_drops);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "rtx.retransmissions")
+          (float_of_int st.rtx_retransmissions);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "rtx.timeouts")
+          (float_of_int st.rtx_timeouts);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "rtx.session_resets")
+          (float_of_int st.session_resets)
+      end);
     Obs.Trace.flush st.trace
 
   (* The end-of-run control-plane snapshot for [?on_quiesce]: converged
@@ -674,18 +1019,21 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       rv_metric = (fun ~src ~dst -> P.metric st.routers.(src) ~dst);
     }
 
-  let run_multi ?label ?topology ?(trace = Obs.Trace.null) ?(monitors = [])
-      ?metrics ?on_quiesce ~flows ~failures (cfg : Config.t) (pcfg : P.config)
-      =
-    let st, rng = prepare ?topology ~trace ~monitors ~metrics ~flows cfg pcfg in
+  let run_multi ?label ?topology ?faults ?(trace = Obs.Trace.null)
+      ?(monitors = []) ?metrics ?on_quiesce ~flows ~failures (cfg : Config.t)
+      (pcfg : P.config) =
+    let st, rng =
+      prepare ?topology ?faults ~trace ~monitors ~metrics ~flows cfg pcfg
+    in
     Array.iter (start_traffic st) st.flows;
     List.iter (inject_failure st rng) failures;
     run_scheduler st;
     (match on_quiesce with Some f -> f (routing_view st) | None -> ());
     collect_multi ?label st
 
-  let run ?label ?topology ?src ?dst ?trace ?monitors ?metrics ?on_quiesce
-      ?fail_link ?restore_after (cfg : Config.t) (pcfg : P.config) =
+  let run ?label ?topology ?faults ?src ?dst ?trace ?monitors ?metrics
+      ?on_quiesce ?fail_link ?restore_after (cfg : Config.t) (pcfg : P.config)
+      =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
     let failure =
       {
@@ -695,7 +1043,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       }
     in
     Metrics.run_of_multi
-      (run_multi ?label ?topology ?trace ?monitors ?metrics ?on_quiesce
+      (run_multi ?label ?topology ?faults ?trace ?monitors ?metrics ?on_quiesce
          ~flows:[ flow ] ~failures:[ failure ] cfg pcfg)
 
   (* ---------- reliable transport on top of the data plane ---------- *)
@@ -859,12 +1207,13 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     ignore (Dessim.Scheduler.schedule st.sched ~at:f.start fill_window);
     outcome
 
-  let run_transport ?label ?topology ?(trace = Obs.Trace.null) ?metrics ?src
-      ?dst ~failures (tc : transport_config) (cfg : Config.t) (pcfg : P.config)
-      =
+  let run_transport ?label ?topology ?faults ?(trace = Obs.Trace.null) ?metrics
+      ?src ?dst ~failures (tc : transport_config) (cfg : Config.t)
+      (pcfg : P.config) =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
     let st, rng =
-      prepare ?topology ~trace ~monitors:[] ~metrics ~flows:[ flow ] cfg pcfg
+      prepare ?topology ?faults ~trace ~monitors:[] ~metrics ~flows:[ flow ]
+        cfg pcfg
     in
     let outcome = start_transport st st.flows.(0) tc in
     List.iter (inject_failure st rng) failures;

@@ -85,11 +85,19 @@ type transport_outcome = {
     - [?metrics] — an {!Obs.Registry.t} the run populates with
       [scheduler.events_fired], [scheduler.max_queue_depth], [scenario.cpu_s]
       gauges, [ctrl.messages]/[ctrl.bytes]/[ctrl.lost] counters, and a
-      [packet.delay_s] histogram of CBR delivery delays. *)
+      [packet.delay_s] histogram of CBR delivery delays.
+    - [?faults] — a {!Fault.Spec.t} describing injected link noise, fault
+      schedules (flaps, crashes), and the reliable-control-transport
+      configuration. Defaults to {!Fault.Spec.none}, in which case the run
+      takes exactly its pre-fault code paths (bit-identical traces and
+      metrics). When faults are active the registry additionally gains
+      [fault.injected_data_drops], [fault.injected_ctrl_drops],
+      [rtx.retransmissions], [rtx.timeouts], and [rtx.session_resets]. *)
 module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run_multi :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
+    ?faults:Fault.Spec.t ->
     ?trace:Obs.Trace.t ->
     ?monitors:Obs.Sink.t list ->
     ?metrics:Obs.Registry.t ->
@@ -114,6 +122,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
+    ?faults:Fault.Spec.t ->
     ?src:Netsim.Types.node_id ->
     ?dst:Netsim.Types.node_id ->
     ?trace:Obs.Trace.t ->
@@ -142,6 +151,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run_transport :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
+    ?faults:Fault.Spec.t ->
     ?trace:Obs.Trace.t ->
     ?metrics:Obs.Registry.t ->
     ?src:Netsim.Types.node_id ->

@@ -47,13 +47,49 @@ let step t =
     end;
     true
 
+exception Wall_timeout
+
+(* The wall-clock budget is domain-local rather than a field of [t]: the code
+   that owns the budget (a campaign watchdog) and the code that creates the
+   scheduler (a runner deep inside an opaque task closure) never meet.
+   Checking the deadline every event would cost a syscall per event, so [run]
+   only consults the clock every [wall_interval] events — coarse, but a hung
+   cell is hung for seconds, not microseconds. *)
+let wall_interval = 1024
+
+let wall_deadline : float option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_wall_budget budget fn =
+  if budget <= 0.0 then invalid_arg "Scheduler.with_wall_budget: budget <= 0";
+  let slot = Domain.DLS.get wall_deadline in
+  let saved = !slot in
+  slot := Some (Unix.gettimeofday () +. budget);
+  Fun.protect ~finally:(fun () -> slot := saved) fn
+
 let run ?until t =
+  let slot = Domain.DLS.get wall_deadline in
+  let ticks = ref 0 in
+  let check_wall () =
+    incr ticks;
+    if !ticks land (wall_interval - 1) = 0 then
+      match !slot with
+      | Some deadline when Unix.gettimeofday () > deadline -> raise Wall_timeout
+      | Some _ | None -> ()
+  in
   match until with
-  | None -> while step t do () done
+  | None ->
+    while
+      check_wall ();
+      step t
+    do
+      ()
+    done
   | Some horizon ->
     let rec loop () =
       match Heap.min_elt t.queue with
       | Some (time, _, _) when time <= horizon ->
+        check_wall ();
         ignore (step t);
         loop ()
       | Some _ | None -> if t.clock < horizon then t.clock <- horizon

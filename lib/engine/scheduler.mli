@@ -46,7 +46,23 @@ val run : ?until:float -> t -> unit
 (** [run t] fires events until the queue is empty. With [~until], stops before
     any event later than [until] and leaves the clock at [until] (or at the
     last fired event if the queue emptied first, whichever is later never
-    exceeding [until]). *)
+    exceeding [until]).
+
+    If the calling domain is inside {!with_wall_budget} and the budget is
+    exhausted, [run] raises {!Wall_timeout} (checked every 1024 events). *)
+
+exception Wall_timeout
+(** Raised by {!run} when the enclosing {!with_wall_budget} deadline passes. *)
+
+val with_wall_budget : float -> (unit -> 'a) -> 'a
+(** [with_wall_budget seconds fn] runs [fn ()] with a wall-clock deadline of
+    [seconds] from now. Any {!run} loop executing on the same domain inside
+    [fn] raises {!Wall_timeout} once the deadline passes; code between events
+    is not interrupted (the watchdog is cooperative, not preemptive). Budgets
+    nest: the innermost one is in effect, and the previous budget is restored
+    on exit — including on exception.
+
+    @raise Invalid_argument if [seconds <= 0]. *)
 
 val events_processed : t -> int
 (** [events_processed t] counts events fired since creation (cancelled events

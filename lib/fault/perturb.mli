@@ -1,0 +1,43 @@
+(** Per-link probabilistic perturbation: what happens to each unit (packet or
+    control segment) as it is delivered off a link.
+
+    The perturbation layer sits at the {e receiving} end of a link, after
+    transmission and propagation: the unit occupied the wire, then the fault
+    model decides its fate. Decisions are drawn from a per-link RNG owned by
+    the caller, derived from the run seed independently of the simulation's
+    master stream — injecting faults must not shift any other random
+    choice of the run. *)
+
+type scope =
+  | All
+  | Control_only  (** perturb routing messages / transport segments only *)
+  | Data_only  (** perturb data packets only *)
+
+type t = {
+  drop : float;  (** P(unit silently discarded) *)
+  corrupt : float;
+      (** P(unit corrupted); receivers discard corrupt frames, so this is a
+          loss with its own drop reason *)
+  duplicate : float;  (** P(unit delivered twice) — control units only; the
+          runner never duplicates data packets (their delivery accounting is
+          strictly exactly-once) *)
+  jitter : float;
+      (** extra delivery delay drawn uniformly from [\[0, jitter)] seconds;
+          reorders units whose draws differ enough *)
+  scope : scope;
+}
+
+val none : t
+(** All probabilities zero, scope [All]: a transparent link. *)
+
+val is_null : t -> bool
+
+val validate : t -> (unit, string) result
+(** Probabilities in [\[0,1]] with [drop + corrupt <= 1]; [jitter >= 0]. *)
+
+type outcome = Drop | Corrupt | Deliver of { copies : int; delay : float }
+
+val decide : Dessim.Rng.t -> t -> outcome
+(** Draw the fate of one unit. [Deliver] always has [copies] 1 or 2 and
+    [delay >= 0]; [delay = 0] means deliver synchronously, exactly as an
+    unperturbed link would. *)

@@ -1,0 +1,95 @@
+(** Reliable control-plane transport: per-neighbor sequenced sessions.
+
+    One [t] is one endpoint's session toward one neighbor, carrying that
+    endpoint's outgoing protocol messages ({!send}) and terminating the
+    neighbor's incoming ones ({!on_segment} → [deliver], in order). The
+    machinery is a deliberately small TCP: cumulative ACKs over a single
+    retransmission timer on the oldest unacknowledged segment, Jacobson
+    RTT estimation with Karn's rule, exponential timer backoff, and a retry
+    cap that tears the session down — bumping the sending {e epoch} so stale
+    segments from the dead session are recognizably stale, and invoking
+    [on_reset] so the owner can bounce the routing session (the protocol then
+    re-advertises over the fresh epoch, exactly like a BGP session reset).
+
+    The module is transport only: it never touches links or trace sinks.
+    Wire I/O happens through the [send] callback, timers through the supplied
+    scheduler — which is what makes the state machine unit-testable under
+    scripted loss (drop segments in the callback and step the scheduler). *)
+
+type config = {
+  rto_init : float;  (** timer value before the first RTT sample, seconds *)
+  rto_min : float;  (** floor for the adaptive timeout *)
+  rto_max : float;  (** ceiling for the adaptive timeout and the backoff *)
+  backoff : float;  (** multiplier applied to the RTO on each timeout *)
+  max_retries : int;
+      (** consecutive timeouts tolerated before the session resets *)
+}
+
+val default_config : config
+(** 1 s initial/minimum RTO, 60 s maximum, factor-2 backoff, 6 retries. *)
+
+val validate_config : config -> (unit, string) result
+
+(** The wire format. [epoch] identifies a session incarnation: receivers adopt
+    higher epochs (restarting at sequence 0) and discard lower ones. *)
+type 'msg segment =
+  | Seg_data of { epoch : int; seq : int; msg : 'msg }
+  | Seg_ack of { epoch : int; ack : int }
+      (** cumulative: all sequence numbers below [ack] were delivered *)
+
+(** Observability hooks, reported through [on_event]. The original
+    transmission of a segment is not an event (the owner already observes the
+    protocol's own send); only recovery actions are. *)
+type event =
+  | Retransmit of { seq : int; attempt : int }
+  | Timeout of { rto : float; attempt : int }
+
+type stats = {
+  s_sent : int;  (** distinct messages accepted by {!send} *)
+  s_delivered : int;  (** messages handed to [deliver], in order *)
+  s_retransmissions : int;
+  s_timeouts : int;
+  s_resets : int;  (** retry-cap session teardowns *)
+}
+
+type 'msg t
+
+val create :
+  ?config:config ->
+  sched:Dessim.Scheduler.t ->
+  send:('msg segment -> unit) ->
+  deliver:('msg -> unit) ->
+  on_reset:(epoch:int -> unit) ->
+  on_event:(event -> unit) ->
+  unit ->
+  'msg t
+(** [create ~sched ~send ~deliver ~on_reset ~on_event ()] is a fresh session
+    in the up state, epoch 0. [send] puts a segment on the wire (and may drop
+    it — that is the point); [deliver] receives the peer's messages in order,
+    exactly once per epoch; [on_reset] fires after a retry-cap teardown, with
+    the new sending epoch. @raise Invalid_argument on an invalid [config]. *)
+
+val send : 'msg t -> 'msg -> unit
+(** Queue and transmit one message. Discarded silently while the session is
+    down (teardown semantics — the protocol re-advertises on link up). *)
+
+val on_segment : 'msg t -> 'msg segment -> unit
+(** Feed a segment that arrived from the peer. Ignored while down. *)
+
+val link_down : 'msg t -> unit
+(** Tear the session down: cancel timers, discard unacknowledged and buffered
+    segments, bump the epoch. Idempotent. No [on_reset] call — the caller
+    initiated this and already knows. *)
+
+val link_up : 'msg t -> unit
+(** Re-open a torn-down session under a fresh epoch. Idempotent. *)
+
+val is_up : 'msg t -> bool
+
+val rto : 'msg t -> float
+(** Current retransmission timeout (after adaptation and backoff). *)
+
+val outstanding : 'msg t -> int
+(** Unacknowledged segment count. *)
+
+val stats : 'msg t -> stats

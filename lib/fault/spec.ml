@@ -1,0 +1,50 @@
+type t = {
+  noise : Perturb.t option;
+  flaps : Schedule.flap list;
+  crashes : Schedule.crash list;
+  rtx : Rtx.config option;
+  fault_seed : int option;
+}
+
+let none =
+  { noise = None; flaps = []; crashes = []; rtx = None; fault_seed = None }
+
+let is_none t =
+  (match t.noise with None -> true | Some n -> Perturb.is_null n)
+  && t.flaps = [] && t.crashes = [] && t.rtx = None
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = match t.noise with Some n -> Perturb.validate n | None -> Ok () in
+  let* () =
+    List.fold_left
+      (fun acc f -> Result.bind acc (fun () -> Schedule.validate_flap f))
+      (Ok ()) t.flaps
+  in
+  let* () =
+    List.fold_left
+      (fun acc c -> Result.bind acc (fun () -> Schedule.validate_crash c))
+      (Ok ()) t.crashes
+  in
+  match t.rtx with Some c -> Rtx.validate_config c | None -> Ok ()
+
+let control_loss ?(rtx = true) p =
+  {
+    none with
+    noise = Some { Perturb.none with Perturb.drop = p; scope = Perturb.Control_only };
+    rtx = (if rtx then Some Rtx.default_config else None);
+  }
+
+(* Fault randomness must be independent of the simulation's master stream:
+   the runner's master RNG is consumed mid-run (failure-link picks), so
+   deriving fault streams from it would make "add 0%-probability noise"
+   shift unrelated draws. Instead each consumer hashes (seed, identity) into
+   a fresh splitmix64 seed; splitmix's output finalizer decorrelates even
+   adjacent seeds, so cheap integer mixing suffices here. *)
+let link_seed ~seed ~u ~v =
+  (seed * 0x2545F491) lxor (u * 92821) lxor ((v + 1) * 486187739)
+
+let node_seed ~seed ~node ~gen =
+  (seed * 0x9E3779B1) lxor ((node + 1) * 74207281) lxor (gen * 1299709)
+
+let schedule_seed ~seed = (seed * 0x85EBCA77) lxor 0x165667B1

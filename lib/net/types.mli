@@ -8,6 +8,10 @@ type drop_reason =
   | Ttl_expired  (** TTL reached zero, i.e. the packet was caught in a loop *)
   | Queue_overflow  (** the outgoing link's FIFO queue was full *)
   | Link_down  (** the packet was sent onto, queued on, or in flight over a failed link *)
+  | Injected_loss  (** discarded by the fault-injection perturbation layer *)
+  | Corrupted
+      (** payload corrupted in flight by fault injection; receivers discard
+          corrupt frames, so this behaves as a loss with its own label *)
 
 val pp_node : node_id Fmt.t
 val pp_drop_reason : drop_reason Fmt.t

@@ -90,6 +90,13 @@ type t =
   | Link_healed of { u : int; v : int }
   | Route_changed of { node : int; dst : int }
   | Path_changed of { flow : int; kind : path_kind; path : int list }
+  | Fault_injected of { u : int; v : int; what : string }
+  | Node_crash of { node : int }
+  | Node_reboot of { node : int }
+  (* reliable control transport *)
+  | Rtx_sent of { proto : string; src : int; dst : int; seq : int; attempt : int }
+  | Rtx_timeout of { src : int; dst : int; rto : float; attempt : int }
+  | Session_reset of { src : int; dst : int; epoch : int }
   (* scheduler *)
   | Sched_stats of { events : int; max_queue : int; cpu_s : float }
 
@@ -98,17 +105,22 @@ let category = function
   | Loop_enter _ | Loop_exit _ ->
     Data
   | Ctrl_sent _ | Ctrl_received _ | Ctrl_lost _ | Timer_fired _ | Mrai_defer _
-    ->
+  | Rtx_sent _ | Rtx_timeout _ | Session_reset _ ->
     Control
-  | Link_failed _ | Link_healed _ | Route_changed _ | Path_changed _ -> Env
+  | Link_failed _ | Link_healed _ | Route_changed _ | Path_changed _
+  | Fault_injected _ | Node_crash _ | Node_reboot _ ->
+    Env
   | Sched_stats _ -> Sched
 
 let severity = function
   | Packet_forwarded _ | Timer_fired _ -> Debug
-  | Packet_dropped _ | Loop_enter _ | Ctrl_lost _ | Link_failed _ -> Warn
+  | Packet_dropped _ | Loop_enter _ | Ctrl_lost _ | Link_failed _
+  | Link_healed _ | Node_crash _ | Node_reboot _ | Rtx_timeout _
+  | Session_reset _ ->
+    Warn
   | Packet_sent _ | Packet_delivered _ | Loop_exit _ | Ctrl_sent _
-  | Ctrl_received _ | Mrai_defer _ | Link_healed _ | Route_changed _
-  | Path_changed _ | Sched_stats _ ->
+  | Ctrl_received _ | Mrai_defer _ | Route_changed _ | Path_changed _
+  | Fault_injected _ | Rtx_sent _ | Sched_stats _ ->
     Info
 
 let name = function
@@ -127,6 +139,12 @@ let name = function
   | Link_healed _ -> "link_healed"
   | Route_changed _ -> "route_changed"
   | Path_changed _ -> "path_changed"
+  | Fault_injected _ -> "fault_injected"
+  | Node_crash _ -> "node_crash"
+  | Node_reboot _ -> "node_reboot"
+  | Rtx_sent _ -> "rtx_sent"
+  | Rtx_timeout _ -> "rtx_timeout"
+  | Session_reset _ -> "session_reset"
   | Sched_stats _ -> "sched_stats"
 
 let pp ppf ev =
@@ -166,6 +184,17 @@ let pp ppf ev =
   | Path_changed { flow; kind; path } ->
     Fmt.pf ppf "flow %d path now %s %a" flow (string_of_path_kind kind)
       Netsim.Types.pp_path path
+  | Fault_injected { u; v; what } ->
+    Fmt.pf ppf "fault on link %d-%d: %s" u v what
+  | Node_crash { node } -> Fmt.pf ppf "router %d crashes" node
+  | Node_reboot { node } -> Fmt.pf ppf "router %d reboots" node
+  | Rtx_sent { proto; src; dst; seq; attempt } ->
+    Fmt.pf ppf "%s rtx %d -> %d seq %d (attempt %d)" proto src dst seq attempt
+  | Rtx_timeout { src; dst; rto; attempt } ->
+    Fmt.pf ppf "rtx timeout %d -> %d after %.3fs (attempt %d)" src dst rto
+      attempt
+  | Session_reset { src; dst; epoch } ->
+    Fmt.pf ppf "session %d -> %d reset (epoch %d)" src dst epoch
   | Sched_stats { events; max_queue; cpu_s } ->
     Fmt.pf ppf "scheduler: %d events fired, max queue depth %d, %.3fs cpu"
       events max_queue cpu_s
@@ -238,6 +267,27 @@ let to_fields ev : (string * Json.t) list =
       ("pkind", String (string_of_path_kind kind));
       ("path", List (List.map (fun n -> Int n) path));
     ]
+  | Fault_injected { u; v; what } ->
+    [ ("u", Int u); ("v", Int v); ("what", String what) ]
+  | Node_crash { node } -> [ ("node", Int node) ]
+  | Node_reboot { node } -> [ ("node", Int node) ]
+  | Rtx_sent { proto; src; dst; seq; attempt } ->
+    [
+      ("proto", String proto);
+      ("src", Int src);
+      ("dst", Int dst);
+      ("seq", Int seq);
+      ("attempt", Int attempt);
+    ]
+  | Rtx_timeout { src; dst; rto; attempt } ->
+    [
+      ("src", Int src);
+      ("dst", Int dst);
+      ("rto", Float rto);
+      ("attempt", Int attempt);
+    ]
+  | Session_reset { src; dst; epoch } ->
+    [ ("src", Int src); ("dst", Int dst); ("epoch", Int epoch) ]
   | Sched_stats { events; max_queue; cpu_s } ->
     [ ("events", Int events); ("max_queue", Int max_queue); ("cpu_s", Float cpu_s) ])
 
@@ -324,6 +374,35 @@ let of_fields json : t option =
     let* kind = Option.bind (str "pkind") path_kind_of_string in
     let* path = ints "path" in
     Some (Path_changed { flow; kind; path })
+  | "fault_injected" ->
+    let* u = int "u" in
+    let* v = int "v" in
+    let* what = str "what" in
+    Some (Fault_injected { u; v; what })
+  | "node_crash" ->
+    let* node = int "node" in
+    Some (Node_crash { node })
+  | "node_reboot" ->
+    let* node = int "node" in
+    Some (Node_reboot { node })
+  | "rtx_sent" ->
+    let* proto = str "proto" in
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* seq = int "seq" in
+    let* attempt = int "attempt" in
+    Some (Rtx_sent { proto; src; dst; seq; attempt })
+  | "rtx_timeout" ->
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* rto = float "rto" in
+    let* attempt = int "attempt" in
+    Some (Rtx_timeout { src; dst; rto; attempt })
+  | "session_reset" ->
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* epoch = int "epoch" in
+    Some (Session_reset { src; dst; epoch })
   | "sched_stats" ->
     let* events = int "events" in
     let* max_queue = int "max_queue" in

@@ -70,6 +70,21 @@ type t =
   | Link_healed of { u : int; v : int }
   | Route_changed of { node : int; dst : int }
   | Path_changed of { flow : int; kind : path_kind; path : int list }
+  | Fault_injected of { u : int; v : int; what : string }
+      (** the perturbation layer acted on link [u]-[v]; [what] is one of
+          ["drop"], ["corrupt"], ["duplicate"], ["reorder"] *)
+  | Node_crash of { node : int }
+      (** fault schedule crashed a router: adjacent links down, state lost *)
+  | Node_reboot of { node : int }
+      (** crashed router restarted with a fresh protocol instance *)
+  | Rtx_sent of { proto : string; src : int; dst : int; seq : int; attempt : int }
+      (** reliable-transport retransmission ([attempt >= 1]; the original
+          transmission is the protocol's own [Ctrl_sent]) *)
+  | Rtx_timeout of { src : int; dst : int; rto : float; attempt : int }
+      (** retransmission timer expired after [rto] seconds *)
+  | Session_reset of { src : int; dst : int; epoch : int }
+      (** reliable session torn down (retry cap or link down); [epoch] is the
+          new sending epoch after the reset *)
   | Sched_stats of { events : int; max_queue : int; cpu_s : float }
       (** emitted once at the end of a run *)
 
@@ -77,7 +92,9 @@ val category : t -> category
 
 val severity : t -> severity
 (** Per-hop forwarding and timer fires are [Debug] (high volume); drops,
-    loop entries, lost control messages, and link failures are [Warn];
+    loop entries, lost control messages, link failures {e and heals}, node
+    crashes/reboots, rtx timeouts, and session resets are [Warn] — heal is
+    symmetric with failure so flap schedules survive severity filtering;
     everything else is [Info]. *)
 
 val name : t -> string

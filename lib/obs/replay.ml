@@ -1,32 +1,70 @@
-type parse_stats = { parsed : int; skipped : int }
+type parse_stats = { parsed : int; opaque : int; skipped : int }
 
-let of_lines lines =
+type item = Record of Sink.record | Opaque of string
+
+(* A line from a newer schema — valid JSONL record shape ({ts, seq, ev, ...})
+   whose event name this build does not know — is not garbage: it must
+   survive a read/rewrite cycle so an old binary filtering a new trace does
+   not silently destroy events. Such lines become [Opaque] (kept verbatim).
+   Only lines that are not records at all (truncated writes, foreign output
+   mixed into the stream) are skipped. *)
+let looks_like_record j =
+  match (Json.member "ts" j, Json.member "seq" j, Json.member "ev" j) with
+  | Some _, Some _, Some (Json.String _) -> true
+  | _ -> false
+
+let items_of_lines lines =
   let parsed = ref 0 in
+  let opaque = ref 0 in
   let skipped = ref 0 in
-  let records =
+  let items =
     List.filter_map
       (fun line ->
         let line = String.trim line in
         if line = "" then None
         else
-          (* A malformed line (truncated write, bad escape, foreign output
-             mixed into the stream) is counted and skipped, never fatal. The
-             parser itself returns [None] on bad input; the extra handler is
-             a backstop so no future decoder change can take replay down. *)
-          match Option.bind (Json.of_string_opt line) Sink.record_of_json with
-          | Some r ->
-            incr parsed;
-            Some r
-          | None | (exception _) ->
+          (* A malformed line is counted and skipped, never fatal. The parser
+             itself returns [None] on bad input; the extra handler is a
+             backstop so no future decoder change can take replay down. *)
+          match Json.of_string_opt line with
+          | exception _ ->
             incr skipped;
-            None)
+            None
+          | None ->
+            incr skipped;
+            None
+          | Some j -> (
+            match Sink.record_of_json j with
+            | Some r ->
+              incr parsed;
+              Some (Record r)
+            | None | (exception _) ->
+              if looks_like_record j then begin
+                incr opaque;
+                Some (Opaque line)
+              end
+              else begin
+                incr skipped;
+                None
+              end))
       lines
   in
-  (records, { parsed = !parsed; skipped = !skipped })
+  (items, { parsed = !parsed; opaque = !opaque; skipped = !skipped })
+
+let records_of_items items =
+  List.filter_map (function Record r -> Some r | Opaque _ -> None) items
+
+let line_of_item = function
+  | Record r -> Json.to_string (Sink.record_to_json r)
+  | Opaque line -> line
+
+let of_lines lines =
+  let items, stats = items_of_lines lines in
+  (records_of_items items, stats)
 
 let of_string s = of_lines (String.split_on_char '\n' s)
 
-let read_file path =
+let read_lines path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -36,7 +74,11 @@ let read_file path =
         | line -> loop (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      of_lines (loop []))
+      loop [])
+
+let read_file path = of_lines (read_lines path)
+
+let items_of_file path = items_of_lines (read_lines path)
 
 (* ---------- aggregate views ---------- *)
 
@@ -206,6 +248,66 @@ let episode_duration e =
   | Some ended -> Some (ended -. e.le_started)
   | None -> None
 
+(* Link-outage report, reconstructed from Link_failed / Link_healed pairs.
+   The offline audit for flap schedules: a run with [Fault.Schedule.flap]
+   active should show exactly [cycles] finished episodes on the flapped link,
+   each [down] seconds long. *)
+
+type link_episode = {
+  lk_u : int;
+  lk_v : int;  (* canonical: lk_u < lk_v *)
+  lk_down : float;
+  lk_up : float option;  (* [None]: still down at end of trace *)
+}
+
+let link_report records =
+  let canon u v = if u <= v then (u, v) else (v, u) in
+  let open_eps = Hashtbl.create 8 in
+  (* (u, v) -> down time *)
+  let finished = ref [] in
+  List.iter
+    (fun r ->
+      match r.Sink.event with
+      | Event.Link_failed { u; v } ->
+        let key = canon u v in
+        (match Hashtbl.find_opt open_eps key with
+        | Some t ->
+          (* A second failure without a heal closes the previous episode at
+             the same instant — the link never came up in between. *)
+          let lk_u, lk_v = key in
+          finished := { lk_u; lk_v; lk_down = t; lk_up = Some r.Sink.time } :: !finished
+        | None -> ());
+        Hashtbl.replace open_eps key r.Sink.time
+      | Event.Link_healed { u; v } -> (
+        let key = canon u v in
+        match Hashtbl.find_opt open_eps key with
+        | Some t ->
+          Hashtbl.remove open_eps key;
+          let lk_u, lk_v = key in
+          finished := { lk_u; lk_v; lk_down = t; lk_up = Some r.Sink.time } :: !finished
+        | None ->
+          (* Heal without a recorded failure (trace truncated by a ring
+             buffer): report it with an unknown start. *)
+          let lk_u, lk_v = key in
+          finished :=
+            { lk_u; lk_v; lk_down = Float.nan; lk_up = Some r.Sink.time }
+            :: !finished)
+      | _ -> ())
+    records;
+  Hashtbl.iter
+    (fun (lk_u, lk_v) t ->
+      finished := { lk_u; lk_v; lk_down = t; lk_up = None } :: !finished)
+    open_eps;
+  List.sort
+    (fun a b ->
+      match compare a.lk_down b.lk_down with
+      | 0 -> compare (a.lk_u, a.lk_v) (b.lk_u, b.lk_v)
+      | c -> c)
+    !finished
+
+let link_episode_duration e =
+  match e.lk_up with Some up -> Some (up -. e.lk_down) | None -> None
+
 (* ---------- rendering ---------- *)
 
 let pp_totals ppf t =
@@ -236,6 +338,18 @@ let pp_timeline ppf tl =
                    Netsim.Types.all_drop_reasons))))
       tl.rows
   end
+
+let pp_link_episode ppf e =
+  match e.lk_up with
+  | Some up when Float.is_nan e.lk_down ->
+    Fmt.pf ppf "link %d-%d: healed t=%.2f (failure not in trace)" e.lk_u e.lk_v
+      up
+  | Some up ->
+    Fmt.pf ppf "link %d-%d: down from t=%.2f to t=%.2f (%.2fs)" e.lk_u e.lk_v
+      e.lk_down up (up -. e.lk_down)
+  | None ->
+    Fmt.pf ppf "link %d-%d: down from t=%.2f (still down at end of trace)"
+      e.lk_u e.lk_v e.lk_down
 
 let pp_loop_episode ppf e =
   match e.le_ended with

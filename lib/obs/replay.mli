@@ -1,13 +1,45 @@
 (** Offline trace analysis: read a JSONL trace back and rebuild the views the
-    paper argues from — per-cause drop timelines, loop episodes, and packet
-    conservation totals. This is what the [rcsim trace] subcommand runs. *)
+    paper argues from — per-cause drop timelines, loop episodes, link-outage
+    episodes, and packet conservation totals. This is what the [rcsim trace]
+    subcommand runs. *)
 
-type parse_stats = { parsed : int; skipped : int }
+type parse_stats = {
+  parsed : int;  (** lines decoded into a known event *)
+  opaque : int;  (** record-shaped lines whose event this build doesn't know *)
+  skipped : int;  (** lines that are not trace records at all *)
+}
+
+(** {2 Forward-compatible line items}
+
+    A trace written by a newer build may contain event names this build does
+    not decode. Such lines are record-shaped (a JSON object with [ts], [seq]
+    and a string [ev]) but fail {!Sink.record_of_json}; they are preserved
+    verbatim as {!Opaque} items so that reading a trace and writing it back
+    out never silently destroys events. Only lines that are not records at
+    all (truncated writes, foreign output mixed into the stream) are
+    dropped — and counted in [skipped]. *)
+
+type item =
+  | Record of Sink.record  (** a decoded event *)
+  | Opaque of string  (** an unknown-event line, kept verbatim (trimmed) *)
+
+val items_of_lines : string list -> item list * parse_stats
+(** Blank lines are ignored; malformed lines are counted in [skipped] rather
+    than failing, so a trace mixed with other output still replays. *)
+
+val items_of_file : string -> item list * parse_stats
+(** @raise Sys_error when the file cannot be read. *)
+
+val records_of_items : item list -> Sink.record list
+(** The decoded records, in order, opaque lines elided. *)
+
+val line_of_item : item -> string
+(** The JSONL line for an item: re-encoded for [Record], verbatim for
+    [Opaque]. Writing every item back with this function round-trips a trace
+    without losing unknown events. *)
 
 val of_lines : string list -> Sink.record list * parse_stats
-(** Blank lines are ignored; malformed or unknown lines are counted in
-    [skipped] rather than failing, so a trace mixed with other output (or
-    from a newer schema) still replays. *)
+(** [items_of_lines] filtered to decoded records (same stats). *)
 
 val of_string : string -> Sink.record list * parse_stats
 
@@ -62,6 +94,25 @@ val loop_report : Sink.record list -> loop_episode list
 
 val episode_duration : loop_episode -> float option
 
+(** {2 Link outage episodes} *)
+
+type link_episode = {
+  lk_u : int;
+  lk_v : int;  (** canonical: [lk_u <= lk_v] *)
+  lk_down : float;  (** [nan] when the failure event is missing *)
+  lk_up : float option;  (** [None]: still down at end of trace *)
+}
+
+val link_report : Sink.record list -> link_episode list
+(** Pairs [Link_failed]/[Link_healed] events per link, tolerating truncated
+    traces; chronological by failure time. The offline audit for flap
+    schedules: a run with a [cycles]-cycle flap on one link shows exactly
+    that many finished episodes on it, each the scheduled [down] seconds
+    long. *)
+
+val link_episode_duration : link_episode -> float option
+
 val pp_totals : totals Fmt.t
 val pp_timeline : timeline Fmt.t
 val pp_loop_episode : loop_episode Fmt.t
+val pp_link_episode : link_episode Fmt.t

@@ -120,6 +120,7 @@ let sample_run ?(protocol = "X") ?(degree = 4) ?(seed = 1) ?(sent = 100)
     drops_ttl = ttl;
     drops_queue = 0;
     drops_link = 2;
+    drops_injected = 0;
     looped_delivered = 1;
     looped_dropped = ttl;
     ctrl_messages = 10;
