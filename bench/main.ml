@@ -250,6 +250,7 @@ let run_campaigns () =
                    members)));
       let cells, quarantined, timing =
         Campaign.Driver.run_tasks ~jobs:opts.jobs ~progress
+          ~heartbeat:(fun line -> Fmt.epr "  %s@." line)
           (lead.Campaign.Sections.tasks sweep)
       in
       List.iter

@@ -703,6 +703,31 @@ let fuzz_cmd =
 
 (* ---------- campaign ---------- *)
 
+(* A journaled campaign shuts down gracefully on the first SIGINT/SIGTERM:
+   the handler only sets the cooperative stop flag (workers abandon their
+   in-flight cell at the next scheduler poll and drain the queue), then
+   restores the default disposition so a second signal kills the process the
+   ordinary way. The handler body is write(2) + an atomic store — safe at
+   OCaml's signal safe-points. *)
+let install_stop_handlers () =
+  let handle _ =
+    Dessim.Scheduler.request_stop ();
+    let msg =
+      "\nrcsim: stop requested; abandoning in-flight cells (signal again to \
+       kill)\n"
+    in
+    ignore (Unix.write Unix.stderr (Bytes.of_string msg) 0 (String.length msg));
+    Sys.set_signal Sys.sigint Sys.Signal_default;
+    Sys.set_signal Sys.sigterm Sys.Signal_default
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+
+(* Exit status of a gracefully stopped (interruptible, resumable) campaign —
+   distinct from cmdliner's 0/123/124/125 so scripts and CI can tell
+   "stopped, resume me" from success and from real failure. *)
+let stopped_exit_code = 4
+
 let campaign_cmd =
   let quick_arg =
     let doc = "Tiny sweep, short timeline (CI smoke)." in
@@ -766,6 +791,26 @@ let campaign_cmd =
     in
     Arg.(value & opt (some string) None & info [ "hang-cell" ] ~docv:"CELL" ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Checkpoint every completed cell to $(docv) (crash-safe, fsync'd \
+       JSONL) and shut down gracefully on SIGINT/SIGTERM: in-flight cells \
+       are abandoned cleanly, the exit status is 4, and $(b,rcsim campaign \
+       resume) $(docv) re-runs only the missing cells, producing a \
+       byte-identical artifact."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let stop_after_arg =
+    let doc =
+      "Test/CI hook: request a graceful stop after $(docv) cells have \
+       completed, exactly as a signal would."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after-cells" ] ~docv:"K" ~doc)
+  in
   let hang_of = function
     | None -> Ok None
     | Some s -> (
@@ -806,12 +851,39 @@ let campaign_cmd =
           { base.Convergence.Experiments.base with Convergence.Config.seed = s };
       }
   in
+  let render_result (section : Campaign.Sections.t) ~out artifact =
+    Campaign.Artifact.write ~path:out artifact;
+    Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
+    section.Campaign.Sections.render Fmt.stdout artifact;
+    (match artifact.Campaign.Artifact.quarantined with
+    | [] -> ()
+    | qs ->
+      Fmt.pr "%d cell(s) quarantined:@." (List.length qs);
+      List.iter
+        (fun (q : Campaign.Artifact.quarantine) ->
+          Fmt.pr "  %s d=%d seed=%d after %d attempt(s): %s@."
+            q.Campaign.Artifact.q_protocol q.Campaign.Artifact.q_degree
+            q.Campaign.Artifact.q_seed q.Campaign.Artifact.q_attempts
+            q.Campaign.Artifact.q_error)
+        qs);
+    Fmt.pr "artifact: %s@." out
+  in
+  let stopped_incomplete ~missing ~journal_path =
+    Fmt.epr "stopped: %d cell(s) not run@." missing;
+    (match journal_path with
+    | Some jp -> Fmt.epr "resume with:@.  rcsim campaign resume %s@." jp
+    | None ->
+      Fmt.epr "no --journal was given; the partial results are lost@.");
+    exit stopped_exit_code
+  in
   let section_cmd (section : Campaign.Sections.t) =
     let action quick full jobs out runs degrees seed quiet cell_budget retries
-        hang_cell =
+        hang_cell journal_path stop_after =
       if quick && full then `Error (true, "--quick and --full are exclusive")
       else if jobs < 1 then `Error (true, "--jobs must be at least 1")
       else if retries < 0 then `Error (true, "--retries must be >= 0")
+      else if stop_after <> None && stop_after < Some 1 then
+        `Error (true, "--stop-after-cells must be >= 1")
       else begin
         match hang_of hang_cell with
         | Error e -> `Error (true, e)
@@ -821,26 +893,39 @@ let campaign_cmd =
           let mode = if quick then "quick" else if full then "full" else "standard" in
           let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
           let sweep = Campaign.Sections.sweep_for section ~full sweep in
-          let progress line = if not quiet then Fmt.epr "  .. %s@." line in
-          let artifact =
-            Campaign.Driver.run ~jobs ~progress ?cell_budget ~retries ?hang
-              ~mode sweep section
+          let tasks = section.Campaign.Sections.tasks sweep in
+          let journal =
+            Option.map
+              (fun jp ->
+                Campaign.Journal.create ~path:jp
+                  {
+                    Campaign.Journal.h_section = section.Campaign.Sections.name;
+                    h_mode = mode;
+                    h_jobs = jobs;
+                    h_out = out;
+                    h_total = Array.length tasks;
+                    h_runs = runs;
+                    h_degrees = degrees;
+                    h_seed = seed;
+                  })
+              journal_path
           in
-          Campaign.Artifact.write ~path:out artifact;
-          Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
-          section.Campaign.Sections.render Fmt.stdout artifact;
-          (match artifact.Campaign.Artifact.quarantined with
-          | [] -> ()
-          | qs ->
-            Fmt.pr "%d cell(s) quarantined:@." (List.length qs);
-            List.iter
-              (fun (q : Campaign.Artifact.quarantine) ->
-                Fmt.pr "  %s d=%d seed=%d after %d attempt(s): %s@."
-                  q.Campaign.Artifact.q_protocol q.Campaign.Artifact.q_degree
-                  q.Campaign.Artifact.q_seed q.Campaign.Artifact.q_attempts
-                  q.Campaign.Artifact.q_error)
-              qs);
-          Fmt.pr "artifact: %s@." out;
+          if Option.is_some journal then install_stop_handlers ();
+          let progress line = if not quiet then Fmt.epr "  .. %s@." line in
+          let heartbeat line = if not quiet then Fmt.epr "  %s@." line in
+          let cells, quarantined, timing =
+            Campaign.Driver.run_tasks ~jobs ~progress ~heartbeat ?cell_budget
+              ~retries ?hang ?stop_after ?journal tasks
+          in
+          Option.iter Campaign.Journal.close journal;
+          let missing =
+            Campaign.Driver.missing_count ~total:(Array.length tasks) cells
+              quarantined
+          in
+          if missing > 0 then stopped_incomplete ~missing ~journal_path;
+          render_result section ~out
+            (Campaign.Driver.artifact_of ~section ~mode ~timing ~quarantined
+               sweep cells);
           `Ok ()
       end
     in
@@ -850,13 +935,126 @@ let campaign_cmd =
           (const action $ quick_arg $ full_arg $ jobs_arg
          $ out_arg section.Campaign.Sections.name
          $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg
-         $ cell_budget_arg $ retries_arg $ hang_cell_arg))
+         $ cell_budget_arg $ retries_arg $ hang_cell_arg $ journal_arg
+         $ stop_after_arg))
     in
     Cmd.v
       (Cmd.info section.Campaign.Sections.name
          ~doc:
            (Printf.sprintf "Run the %s campaign (%s)"
               section.Campaign.Sections.name section.Campaign.Sections.doc))
+      term
+  in
+  let resume_cmd =
+    let journal_pos =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+    in
+    let out_override_arg =
+      let doc =
+        "Artifact output path (default: the path recorded in the journal)."
+      in
+      Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+    in
+    let action path jobs out_override quiet cell_budget retries stop_after =
+      if jobs < 1 then `Error (true, "--jobs must be at least 1")
+      else if retries < 0 then `Error (true, "--retries must be >= 0")
+      else if stop_after <> None && stop_after < Some 1 then
+        `Error (true, "--stop-after-cells must be >= 1")
+      else begin
+        match Campaign.Journal.load ~path with
+        | Error e -> `Error (false, e)
+        | Ok c -> (
+          let h = c.Campaign.Journal.j_header in
+          match Campaign.Sections.find h.Campaign.Journal.h_section with
+          | None ->
+            `Error
+              ( false,
+                Printf.sprintf "%s: unknown section %S" path
+                  h.Campaign.Journal.h_section )
+          | Some section ->
+            let quick = h.Campaign.Journal.h_mode = "quick" in
+            let full = h.Campaign.Journal.h_mode = "full" in
+            (* Rebuild the sweep through the exact code path the original
+               invocation used (preset + the same CLI overrides, recorded in
+               the header), so the task decomposition — and with it the
+               canonical cell order — is identical. *)
+            let sweep =
+              sweep_of ~quick ~full ~runs:h.Campaign.Journal.h_runs
+                ~degrees:h.Campaign.Journal.h_degrees
+                ~seed:h.Campaign.Journal.h_seed
+            in
+            let sweep = Campaign.Sections.sweep_for section ~full sweep in
+            let tasks = section.Campaign.Sections.tasks sweep in
+            if Array.length tasks <> h.Campaign.Journal.h_total then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "%s: journal expects %d cells but the %s section \
+                     decomposes into %d — journal and code disagree"
+                    path h.Campaign.Journal.h_total
+                    section.Campaign.Sections.name (Array.length tasks) )
+            else begin
+              if c.Campaign.Journal.j_truncated then
+                Fmt.epr
+                  "note: dropped a torn final record (the previous run died \
+                   mid-append)@.";
+              let n_done =
+                List.length c.Campaign.Journal.j_cells
+                + List.length c.Campaign.Journal.j_quarantined
+              in
+              if not quiet then
+                Fmt.epr "resuming %s: %d/%d cells checkpointed, %d to run@."
+                  section.Campaign.Sections.name n_done (Array.length tasks)
+                  (Array.length tasks - n_done);
+              (* A stop request left over from this same process (tests, or
+                 a signal that arrived after the previous run ended) must
+                 not abort the resume before it starts. *)
+              Dessim.Scheduler.clear_stop ();
+              install_stop_handlers ();
+              let journal = Campaign.Journal.append_to ~path in
+              let progress line = if not quiet then Fmt.epr "  .. %s@." line in
+              let heartbeat line = if not quiet then Fmt.epr "  %s@." line in
+              match
+                Campaign.Driver.run_tasks ~jobs ~progress ~heartbeat
+                  ?cell_budget ~retries ?stop_after ~journal
+                  ~completed:c.Campaign.Journal.j_cells
+                  ~prior_quarantine:c.Campaign.Journal.j_quarantined tasks
+              with
+              | exception Invalid_argument e ->
+                Campaign.Journal.close journal;
+                `Error (false, Printf.sprintf "%s: %s" path e)
+              | cells, quarantined, timing ->
+                Campaign.Journal.close journal;
+                let missing =
+                  Campaign.Driver.missing_count ~total:(Array.length tasks)
+                    cells quarantined
+                in
+                if missing > 0 then
+                  stopped_incomplete ~missing ~journal_path:(Some path);
+                let out =
+                  Option.value out_override
+                    ~default:h.Campaign.Journal.h_out
+                in
+                render_result section ~out
+                  (Campaign.Driver.artifact_of ~section
+                     ~mode:h.Campaign.Journal.h_mode ~timing ~quarantined
+                     sweep cells);
+                `Ok ()
+            end)
+      end
+    in
+    let term =
+      Term.(
+        ret
+          (const action $ journal_pos $ jobs_arg $ out_override_arg
+         $ quiet_arg $ cell_budget_arg $ retries_arg $ stop_after_arg))
+    in
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume an interrupted journaled campaign: re-run only the \
+            missing cells and write the same artifact, byte for byte, as an \
+            uninterrupted run")
       term
   in
   let diff_cmd =
@@ -923,25 +1121,56 @@ let campaign_cmd =
     let file_arg =
       Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
     in
-    let action path =
-      match Campaign.Artifact.read ~path with
+    let show_journal path =
+      match Campaign.Journal.load ~path with
       | Error e -> `Error (false, e)
-      | Ok artifact -> (
-        match Campaign.Sections.find artifact.Campaign.Artifact.section with
-        | None ->
-          `Error
-            ( false,
-              Printf.sprintf "%s: unknown section %S" path
-                artifact.Campaign.Artifact.section )
-        | Some section ->
-          Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
-          section.Campaign.Sections.render Fmt.stdout artifact;
-          `Ok ())
+      | Ok c ->
+        let h = c.Campaign.Journal.j_header in
+        let completed = List.length c.Campaign.Journal.j_cells in
+        let quarantined = List.length c.Campaign.Journal.j_quarantined in
+        let missing =
+          h.Campaign.Journal.h_total - completed - quarantined
+        in
+        Fmt.pr "journal: %s@." path;
+        Fmt.pr "section: %s (%s mode, artifact %s)@."
+          h.Campaign.Journal.h_section h.Campaign.Journal.h_mode
+          h.Campaign.Journal.h_out;
+        Fmt.pr "cells:   %d completed, %d quarantined, %d missing of %d@."
+          completed quarantined missing h.Campaign.Journal.h_total;
+        if c.Campaign.Journal.j_truncated then
+          Fmt.pr
+            "note:    a torn final record was dropped (died mid-append)@.";
+        if missing > 0 then
+          Fmt.pr "resume with:@.  rcsim campaign resume %s@." path
+        else
+          Fmt.pr
+            "complete: resume once more to merge and write the artifact@.";
+        `Ok ()
+    in
+    let action path =
+      if Campaign.Journal.is_journal ~path then show_journal path
+      else
+        match Campaign.Artifact.read ~path with
+        | Error e -> `Error (false, e)
+        | Ok artifact -> (
+          match Campaign.Sections.find artifact.Campaign.Artifact.section with
+          | None ->
+            `Error
+              ( false,
+                Printf.sprintf "%s: unknown section %S" path
+                  artifact.Campaign.Artifact.section )
+          | Some section ->
+            Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
+            section.Campaign.Sections.render Fmt.stdout artifact;
+            `Ok ())
     in
     let term = Term.(ret (const action $ file_arg)) in
     Cmd.v
       (Cmd.info "show"
-         ~doc:"Re-render a section's tables from a committed artifact")
+         ~doc:
+           "Summarize a campaign file: re-render a section's tables from an \
+            artifact, or report a journal's checkpoint state and the exact \
+            resume command")
       term
   in
   let info =
@@ -954,7 +1183,7 @@ let campaign_cmd =
   in
   Cmd.group info
     (List.map section_cmd Campaign.Sections.all
-    @ [ diff_cmd; validate_cmd; show_cmd ])
+    @ [ resume_cmd; diff_cmd; validate_cmd; show_cmd ])
 
 let () =
   let doc =

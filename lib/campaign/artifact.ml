@@ -569,10 +569,7 @@ let validate j =
 (* ---------- files ---------- *)
 
 let write ~path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Rcutil.Atomic_file.write ~path (fun oc ->
       output_string oc (to_string t);
       output_char oc '\n')
 

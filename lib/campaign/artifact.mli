@@ -108,9 +108,13 @@ type t = {
 }
 
 val quarantine_key : quarantine -> string * int * int
+(** The (protocol, degree, seed) cell key the entry stands in for. *)
 
 val quarantine_to_json : quarantine -> Obs.Json.t
-(** The (protocol, degree, seed) cell key the entry stands in for. *)
+
+val quarantine_of_json : Obs.Json.t -> (quarantine, string) result
+(** The JSON codec for one quarantine entry, shared with {!Journal}'s
+    per-record format. *)
 
 val version : int
 (** The schema version this module writes: [2]. *)
@@ -169,7 +173,9 @@ val canonical_string : t -> string
     the determinism tests and the [--jobs]-invariance guarantee. *)
 
 val write : path:string -> t -> unit
-(** Write {!to_string} plus a trailing newline to [path]. *)
+(** Write {!to_string} plus a trailing newline to [path], atomically
+    ({!Rcutil.Atomic_file}): the file at [path] is never observable in a
+    torn state, whatever kills the process mid-write. *)
 
 val read : path:string -> (t, string) result
 (** Read and parse an artifact file; [Error] names the file on I/O, JSON or

@@ -5,11 +5,19 @@
    between events, which covers every real cell since cells are simulator
    runs) and a bounded number of same-seed retries — a timeout on a loaded
    machine is the one failure a retry can genuinely cure. What still fails
-   is quarantined into the artifact rather than aborted on. *)
+   is quarantined into the artifact rather than aborted on.
+
+   The same cooperative poll carries the graceful-stop flag
+   (Dessim.Scheduler.request_stop, set by the CLI's SIGINT/SIGTERM handler):
+   a stopped campaign abandons in-flight cells cleanly (no quarantine entry,
+   no journal record — they are simply "missing"), stops starting new ones,
+   and leaves recovery to the journal + resume path below. *)
 
 type outcome =
   | Done of Cell_result.t
   | Failed of { error : string; attempts : int }
+  | Stopped  (** abandoned because a graceful stop was requested; the cell is
+                 neither a result nor a quarantine — just missing *)
 
 (* The CI hook that proves the watchdog works: a scheduler that reschedules
    itself forever, exactly the shape of a runaway simulation. Only
@@ -31,80 +39,167 @@ let attempt_task ?cell_budget ~hung (t : Sections.task) =
   in
   match guarded () with
   | cell -> Ok cell
+  | exception Dessim.Scheduler.Stop_requested -> Error `Stop
   | exception Dessim.Scheduler.Wall_timeout ->
     Error
-      (Printf.sprintf "wall budget exceeded (%.1f s)"
-         (Option.value cell_budget ~default:0.))
-  | exception exn -> Error (Printexc.to_string exn)
+      (`Fail
+        (Printf.sprintf "wall budget exceeded (%.1f s)"
+           (Option.value cell_budget ~default:0.)))
+  | exception exn -> Error (`Fail (Printexc.to_string exn))
 
 let task_key (t : Sections.task) =
   (t.Sections.t_protocol, t.Sections.t_degree, t.Sections.t_seed)
 
-let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?cell_budget ?(retries = 1)
-    ?hang (tasks : Sections.task array) =
+let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
+    ?cell_budget ?(retries = 1) ?hang ?stop_after ?journal ?(completed = [])
+    ?(prior_quarantine = []) (tasks : Sections.task array) =
   if retries < 0 then invalid_arg "Driver.run_tasks: retries must be >= 0";
   (match (hang, cell_budget) with
   | Some _, None ->
     invalid_arg "Driver.run_tasks: hang requires a cell_budget to escape"
   | _ -> ());
+  (match stop_after with
+  | Some k when k < 1 -> invalid_arg "Driver.run_tasks: stop_after must be >= 1"
+  | _ -> ());
   let n = Array.length tasks in
-  let done_count = ref 0 in
+  (* Checkpointed outcomes from a previous (interrupted) run: these cells are
+     not re-run; they re-enter the merge at their canonical position. *)
+  let pre = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Cell_result.t) ->
+      Hashtbl.replace pre (Cell_result.key c) (`Cell c))
+    completed;
+  List.iter
+    (fun (q : Artifact.quarantine) ->
+      Hashtbl.replace pre (Artifact.quarantine_key q) (`Quarantine q))
+    prior_quarantine;
+  let task_keys = Hashtbl.create 64 in
+  Array.iter (fun t -> Hashtbl.replace task_keys (task_key t) ()) tasks;
+  Hashtbl.iter
+    (fun (p, d, s) _ ->
+      if not (Hashtbl.mem task_keys (p, d, s)) then
+        invalid_arg
+          (Printf.sprintf
+             "Driver.run_tasks: checkpointed cell (%s, %d, %d) is not in the \
+              task decomposition"
+             p d s))
+    pre;
+  let base_done = Hashtbl.length pre in
+  let done_count = ref base_done in
   let progress_mutex = Mutex.create () in
-  let report line =
+  let t0 = Unix.gettimeofday () in
+  (* Everything that happens "when a cell finishes" is serialized here: the
+     journal append (checkpoint durable before the count moves), the
+     progress line, the heartbeat, and the stop-after test hook. *)
+  let report ?checkpoint line =
     Mutex.protect progress_mutex (fun () ->
+        (match (journal, checkpoint) with
+        | Some j, Some (`Cell c) -> Journal.append_cell j c
+        | Some j, Some (`Quarantine q) -> Journal.append_quarantine j q
+        | _ -> ());
         incr done_count;
-        progress line)
+        progress line;
+        let done_here = !done_count - base_done in
+        let remaining = n - !done_count in
+        if done_here > 0 && remaining > 0 then begin
+          let elapsed = Unix.gettimeofday () -. t0 in
+          heartbeat
+            (Printf.sprintf "%d/%d cells, %.1f s elapsed, ETA %.0f s"
+               !done_count n elapsed
+               (elapsed /. float_of_int done_here *. float_of_int remaining))
+        end;
+        match stop_after with
+        | Some k when done_here >= k -> Dessim.Scheduler.request_stop ()
+        | _ -> ())
   in
   let timed_task (t : Sections.task) () =
-    let hung = hang = Some (task_key t) in
-    let rec go attempt_no =
-      let t0 = Unix.gettimeofday () in
-      let result = attempt_task ?cell_budget ~hung t in
-      let wall = Unix.gettimeofday () -. t0 in
-      match result with
-      | Ok cell ->
-        report
-          (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
-             t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
-             !done_count n wall);
-        Done { cell with Cell_result.wall_s = wall }
-      | Error e when attempt_no <= retries ->
-        Mutex.protect progress_mutex (fun () ->
-            progress
-              (Printf.sprintf "%-6s d=%d seed=%d attempt %d failed (%s), retrying"
-                 t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
-                 attempt_no e));
-        go (attempt_no + 1)
-      | Error e ->
-        report
-          (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) QUARANTINED after %d \
-                           attempts: %s"
-             t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
-             !done_count n attempt_no e);
-        Failed { error = e; attempts = attempt_no }
-    in
-    go 1
+    if Dessim.Scheduler.stop_requested () then Stopped
+    else begin
+      let hung = hang = Some (task_key t) in
+      let rec go attempt_no =
+        let a0 = Unix.gettimeofday () in
+        let result = attempt_task ?cell_budget ~hung t in
+        let wall = Unix.gettimeofday () -. a0 in
+        match result with
+        | Ok cell ->
+          let cell = { cell with Cell_result.wall_s = wall } in
+          report ~checkpoint:(`Cell cell)
+            (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
+               t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+               !done_count n wall);
+          Done cell
+        | Error `Stop ->
+          Mutex.protect progress_mutex (fun () ->
+              progress
+                (Printf.sprintf "%-6s d=%d seed=%d abandoned (stop requested)"
+                   t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed));
+          Stopped
+        | Error (`Fail e) when attempt_no <= retries ->
+          Mutex.protect progress_mutex (fun () ->
+              progress
+                (Printf.sprintf "%-6s d=%d seed=%d attempt %d failed (%s), retrying"
+                   t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+                   attempt_no e));
+          go (attempt_no + 1)
+        | Error (`Fail e) ->
+          let q =
+            {
+              Artifact.q_protocol = t.Sections.t_protocol;
+              q_degree = t.Sections.t_degree;
+              q_seed = t.Sections.t_seed;
+              q_error = e;
+              q_attempts = attempt_no;
+            }
+          in
+          report ~checkpoint:(`Quarantine q)
+            (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) QUARANTINED after %d \
+                             attempts: %s"
+               t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+               !done_count n attempt_no e);
+          Failed { error = e; attempts = attempt_no }
+      in
+      go 1
+    end
   in
-  let t0 = Unix.gettimeofday () in
-  let outcomes = Pool.run ~jobs (Array.map timed_task tasks) in
+  let todo =
+    Array.of_list
+      (List.filter
+         (fun i -> not (Hashtbl.mem pre (task_key tasks.(i))))
+         (List.init n Fun.id))
+  in
+  let sub_outcomes =
+    Pool.run ~jobs (Array.map (fun i -> timed_task tasks.(i)) todo)
+  in
   let total = Unix.gettimeofday () -. t0 in
-  let cells = ref [] and quarantined = ref [] in
+  let fresh = Hashtbl.create 64 in
   Array.iteri
-    (fun i outcome ->
-      let t = tasks.(i) in
-      match outcome with
-      | Done c -> cells := c :: !cells
-      | Failed { error; attempts } ->
-        quarantined :=
-          {
-            Artifact.q_protocol = t.Sections.t_protocol;
-            q_degree = t.Sections.t_degree;
-            q_seed = t.Sections.t_seed;
-            q_error = error;
-            q_attempts = attempts;
-          }
-          :: !quarantined)
-    outcomes;
+    (fun k outcome -> Hashtbl.replace fresh (task_key tasks.(todo.(k))) outcome)
+    sub_outcomes;
+  (* Merge in canonical task order, whatever mix of checkpointed and
+     freshly-run outcomes we have: this is what makes an interrupted+resumed
+     campaign's artifact byte-identical to an uninterrupted one. *)
+  let cells = ref [] and quarantined = ref [] in
+  Array.iter
+    (fun t ->
+      let key = task_key t in
+      match Hashtbl.find_opt pre key with
+      | Some (`Cell c) -> cells := c :: !cells
+      | Some (`Quarantine q) -> quarantined := q :: !quarantined
+      | None -> (
+        match Hashtbl.find_opt fresh key with
+        | Some (Done c) -> cells := c :: !cells
+        | Some (Failed { error; attempts }) ->
+          quarantined :=
+            {
+              Artifact.q_protocol = t.Sections.t_protocol;
+              q_degree = t.Sections.t_degree;
+              q_seed = t.Sections.t_seed;
+              q_error = error;
+              q_attempts = attempts;
+            }
+            :: !quarantined
+        | Some Stopped | None -> ()))
+    tasks;
   let cells = Array.of_list (List.rev !cells) in
   let quarantined = List.rev !quarantined in
   let timing =
@@ -126,16 +221,21 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?cell_budget ?(retries = 1)
   in
   (cells, quarantined, timing)
 
+let missing_count ~total (cells : Cell_result.t array)
+    (quarantined : Artifact.quarantine list) =
+  total - Array.length cells - List.length quarantined
+
 let artifact_of ~(section : Sections.t) ~mode ?timing ?quarantined sweep cells =
   Artifact.build ~section:section.Sections.name ?timing ?quarantined
     ~include_series:section.Sections.include_series
     (Artifact.params_of_sweep ~mode sweep)
     (Array.to_list cells)
 
-let run ?jobs ?progress ?cell_budget ?retries ?hang ~mode sweep
-    (section : Sections.t) =
+let run ?jobs ?progress ?heartbeat ?cell_budget ?retries ?hang ?stop_after
+    ?journal ?completed ?prior_quarantine ~mode sweep (section : Sections.t) =
   let cells, quarantined, timing =
-    run_tasks ?jobs ?progress ?cell_budget ?retries ?hang
+    run_tasks ?jobs ?progress ?heartbeat ?cell_budget ?retries ?hang
+      ?stop_after ?journal ?completed ?prior_quarantine
       (section.Sections.tasks sweep)
   in
   artifact_of ~section ~mode ~timing ~quarantined sweep cells

@@ -15,14 +15,32 @@
     time is spent inside a scheduler loop (all real cells are) — and a cell
     whose attempt times out or raises is retried with the same seed up to
     [?retries] more times before being {e quarantined}: recorded in the
-    artifact's [quarantined] list instead of killing the campaign. *)
+    artifact's [quarantined] list instead of killing the campaign.
+
+    {2 Checkpoint / stop / resume}
+
+    With [?journal], every completed or quarantined cell is appended to a
+    crash-safe {!Journal} the moment it finishes, before the progress
+    counter moves. A graceful stop ({!Dessim.Scheduler.request_stop}, wired
+    to SIGINT/SIGTERM by the CLI) makes workers abandon in-flight cells
+    cleanly — no result, no quarantine entry, no journal record; they are
+    simply missing from the returned arrays — and drain remaining tasks
+    without starting them. [?completed] / [?prior_quarantine] feed
+    journal-recovered outcomes back in: those cells are not re-run, and the
+    merge happens in canonical task order, so an interrupted-then-resumed
+    campaign returns byte-identical cells to an uninterrupted one. *)
 
 val run_tasks :
   ?jobs:int ->
   ?progress:(string -> unit) ->
+  ?heartbeat:(string -> unit) ->
   ?cell_budget:float ->
   ?retries:int ->
   ?hang:string * int * int ->
+  ?stop_after:int ->
+  ?journal:Journal.t ->
+  ?completed:Cell_result.t list ->
+  ?prior_quarantine:Artifact.quarantine list ->
   Sections.task array ->
   Cell_result.t array * Artifact.quarantine list * Artifact.timing
 (** [run_tasks ~jobs ~progress tasks] executes every task on a {!Pool} of
@@ -30,7 +48,9 @@ val run_tasks :
     order} — the canonical cell order — regardless of which worker finished
     which cell when, plus the quarantine entries (also in task order) and a
     timing block (worker count, total wall-clock, per-surviving-cell costs).
-    Each returned cell has [wall_s] stamped.
+    Each returned cell has [wall_s] stamped. Cells that were abandoned on a
+    graceful stop appear in neither list; use {!missing_count} to detect an
+    incomplete run.
 
     [?cell_budget] (seconds; default none) is the per-attempt watchdog.
     [?retries] (default 1) is the number of {e additional} same-seed attempts
@@ -43,9 +63,27 @@ val run_tasks :
     [progress] (default: silent) is called per completed or quarantined cell
     and per failed attempt, from whichever domain ran it, serialized by a
     mutex — e.g. ["RIP d=3 seed=42 (17/240) 1.32s"]. It must not raise.
+    [heartbeat] (default: silent, same serialization) is called after each
+    completed cell with a one-line status including an ETA extrapolated from
+    the mean wall time of the cells finished {e this} run — e.g.
+    ["17/240 cells, 34.2 s elapsed, ETA 540 s"].
 
-    @raise Invalid_argument if [retries < 0], or [hang] without
-    [cell_budget]. *)
+    [?journal] checkpoints each completed/quarantined cell (fsync'd) before
+    its progress line. [?completed] and [?prior_quarantine] are
+    checkpoint-recovered outcomes: their cells are skipped (not re-run) and
+    merged back at their canonical positions; every checkpointed key must
+    belong to [tasks]. [?stop_after:k] is the deterministic test/CI stand-in
+    for a signal: {!Dessim.Scheduler.request_stop} fires once [k] cells have
+    completed in this run.
+
+    @raise Invalid_argument if [retries < 0], [hang] without [cell_budget],
+    [stop_after < 1], or a checkpointed cell key not present in [tasks]. *)
+
+val missing_count :
+  total:int -> Cell_result.t array -> Artifact.quarantine list -> int
+(** [missing_count ~total cells quarantined] — how many of [total] cells
+    have no outcome at all, i.e. were abandoned by a graceful stop. [0] for
+    a run that was allowed to finish. *)
 
 val artifact_of :
   section:Sections.t ->
@@ -62,12 +100,19 @@ val artifact_of :
 val run :
   ?jobs:int ->
   ?progress:(string -> unit) ->
+  ?heartbeat:(string -> unit) ->
   ?cell_budget:float ->
   ?retries:int ->
   ?hang:string * int * int ->
+  ?stop_after:int ->
+  ?journal:Journal.t ->
+  ?completed:Cell_result.t list ->
+  ?prior_quarantine:Artifact.quarantine list ->
   mode:string ->
   Convergence.Experiments.sweep ->
   Sections.t ->
   Artifact.t
 (** [run ~jobs ~mode sweep section] = {!run_tasks} on [section.tasks sweep]
-    followed by {!artifact_of}, timing and quarantine included. *)
+    followed by {!artifact_of}, timing and quarantine included. Callers that
+    need to detect an interrupted run should use {!run_tasks} +
+    {!missing_count} + {!artifact_of} directly. *)

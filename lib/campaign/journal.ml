@@ -1,0 +1,311 @@
+type header = {
+  h_section : string;
+  h_mode : string;
+  h_jobs : int;
+  h_out : string;
+  h_total : int;
+  h_runs : int option;
+  h_degrees : int list option;
+  h_seed : int option;
+}
+
+(* ---------- CRC-32 (IEEE reflected, as in gzip/zlib) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---------- line framing ---------- *)
+
+(* [{"crc":"xxxxxxxx","entry":<entry>}] with the CRC computed over the
+   literal bytes of [<entry>]. The frame is fixed-offset on purpose: the
+   reader recovers the entry bytes by slicing, not by JSON-parsing, so the
+   checksum protects exactly what was written. *)
+
+let frame_prefix = {|{"crc":"|}
+
+let frame_mid = {|","entry":|}
+
+let entry_offset = String.length frame_prefix + 8 + String.length frame_mid
+
+let frame entry = Printf.sprintf "{\"crc\":\"%08x\",\"entry\":%s}\n" (crc32 entry) entry
+
+let unframe line =
+  let len = String.length line in
+  if
+    len < entry_offset + 1
+    || not (String.starts_with ~prefix:frame_prefix line)
+    || String.sub line (String.length frame_prefix + 8) (String.length frame_mid)
+       <> frame_mid
+    || line.[len - 1] <> '}'
+  then Error "malformed journal record"
+  else
+    let crc_hex = String.sub line (String.length frame_prefix) 8 in
+    let entry = String.sub line entry_offset (len - entry_offset - 1) in
+    match int_of_string_opt ("0x" ^ crc_hex) with
+    | None -> Error "malformed journal record"
+    | Some crc ->
+      if crc <> crc32 entry then Error "CRC mismatch"
+      else (
+        match Obs.Json.of_string_opt entry with
+        | None -> Error "record entry is not valid JSON"
+        | Some j -> Ok j)
+
+(* ---------- entry codecs ---------- *)
+
+let fnum f : Obs.Json.t = if Float.is_finite f then Float f else Null
+
+let float_of_json = function
+  | Obs.Json.Null -> Some Float.nan
+  | j -> Obs.Json.to_float j
+
+let opt_int = function None -> Obs.Json.Null | Some i -> Obs.Json.Int i
+
+let opt_degrees = function
+  | None -> Obs.Json.Null
+  | Some ds -> Obs.Json.List (List.map (fun d -> Obs.Json.Int d) ds)
+
+let header_to_json h : Obs.Json.t =
+  Obj
+    [
+      ("type", String "header");
+      ("kind", String "rcsim-journal");
+      ("version", Int 1);
+      ("section", String h.h_section);
+      ("mode", String h.h_mode);
+      ("jobs", Int h.h_jobs);
+      ("out", String h.h_out);
+      ("total", Int h.h_total);
+      ("runs", opt_int h.h_runs);
+      ("degrees", opt_degrees h.h_degrees);
+      ("seed", opt_int h.h_seed);
+    ]
+
+let header_of_json j =
+  let ( let* ) = Result.bind in
+  let str name = Option.bind (Obs.Json.member name j) Obs.Json.to_string_val in
+  let int name = Option.bind (Obs.Json.member name j) Obs.Json.to_int in
+  let need what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "header: missing or mistyped %S" what)
+  in
+  let* () =
+    match str "kind" with
+    | Some "rcsim-journal" -> Ok ()
+    | Some k -> Error (Printf.sprintf "header: kind %S is not \"rcsim-journal\"" k)
+    | None -> Error "header: missing kind"
+  in
+  let* () =
+    match int "version" with
+    | Some 1 -> Ok ()
+    | Some v -> Error (Printf.sprintf "header: unsupported version %d" v)
+    | None -> Error "header: missing version"
+  in
+  let* section = need "section" (str "section") in
+  let* mode = need "mode" (str "mode") in
+  let* jobs = need "jobs" (int "jobs") in
+  let* out = need "out" (str "out") in
+  let* total = need "total" (int "total") in
+  let degrees =
+    Option.bind (Obs.Json.member "degrees" j) Obs.Json.to_int_list
+  in
+  Ok
+    {
+      h_section = section;
+      h_mode = mode;
+      h_jobs = jobs;
+      h_out = out;
+      h_total = total;
+      h_runs = int "runs";
+      h_degrees = degrees;
+      h_seed = int "seed";
+    }
+
+let cell_to_json (c : Cell_result.t) : Obs.Json.t =
+  Obj
+    [
+      ("type", String "cell");
+      ("wall_s", fnum c.Cell_result.wall_s);
+      ("cell", Cell_result.to_json ~include_series:true c);
+    ]
+
+let quarantine_to_json q : Obs.Json.t =
+  Obj [ ("type", String "quarantined"); ("q", Artifact.quarantine_to_json q) ]
+
+(* ---------- writer ---------- *)
+
+type t = { fd : Unix.file_descr }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+(* Durability is per record: the append has hit the disk before the cell is
+   considered checkpointed. A kill between write and fsync can only tear the
+   final line, which [load] tolerates. *)
+let append_entry t entry_json =
+  write_all t.fd (frame (Obs.Json.to_string entry_json));
+  Unix.fsync t.fd
+
+let create ~path header =
+  let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let t = { fd } in
+  append_entry t (header_to_json header);
+  t
+
+let append_to ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  (* A torn final record — no trailing newline — must not swallow the next
+     append into its own line (that would turn a tolerated interruption into
+     mid-file corruption). Truncate back to the last newline; [load] already
+     dropped the torn record, so nothing valid is lost. *)
+  let rec last_nl pos =
+    if pos <= 0 then 0
+    else begin
+      ignore (Unix.lseek fd (pos - 1) Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      if Bytes.get b 0 = '\n' then pos else last_nl (pos - 1)
+    end
+  in
+  let keep = last_nl size in
+  if keep < size then Unix.ftruncate fd keep;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  { fd }
+
+let append_cell t c = append_entry t (cell_to_json c)
+
+let append_quarantine t q = append_entry t (quarantine_to_json q)
+
+let close t = Unix.close t.fd
+
+(* ---------- reader ---------- *)
+
+type contents = {
+  j_header : header;
+  j_cells : Cell_result.t list;
+  j_quarantined : Artifact.quarantine list;
+  j_truncated : bool;
+}
+
+let entry_type j =
+  Option.bind (Obs.Json.member "type" j) Obs.Json.to_string_val
+
+let cell_of_entry j =
+  let ( let* ) = Result.bind in
+  let* wall =
+    match Option.bind (Obs.Json.member "wall_s" j) float_of_json with
+    | Some w -> Ok w
+    | None -> Error "cell record: missing wall_s"
+  in
+  let* cell =
+    match Obs.Json.member "cell" j with
+    | Some cj -> Cell_result.of_json cj
+    | None -> Error "cell record: missing cell"
+  in
+  Ok { cell with Cell_result.wall_s = wall }
+
+let quarantine_of_entry j =
+  match Obs.Json.member "q" j with
+  | Some qj -> Artifact.quarantine_of_json qj
+  | None -> Error "quarantined record: missing q"
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | raw ->
+    let lines =
+      String.split_on_char '\n' raw
+      |> List.filteri (fun _ l -> l <> "")
+    in
+    let n_lines = List.length lines in
+    let ( let* ) = Result.bind in
+    let err line msg = Error (Printf.sprintf "%s:%d: %s" path line msg) in
+    let* entries, truncated =
+      (* A broken record is tolerated — dropped, flagged — only on the very
+         last line: that is what a mid-append kill leaves behind. Earlier
+         breakage is corruption and poisons the whole journal. *)
+      List.fold_left
+        (fun acc (i, line) ->
+          let* entries, truncated = acc in
+          match unframe line with
+          | Ok j -> Ok (entries @ [ (i + 1, j) ], truncated)
+          | Error e ->
+            if i = n_lines - 1 then Ok (entries, true) else err (i + 1) e)
+        (Ok ([], false))
+        (List.mapi (fun i l -> (i, l)) lines)
+    in
+    let* header, rest =
+      match entries with
+      | (line, first) :: rest -> (
+        match entry_type first with
+        | Some "header" -> (
+          match header_of_json first with
+          | Ok h -> Ok (h, rest)
+          | Error e -> err line e)
+        | _ -> err line "first record is not a journal header")
+      | [] -> Error (Printf.sprintf "%s: empty or headerless journal" path)
+    in
+    let seen = Hashtbl.create 64 in
+    let* cells_rev, quarantined_rev =
+      List.fold_left
+        (fun acc (line, j) ->
+          let* cells, qs = acc in
+          let check_key key =
+            if Hashtbl.mem seen key then
+              let p, d, s = key in
+              err line
+                (Printf.sprintf "duplicate cell key (%s, %d, %d)" p d s)
+            else begin
+              Hashtbl.add seen key ();
+              Ok ()
+            end
+          in
+          match entry_type j with
+          | Some "cell" ->
+            let* c = Result.map_error (Printf.sprintf "%s:%d: %s" path line) (cell_of_entry j) in
+            let* () = check_key (Cell_result.key c) in
+            Ok (c :: cells, qs)
+          | Some "quarantined" ->
+            let* q = Result.map_error (Printf.sprintf "%s:%d: %s" path line) (quarantine_of_entry j) in
+            let* () = check_key (Artifact.quarantine_key q) in
+            Ok (cells, q :: qs)
+          | Some "header" -> err line "second header record"
+          | Some other -> err line (Printf.sprintf "unknown record type %S" other)
+          | None -> err line "record entry has no type")
+        (Ok ([], [])) rest
+    in
+    Ok
+      {
+        j_header = header;
+        j_cells = List.rev cells_rev;
+        j_quarantined = List.rev quarantined_rev;
+        j_truncated = truncated;
+      }
+
+let is_journal ~path =
+  match
+    In_channel.with_open_bin path (fun ic ->
+        In_channel.really_input_string ic (String.length frame_prefix))
+  with
+  | Some s -> s = frame_prefix
+  | None -> false
+  | exception Sys_error _ -> false

@@ -1,0 +1,104 @@
+(** Crash-safe campaign checkpoints: an append-only, CRC-tagged JSONL
+    journal of completed cells.
+
+    A full-mode campaign is hundreds of cells and minutes-to-hours of wall
+    clock; a crash, OOM kill, or Ctrl-C at cell 239/240 must not discard
+    239 finished simulations. The journal is the recovery substrate: the
+    driver appends one record the moment each cell finishes (or is
+    quarantined), fsync'd before the append returns, so the set of
+    checkpointed cells always reflects completed work — and
+    [rcsim campaign resume] re-runs {e only} the missing cells and merges
+    in canonical task order, reproducing the uninterrupted artifact byte
+    for byte (cells are deterministic; see {!Driver}).
+
+    {2 Record format}
+
+    One record per line:
+
+    {v {"crc":"xxxxxxxx","entry":<entry>}
+ v}
+
+    where [xxxxxxxx] is the CRC-32 (IEEE reflected, as in gzip) of the
+    {e literal bytes} of [<entry>] as written, in lowercase hex. The CRC is
+    over bytes, not parsed values, so verification needs no canonical
+    re-serialization. Entries:
+
+    - [{"type":"header","kind":"rcsim-journal","version":1,...}] — first
+      line only: the section name, sweep preset ([mode]) and CLI overrides
+      needed to rebuild the {e exact} task decomposition on resume, the
+      artifact output path, and the total cell count.
+    - [{"type":"cell","wall_s":W,"cell":{...}}] — one completed
+      {!Cell_result.t} (series always included, so no section loses data),
+      plus its wall-clock cost so resumed artifacts keep honest timing.
+    - [{"type":"quarantined","q":{...}}] — one {!Artifact.quarantine}
+      entry: the cell failed every attempt, and resume must {e not} re-run
+      it.
+
+    {2 Failure tolerance on read}
+
+    A process killed mid-append leaves a torn final line (each record is a
+    single [write(2)] followed by [fsync(2)]); {!load} drops exactly that —
+    an unparseable or CRC-failing {e final} line — and reports it via
+    [j_truncated]. Anything else is corruption, not interruption, and is
+    rejected: a bad CRC or malformed record before the last line, a
+    missing or invalid header, a duplicate cell key (completed twice, or
+    both completed and quarantined) — resuming from a lying journal would
+    silently fabricate results. *)
+
+type header = {
+  h_section : string;  (** {!Sections.t} name, e.g. ["fig3"] *)
+  h_mode : string;  (** sweep preset: ["quick"], ["standard"] or ["full"] *)
+  h_jobs : int;  (** worker count of the original run (informational) *)
+  h_out : string;  (** artifact path the campaign writes on completion *)
+  h_total : int;  (** cells in the decomposition — missing = total minus
+                      completed minus quarantined *)
+  h_runs : int option;  (** CLI [--runs] override, if given *)
+  h_degrees : int list option;  (** CLI [--degrees] override, if given *)
+  h_seed : int option;  (** CLI [--seed] override, if given *)
+}
+(** Everything resume needs to rebuild the sweep through the same code path
+    the original invocation used, so the task arrays are identical. *)
+
+type t
+(** An open journal writer (an [O_APPEND] file descriptor). Appends are
+    serialized by the {!Driver}'s progress mutex; the writer itself is not
+    thread-safe. *)
+
+val create : path:string -> header -> t
+(** [create ~path header] truncates/creates the journal and writes the
+    fsync'd header record. *)
+
+val append_to : path:string -> t
+(** [append_to ~path] reopens an existing journal for appending (resume).
+    A torn final record is truncated away first, so the next append starts
+    on its own line rather than extending the torn one into mid-file
+    corruption. The caller is expected to have {!load}ed and checked the
+    journal first. *)
+
+val append_cell : t -> Cell_result.t -> unit
+(** Checkpoint one completed cell ([wall_s] is taken from the record). The
+    record is on disk — written and fsync'd — when this returns. *)
+
+val append_quarantine : t -> Artifact.quarantine -> unit
+(** Checkpoint one abandoned cell. Same durability as {!append_cell}. *)
+
+val close : t -> unit
+
+type contents = {
+  j_header : header;
+  j_cells : Cell_result.t list;  (** journal order, [wall_s] restored *)
+  j_quarantined : Artifact.quarantine list;
+  j_truncated : bool;  (** a torn final record was dropped *)
+}
+
+val load : path:string -> (contents, string) result
+(** [load ~path] replays the journal, tolerant of a torn tail (see above)
+    and strict about everything else. [Error] messages name the path and
+    the offending line. *)
+
+val is_journal : path:string -> bool
+(** Cheap sniff (first bytes are a CRC-record prefix) so [campaign show]
+    can tell a journal from an artifact without parsing either. *)
+
+val crc32 : string -> int
+(** The CRC-32 used by the record format, exposed for tests. *)

@@ -99,8 +99,4 @@ let flows_csv (m : Metrics.multi) =
         f fl.Metrics.f_fwd_convergence; i fl.Metrics.f_transient_paths;
       ])
 
-let to_file csv ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc csv)
+let to_file csv ~path = Rcutil.Atomic_file.write_string ~path csv

@@ -49,6 +49,21 @@ let step t =
 
 exception Wall_timeout
 
+exception Stop_requested
+
+(* One process-wide flag, not per-scheduler: the code that wants the fleet
+   to stop (a signal handler in the CLI) cannot reach the scheduler objects
+   living inside worker-domain task closures, exactly like the wall budget
+   below. An atomic makes the store in the signal handler visible to every
+   domain's poll. *)
+let stop_flag = Atomic.make false
+
+let request_stop () = Atomic.set stop_flag true
+
+let stop_requested () = Atomic.get stop_flag
+
+let clear_stop () = Atomic.set stop_flag false
+
 (* The wall-clock budget is domain-local rather than a field of [t]: the code
    that owns the budget (a campaign watchdog) and the code that creates the
    scheduler (a runner deep inside an opaque task closure) never meet.
@@ -72,10 +87,12 @@ let run ?until t =
   let ticks = ref 0 in
   let check_wall () =
     incr ticks;
-    if !ticks land (wall_interval - 1) = 0 then
+    if !ticks land (wall_interval - 1) = 0 then begin
+      if Atomic.get stop_flag then raise Stop_requested;
       match !slot with
       | Some deadline when Unix.gettimeofday () > deadline -> raise Wall_timeout
       | Some _ | None -> ()
+    end
   in
   match until with
   | None ->

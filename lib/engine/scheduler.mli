@@ -54,6 +54,24 @@ val run : ?until:float -> t -> unit
 exception Wall_timeout
 (** Raised by {!run} when the enclosing {!with_wall_budget} deadline passes. *)
 
+exception Stop_requested
+(** Raised by {!run} (at the same 1024-event poll as the wall budget) once
+    {!request_stop} has been called. *)
+
+val request_stop : unit -> unit
+(** [request_stop ()] asks every {!run} loop in the process — on any domain —
+    to stop at its next poll by raising {!Stop_requested}. Idempotent, and
+    async-signal-safe: it only stores into an atomic, so it is the intended
+    body of a SIGINT/SIGTERM handler. Code that is about to start a new
+    simulation can consult {!stop_requested} to avoid starting at all. *)
+
+val stop_requested : unit -> bool
+(** Whether {!request_stop} has been called (and not yet cleared). *)
+
+val clear_stop : unit -> unit
+(** [clear_stop ()] re-arms the process for new runs — called by a resume
+    path that continues work in the same process after a graceful stop. *)
+
 val with_wall_budget : float -> (unit -> 'a) -> 'a
 (** [with_wall_budget seconds fn] runs [fn ()] with a wall-clock deadline of
     [seconds] from now. Any {!run} loop executing on the same domain inside

@@ -118,10 +118,20 @@ let format_of_path path =
   | ".csv" -> Csv
   | _ -> Text
 
+(* Trace files are written through {!Rcutil.Atomic_file}: records stream
+   into a tmp file and the destination name only appears on [close], so a
+   crashed run never leaves a torn trace where a replayable one is
+   expected. *)
 let to_file ?format path =
   let fmt = match format with Some f -> f | None -> format_of_path path in
-  let oc = open_out path in
-  match fmt with Text -> text oc | Jsonl -> jsonl oc | Csv -> csv oc
+  let af = Rcutil.Atomic_file.start path in
+  let oc = Rcutil.Atomic_file.channel af in
+  let inner = match fmt with Text -> text oc | Jsonl -> jsonl oc | Csv -> csv oc in
+  {
+    emit = inner.emit;
+    flush = inner.flush;
+    close = (fun () -> Rcutil.Atomic_file.commit af);
+  }
 
 let tee sinks =
   {

@@ -1,0 +1,29 @@
+type t = { tmp : string; dest : string; oc : out_channel }
+
+let start dest =
+  let tmp = Printf.sprintf "%s.tmp.%d" dest (Unix.getpid ()) in
+  { tmp; dest; oc = open_out_bin tmp }
+
+let channel t = t.oc
+
+let commit t =
+  flush t.oc;
+  (* Durability before visibility: the rename must never publish a name
+     whose blocks are still in flight. *)
+  Unix.fsync (Unix.descr_of_out_channel t.oc);
+  close_out t.oc;
+  Unix.rename t.tmp t.dest
+
+let abort t =
+  close_out_noerr t.oc;
+  try Sys.remove t.tmp with Sys_error _ -> ()
+
+let write ~path f =
+  let t = start path in
+  match f t.oc with
+  | () -> commit t
+  | exception e ->
+    abort t;
+    raise e
+
+let write_string ~path s = write ~path (fun oc -> output_string oc s)

@@ -56,9 +56,7 @@ let test_golden () =
     (* Regeneration mode: GOLDEN_REGEN names the destination (use an absolute
        path into the source tree — tests run inside _build). *)
     let target = if target = "1" then golden_path else target in
-    let out = open_out_bin target in
-    output_string out actual;
-    close_out out;
+    Rcutil.Atomic_file.write_string ~path:target actual;
     Alcotest.failf "regenerated %s (%d bytes); review and commit it" target
       (String.length actual)
   | None ->

@@ -1,0 +1,386 @@
+(* Crash-safety of the campaign journal, and the byte-identity of resume:
+   an interrupted journaled run, resumed from its checkpoint, must produce
+   the exact artifact bytes an uninterrupted run produces — at any worker
+   count. The "kill" here is the driver's deterministic [stop_after] hook
+   (the same cooperative stop a SIGINT triggers); the true kill -9 path is
+   exercised by the CI resume-smoke job. *)
+
+module E = Convergence.Engine_registry
+
+let section =
+  Campaign.Sections.grid ~name:"journal-grid" ~engines:[ E.dbf; E.rip ] ()
+
+let sweep =
+  Convergence.Experiments.(scale ~runs:2 ~degrees:[ 3; 4 ] quick_sweep)
+
+let tasks () = section.Campaign.Sections.tasks sweep
+
+let header ?(total = 8) () =
+  {
+    Campaign.Journal.h_section = "journal-grid";
+    h_mode = "quick";
+    h_jobs = 1;
+    h_out = "OUT.json";
+    h_total = total;
+    h_runs = Some 2;
+    h_degrees = Some [ 3; 4 ];
+    h_seed = None;
+  }
+
+let temp_journal () = Filename.temp_file "rcsim_journal" ".journal"
+
+let with_temp_journal f =
+  let path = temp_journal () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let load_ok path =
+  match Campaign.Journal.load ~path with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "journal load failed: %s" e
+
+let load_err path =
+  match Campaign.Journal.load ~path with
+  | Ok _ -> Alcotest.fail "journal load unexpectedly succeeded"
+  | Error e -> e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* ---------- CRC and framing ---------- *)
+
+let test_crc32_vector () =
+  (* The standard CRC-32 check value. *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926
+    (Campaign.Journal.crc32 "123456789");
+  Alcotest.(check int) "crc32 of empty" 0 (Campaign.Journal.crc32 "")
+
+(* ---------- round-trips ---------- *)
+
+let test_header_round_trip () =
+  with_temp_journal (fun path ->
+      let h =
+        {
+          (header ()) with
+          Campaign.Journal.h_mode = "standard";
+          h_runs = None;
+          h_degrees = None;
+          h_seed = Some 99;
+        }
+      in
+      Campaign.Journal.(close (create ~path h));
+      let c = load_ok path in
+      Alcotest.(check bool) "header survives" true (c.Campaign.Journal.j_header = h);
+      Alcotest.(check bool) "not truncated" false c.Campaign.Journal.j_truncated;
+      Alcotest.(check int) "no cells" 0 (List.length c.Campaign.Journal.j_cells))
+
+let test_cells_round_trip () =
+  with_temp_journal (fun path ->
+      let tasks = tasks () in
+      let j = Campaign.Journal.create ~path (header ()) in
+      let cells, quarantined, _ = Campaign.Driver.run_tasks ~journal:j tasks in
+      Campaign.Journal.close j;
+      Alcotest.(check int) "all cells ran" (Array.length tasks)
+        (Array.length cells);
+      Alcotest.(check int) "nothing quarantined" 0 (List.length quarantined);
+      let c = load_ok path in
+      Alcotest.(check int) "every cell journaled" (Array.length cells)
+        (List.length c.Campaign.Journal.j_cells);
+      (* The journaled cells re-serialize to the same bytes: this is the
+         property byte-identical resume rests on. *)
+      List.iteri
+        (fun i jc ->
+          let orig =
+            Array.to_list cells
+            |> List.find (fun o ->
+                   Campaign.Cell_result.key o = Campaign.Cell_result.key jc)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "cell %d bytes" i)
+            (Obs.Json.to_string
+               (Campaign.Cell_result.to_json ~include_series:true orig))
+            (Obs.Json.to_string
+               (Campaign.Cell_result.to_json ~include_series:true jc));
+          Alcotest.(check bool)
+            (Printf.sprintf "cell %d wall_s restored" i)
+            true
+            (jc.Campaign.Cell_result.wall_s = orig.Campaign.Cell_result.wall_s))
+        c.Campaign.Journal.j_cells)
+
+let test_quarantine_round_trip () =
+  with_temp_journal (fun path ->
+      let q =
+        {
+          Campaign.Artifact.q_protocol = "DBF";
+          q_degree = 3;
+          q_seed = 2;
+          q_error = "wall budget exceeded (1.0 s)";
+          q_attempts = 2;
+        }
+      in
+      let j = Campaign.Journal.create ~path (header ()) in
+      Campaign.Journal.append_quarantine j q;
+      Campaign.Journal.close j;
+      let c = load_ok path in
+      Alcotest.(check bool) "quarantine survives" true
+        (c.Campaign.Journal.j_quarantined = [ q ]))
+
+(* ---------- failure tolerance and strictness ---------- *)
+
+let journal_with_cells path =
+  let j = Campaign.Journal.create ~path (header ()) in
+  let _ = Campaign.Driver.run_tasks ~journal:j (tasks ()) in
+  Campaign.Journal.close j
+
+let test_truncated_tail_tolerated () =
+  with_temp_journal (fun path ->
+      journal_with_cells path;
+      let full = load_ok path in
+      let n = List.length full.Campaign.Journal.j_cells in
+      (* Simulate a kill mid-append: a torn, CRC-less partial record with no
+         trailing newline. *)
+      write_file path (read_file path ^ {|{"crc":"00000000","entry":{"type":"cell|});
+      let c = load_ok path in
+      Alcotest.(check bool) "flagged truncated" true c.Campaign.Journal.j_truncated;
+      Alcotest.(check int) "intact records kept" n
+        (List.length c.Campaign.Journal.j_cells))
+
+let test_bad_crc_mid_file_rejected () =
+  with_temp_journal (fun path ->
+      journal_with_cells path;
+      let raw = read_file path in
+      let lines = String.split_on_char '\n' raw in
+      Alcotest.(check bool) "fixture has >= 3 records" true (List.length lines >= 4);
+      (* Flip one payload byte of the second record (a cell line): its CRC no
+         longer matches, and because it is not the final line this is
+         corruption, not interruption. *)
+      let corrupted =
+        String.concat "\n"
+          (List.mapi
+             (fun i l ->
+               if i = 1 then (
+                 let b = Bytes.of_string l in
+                 let pos = String.length l - 10 in
+                 Bytes.set b pos
+                   (if Bytes.get b pos = 'x' then 'y' else 'x');
+                 Bytes.to_string b)
+               else l)
+             lines)
+      in
+      write_file path corrupted;
+      let e = load_err path in
+      Alcotest.(check bool)
+        (Printf.sprintf "error names line 2 and the CRC (%s)" e)
+        true
+        (contains ~affix:":2:" e))
+
+let test_duplicate_cell_rejected () =
+  with_temp_journal (fun path ->
+      journal_with_cells path;
+      let raw = read_file path in
+      let lines = String.split_on_char '\n' raw in
+      let second = List.nth lines 1 in
+      (* Re-append an exact copy of an already-checkpointed cell record, plus
+         a valid trailing record so the duplicate is not on the tolerated
+         final line. *)
+      write_file path (raw ^ second ^ "\n");
+      let e = load_err path in
+      Alcotest.(check bool)
+        (Printf.sprintf "duplicate rejected (%s)" e)
+        true
+        (contains ~affix:"duplicate cell key" e))
+
+let test_headerless_rejected () =
+  with_temp_journal (fun path ->
+      journal_with_cells path;
+      let lines = String.split_on_char '\n' (read_file path) in
+      write_file path (String.concat "\n" (List.tl lines));
+      let e = load_err path in
+      Alcotest.(check bool)
+        (Printf.sprintf "headerless rejected (%s)" e)
+        true
+        (contains ~affix:"header" e))
+
+let test_is_journal_sniff () =
+  with_temp_journal (fun path ->
+      journal_with_cells path;
+      Alcotest.(check bool) "journal recognized" true
+        (Campaign.Journal.is_journal ~path);
+      write_file path "{\"schema_version\":2}\n";
+      Alcotest.(check bool) "artifact rejected" false
+        (Campaign.Journal.is_journal ~path))
+
+(* ---------- stop + resume = byte-identical artifact ---------- *)
+
+let canonical cells quarantined =
+  Campaign.Artifact.canonical_string
+    (Campaign.Driver.artifact_of ~section ~mode:"quick" ~quarantined sweep
+       cells)
+
+let test_stop_resume_byte_identity () =
+  let tasks = tasks () in
+  let clean_cells, clean_q, _ = Campaign.Driver.run_tasks tasks in
+  let clean = canonical clean_cells clean_q in
+  List.iter
+    (fun jobs ->
+      with_temp_journal (fun path ->
+          Fun.protect ~finally:Dessim.Scheduler.clear_stop (fun () ->
+              (* Interrupted run: stop after 3 cells; with jobs > 1 a few
+                 in-flight cells may land too, which resume must tolerate. *)
+              let j = Campaign.Journal.create ~path (header ()) in
+              let cells1, q1, _ =
+                Campaign.Driver.run_tasks ~jobs ~stop_after:3 ~journal:j tasks
+              in
+              Campaign.Journal.close j;
+              let missing =
+                Campaign.Driver.missing_count ~total:(Array.length tasks)
+                  cells1 q1
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "jobs=%d: stop left cells missing" jobs)
+                true (missing > 0);
+              Dessim.Scheduler.clear_stop ();
+              let c = load_ok path in
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d: journal matches return" jobs)
+                (Array.length cells1)
+                (List.length c.Campaign.Journal.j_cells);
+              (* Resume from the journal exactly as the CLI does. *)
+              let j2 = Campaign.Journal.append_to ~path in
+              let cells2, q2, _ =
+                Campaign.Driver.run_tasks ~jobs ~journal:j2
+                  ~completed:c.Campaign.Journal.j_cells
+                  ~prior_quarantine:c.Campaign.Journal.j_quarantined tasks
+              in
+              Campaign.Journal.close j2;
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d: resume completes" jobs)
+                0
+                (Campaign.Driver.missing_count ~total:(Array.length tasks)
+                   cells2 q2);
+              Alcotest.(check string)
+                (Printf.sprintf "jobs=%d: byte-identical artifact" jobs)
+                clean (canonical cells2 q2);
+              (* The journal now checkpoints every cell and replays clean. *)
+              let final = load_ok path in
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d: journal complete" jobs)
+                (Array.length tasks)
+                (List.length final.Campaign.Journal.j_cells
+                + List.length final.Campaign.Journal.j_quarantined))))
+    [ 1; 3 ]
+
+let test_resume_after_torn_tail () =
+  with_temp_journal (fun path ->
+      let tasks = tasks () in
+      Fun.protect ~finally:Dessim.Scheduler.clear_stop (fun () ->
+          let j = Campaign.Journal.create ~path (header ()) in
+          let _ = Campaign.Driver.run_tasks ~stop_after:2 ~journal:j tasks in
+          Campaign.Journal.close j;
+          Dessim.Scheduler.clear_stop ();
+          (* The kill tore the final record; resume must drop it, re-run that
+             cell, and still converge to the clean artifact. *)
+          let lines = String.split_on_char '\n' (read_file path) in
+          let all_but_last =
+            List.filteri (fun i _ -> i < List.length lines - 2) lines
+          in
+          write_file path (String.concat "\n" all_but_last ^ "\nTORN");
+          let c = load_ok path in
+          Alcotest.(check bool) "truncated" true c.Campaign.Journal.j_truncated;
+          let j2 = Campaign.Journal.append_to ~path in
+          let cells, q, _ =
+            Campaign.Driver.run_tasks ~journal:j2
+              ~completed:c.Campaign.Journal.j_cells
+              ~prior_quarantine:c.Campaign.Journal.j_quarantined tasks
+          in
+          Campaign.Journal.close j2;
+          let clean_cells, clean_q, _ = Campaign.Driver.run_tasks tasks in
+          Alcotest.(check string)
+            "byte-identical after torn-tail resume"
+            (canonical clean_cells clean_q)
+            (canonical cells q)))
+
+let test_foreign_checkpoint_rejected () =
+  let tasks = tasks () in
+  let foreign =
+    {
+      Campaign.Artifact.q_protocol = "NOPE";
+      q_degree = 99;
+      q_seed = 1;
+      q_error = "x";
+      q_attempts = 1;
+    }
+  in
+  Alcotest.check_raises "unknown checkpointed key"
+    (Invalid_argument
+       "Driver.run_tasks: checkpointed cell (NOPE, 99, 1) is not in the task \
+        decomposition")
+    (fun () ->
+      ignore (Campaign.Driver.run_tasks ~prior_quarantine:[ foreign ] tasks))
+
+(* ---------- heartbeat ---------- *)
+
+let test_heartbeat_emitted () =
+  let tasks = tasks () in
+  let beats = ref [] in
+  let _ =
+    Campaign.Driver.run_tasks ~heartbeat:(fun l -> beats := l :: !beats) tasks
+  in
+  (* One beat per completed cell except the last (nothing remaining). *)
+  Alcotest.(check int) "beats" (Array.length tasks - 1) (List.length !beats);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "beat mentions total (%s)" b)
+        true
+        (contains
+           ~affix:(Printf.sprintf "/%d cells" (Array.length tasks))
+           b);
+      Alcotest.(check bool)
+        (Printf.sprintf "beat has an ETA (%s)" b)
+        true
+        (contains ~affix:"ETA" b))
+    !beats
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+          Alcotest.test_case "header round-trip" `Quick test_header_round_trip;
+          Alcotest.test_case "cells round-trip byte-exact" `Quick
+            test_cells_round_trip;
+          Alcotest.test_case "quarantine round-trip" `Quick
+            test_quarantine_round_trip;
+          Alcotest.test_case "is_journal sniff" `Quick test_is_journal_sniff;
+        ] );
+      ( "tolerance",
+        [
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_truncated_tail_tolerated;
+          Alcotest.test_case "bad CRC mid-file rejected" `Quick
+            test_bad_crc_mid_file_rejected;
+          Alcotest.test_case "duplicate cell rejected" `Quick
+            test_duplicate_cell_rejected;
+          Alcotest.test_case "headerless rejected" `Quick
+            test_headerless_rejected;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "stop+resume byte identity (jobs 1, 3)" `Quick
+            test_stop_resume_byte_identity;
+          Alcotest.test_case "resume after torn tail" `Quick
+            test_resume_after_torn_tail;
+          Alcotest.test_case "foreign checkpoint rejected" `Quick
+            test_foreign_checkpoint_rejected;
+          Alcotest.test_case "heartbeat per cell with ETA" `Quick
+            test_heartbeat_emitted;
+        ] );
+    ]
