@@ -166,6 +166,25 @@ let micro_tests () =
     done;
     Dessim.Scheduler.run sched
   in
+  (* The profiler's advertised cost at an instrumentation point: disabled, a
+     span is one atomic load and a branch; enabled, two clock reads and the
+     accumulator updates. The pair of rows quantifies the no-op claim. *)
+  let prof_scope = Obs.Prof.scope "bench.micro" in
+  let prof_spans () =
+    for _ = 0 to 255 do
+      Obs.Prof.enter prof_scope;
+      Obs.Prof.exit prof_scope
+    done
+  in
+  let prof_disabled () =
+    Obs.Prof.set_enabled false;
+    prof_spans ()
+  in
+  let prof_enabled () =
+    Obs.Prof.set_enabled true;
+    prof_spans ();
+    Obs.Prof.set_enabled false
+  in
   Test.make_grouped ~name:"simulator"
     [
       Test.make ~name:"heap: 256 add+pop" (Staged.stage heap_churn);
@@ -174,6 +193,8 @@ let micro_tests () =
       Test.make ~name:"mesh: generate 7x7 d6" (Staged.stage mesh_gen);
       Test.make ~name:"topology: bfs 49 nodes" (Staged.stage bfs);
       Test.make ~name:"link: 64 packets" (Staged.stage link_traffic);
+      Test.make ~name:"prof: 256 spans, disabled" (Staged.stage prof_disabled);
+      Test.make ~name:"prof: 256 spans, enabled" (Staged.stage prof_enabled);
     ]
 
 let run_micro () =

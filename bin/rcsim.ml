@@ -10,7 +10,10 @@
      transfer  a reliable go-back-N transfer across the failure
      loops     run a scenario and report transient forwarding-loop episodes
      fuzz      property-based fuzzing against invariant monitors and the
-               differential shortest-path oracle *)
+               differential shortest-path oracle
+     perf      one-shot local profiling: hot-scope report, ns/event
+               distribution and allocation telemetry per protocol
+     campaign  parallel experiment campaigns writing BENCH_<section>.json *)
 
 open Cmdliner
 
@@ -563,10 +566,24 @@ let trace_cmd =
     let doc = "Restrict packet totals to one flow index." in
     Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"N" ~doc)
   in
-  let action file bucket flow =
+  let prof_arg =
+    let doc =
+      "Profile the replay: report where analysis time goes (parsing, packet \
+       totals, timelines, loop detection) as a cost-attribution summary."
+    in
+    Arg.(value & flag & info [ "prof" ] ~doc)
+  in
+  let s_read = Obs.Prof.scope "replay.read" in
+  let s_counts = Obs.Prof.scope "replay.event_counts" in
+  let s_totals = Obs.Prof.scope "replay.totals" in
+  let s_timeline = Obs.Prof.scope "replay.drop_timeline" in
+  let s_loops = Obs.Prof.scope "replay.loop_report" in
+  let s_links = Obs.Prof.scope "replay.link_report" in
+  let action file bucket flow prof =
     if bucket <= 0. then `Error (false, "bucket width must be positive")
-    else
-      match Obs.Replay.read_file file with
+    else begin
+      if prof then Obs.Prof.set_enabled true;
+      match Obs.Prof.time s_read (fun () -> Obs.Replay.read_file file) with
       | exception Sys_error e -> `Error (false, e)
       | records, stats ->
         Fmt.pr "%s: %d events" file stats.Obs.Replay.parsed;
@@ -581,24 +598,29 @@ let trace_cmd =
           Fmt.pr "event counts:@.";
           List.iter
             (fun (name, n) -> Fmt.pr "  %7d  %s@." n name)
-            (Obs.Replay.event_counts records);
-          let totals = Obs.Replay.totals ?flow records in
+            (Obs.Prof.time s_counts (fun () -> Obs.Replay.event_counts records));
+          let totals =
+            Obs.Prof.time s_totals (fun () -> Obs.Replay.totals ?flow records)
+          in
           Fmt.pr "@.packet conservation%s:@.  %a@."
             (match flow with
             | Some f -> Printf.sprintf " (flow %d)" f
             | None -> "")
             Obs.Replay.pp_totals totals;
-          let timeline = Obs.Replay.drop_timeline ~bucket records in
+          let timeline =
+            Obs.Prof.time s_timeline (fun () ->
+                Obs.Replay.drop_timeline ~bucket records)
+          in
           if timeline.Obs.Replay.rows <> [] then
             Fmt.pr "@.drop timeline:@.%a@." Obs.Replay.pp_timeline timeline;
-          (match Obs.Replay.loop_report records with
+          (match Obs.Prof.time s_loops (fun () -> Obs.Replay.loop_report records) with
           | [] -> Fmt.pr "@.no loop episodes@."
           | episodes ->
             Fmt.pr "@.%d loop episode(s):@." (List.length episodes);
             List.iter
               (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_loop_episode e)
               episodes);
-          (match Obs.Replay.link_report records with
+          (match Obs.Prof.time s_links (fun () -> Obs.Replay.link_report records) with
           | [] -> ()
           | episodes ->
             Fmt.pr "@.%d link outage episode(s):@." (List.length episodes);
@@ -606,9 +628,13 @@ let trace_cmd =
               (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_link_episode e)
               episodes)
         end;
+        if prof then Fmt.pr "@.cost attribution:@.%a" Obs.Prof.pp_report ();
         `Ok ()
+    end
   in
-  let term = Term.(ret (const action $ file_arg $ bucket_arg $ flow_arg)) in
+  let term =
+    Term.(ret (const action $ file_arg $ bucket_arg $ flow_arg $ prof_arg))
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
@@ -701,7 +727,135 @@ let fuzz_cmd =
           differential shortest-path oracle")
     term
 
+(* ---------- perf ---------- *)
+
+let perf_cmd =
+  let repeat_arg =
+    let doc = "Measured repetitions per protocol (after one warm-up run)." in
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let proto_opt_arg =
+    let doc =
+      "Profile only this protocol (RIP, DBF, BGP, BGP-3, LS). Default: the \
+       paper's four."
+    in
+    Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+  in
+  (* ns/event sits around 10^2..10^4 ns; log-spaced edges from 10 ns to 1 ms
+     at 10 buckets per decade keep the quantile upper bounds within ~26%. *)
+  let ns_bounds = Array.init 51 (fun i -> 10. *. (10. ** (float_of_int i /. 10.))) in
+  let profile ~cfg ~repeat engine =
+    let name = Convergence.Engine_registry.name engine in
+    (* Warm-up run: absorbs one-time costs (domain-local state, size-class
+       growth) so the measured repetitions see a steady state. *)
+    ignore (Convergence.Engine_registry.run cfg engine);
+    Obs.Prof.reset ();
+    let dist = Obs.Registry.create () in
+    let h = Obs.Registry.histogram ~bounds:ns_bounds dist "ns_per_event" in
+    let events = ref 0. in
+    let w_per_event = ref Float.nan in
+    let total_ns = ref 0. in
+    let last_gc = ref None in
+    for _ = 1 to repeat do
+      let m = Obs.Registry.create () in
+      let t0 = Obs.Prof.now_ns () in
+      let _r, g =
+        Obs.Prof.gc_delta (fun () ->
+            Convergence.Engine_registry.run ~metrics:m cfg engine)
+      in
+      let ns = Int64.to_float (Int64.sub (Obs.Prof.now_ns ()) t0) in
+      (match Obs.Registry.lookup m "scheduler.events_fired" with
+      | Some (Obs.Registry.Gauge_value v) -> events := v
+      | _ -> ());
+      (match Obs.Registry.lookup m "alloc.minor_words_per_event" with
+      | Some (Obs.Registry.Gauge_value v) -> w_per_event := v
+      | _ -> ());
+      if !events > 0. then Obs.Registry.observe h (ns /. !events);
+      total_ns := !total_ns +. ns;
+      last_gc := Some g
+    done;
+    Fmt.pr "=== %s: %dx%d mesh, degree %d, %d measured run(s) ===@." name
+      cfg.Convergence.Config.rows cfg.Convergence.Config.cols
+      cfg.Convergence.Config.degree repeat;
+    Fmt.pr "events/run:  %.0f@." !events;
+    let mean_ns = !total_ns /. float_of_int repeat in
+    if !events > 0. && mean_ns > 0. then begin
+      Fmt.pr "events/s:    %.0f@." (!events *. 1e9 /. mean_ns);
+      (match Obs.Registry.lookup dist "ns_per_event" with
+      | Some (Obs.Registry.Histogram_value { mean; p50; p95; p99; max; _ }) ->
+        Fmt.pr "ns/event:    mean %.1f  p50<=%.0f  p95<=%.0f  p99<=%.0f  max \
+                %.1f@."
+          mean p50 p95 p99 max
+      | _ -> ());
+      Fmt.pr "alloc:       %.1f minor words/event@." !w_per_event
+    end;
+    (match !last_gc with
+    | Some g -> Fmt.pr "gc/run:      %a@." Obs.Prof.pp_gc_delta g
+    | None -> ());
+    Fmt.pr "hot scopes:@.%a@." Obs.Prof.pp_report ()
+  in
+  let action protocol degree rows cols seed rate repeat =
+    if repeat <= 0 then `Error (false, "--repeat must be positive")
+    else
+      let engines =
+        match protocol with
+        | None -> Ok Convergence.Engine_registry.paper_four
+        | Some p -> Result.map (fun e -> [ e ]) (engine_of_name p)
+      in
+      match engines with
+      | Error e -> `Error (false, e)
+      | Ok engines ->
+        let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
+        Obs.Prof.set_enabled true;
+        List.iter (profile ~cfg ~repeat) engines;
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ proto_opt_arg $ degree_arg $ rows_arg $ cols_arg
+       $ seed_arg $ rate_arg $ repeat_arg))
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Profile the engine locally: per-protocol events/sec, ns/event \
+          quantiles, allocation telemetry, and a hot-scope timer report")
+    term
+
 (* ---------- campaign ---------- *)
+
+(* Overall measured engine throughput of an artifact: total scheduler events
+   over total measured seconds, joined from the perf blocks in [timing] and
+   the deterministic [sched_events] extra of the matching cell rows. [None]
+   when the artifact carries no perf measurements. *)
+let overall_events_per_s (a : Campaign.Artifact.t) =
+  match a.Campaign.Artifact.timing with
+  | None -> None
+  | Some t ->
+    let tot_events = ref 0. and tot_s = ref 0. in
+    List.iter
+      (fun (c : Campaign.Cell_result.t) ->
+        match
+          List.find_opt
+            (fun (ct : Campaign.Artifact.cell_timing) ->
+              ct.Campaign.Artifact.ct_protocol = c.Campaign.Cell_result.protocol
+              && ct.Campaign.Artifact.ct_degree = c.Campaign.Cell_result.degree
+              && ct.Campaign.Artifact.ct_seed = c.Campaign.Cell_result.seed)
+            t.Campaign.Artifact.t_cells
+        with
+        | Some ct -> (
+          match
+            ( List.assoc_opt "events_per_s" ct.Campaign.Artifact.ct_perf,
+              List.assoc_opt "sched_events" c.Campaign.Cell_result.extras )
+          with
+          | Some eps, Some ev when eps > 0. && ev > 0. ->
+            tot_events := !tot_events +. ev;
+            tot_s := !tot_s +. (ev /. eps)
+          | _ -> ())
+        | None -> ())
+      a.Campaign.Artifact.cells;
+    if !tot_s > 0. then Some (!tot_events /. !tot_s) else None
 
 (* A journaled campaign shuts down gracefully on the first SIGINT/SIGTERM:
    the handler only sets the cooperative stop flag (workers abandon their
@@ -811,6 +965,15 @@ let campaign_cmd =
       & opt (some int) None
       & info [ "stop-after-cells" ] ~docv:"K" ~doc)
   in
+  let prof_arg =
+    let doc =
+      "Enable the engine profiler during the campaign and print the \
+       hot-scope report to stderr afterwards. The artifact is unaffected \
+       (profiling data never enters it); with $(b,--jobs) > 1 the \
+       attribution is approximate, since concurrent cells share scopes."
+    in
+    Arg.(value & flag & info [ "prof" ] ~doc)
+  in
   let hang_of = function
     | None -> Ok None
     | Some s -> (
@@ -878,7 +1041,7 @@ let campaign_cmd =
   in
   let section_cmd (section : Campaign.Sections.t) =
     let action quick full jobs out runs degrees seed quiet cell_budget retries
-        hang_cell journal_path stop_after =
+        hang_cell journal_path stop_after prof =
       if quick && full then `Error (true, "--quick and --full are exclusive")
       else if jobs < 1 then `Error (true, "--jobs must be at least 1")
       else if retries < 0 then `Error (true, "--retries must be >= 0")
@@ -911,6 +1074,7 @@ let campaign_cmd =
               journal_path
           in
           if Option.is_some journal then install_stop_handlers ();
+          if prof then Obs.Prof.set_enabled true;
           let progress line = if not quiet then Fmt.epr "  .. %s@." line in
           let heartbeat line = if not quiet then Fmt.epr "  %s@." line in
           let cells, quarantined, timing =
@@ -926,6 +1090,7 @@ let campaign_cmd =
           render_result section ~out
             (Campaign.Driver.artifact_of ~section ~mode ~timing ~quarantined
                sweep cells);
+          if prof then Fmt.epr "hot scopes:@.%a" Obs.Prof.pp_report ();
           `Ok ()
       end
     in
@@ -936,7 +1101,7 @@ let campaign_cmd =
          $ out_arg section.Campaign.Sections.name
          $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg
          $ cell_budget_arg $ retries_arg $ hang_cell_arg $ journal_arg
-         $ stop_after_arg))
+         $ stop_after_arg $ prof_arg))
     in
     Cmd.v
       (Cmd.info section.Campaign.Sections.name
@@ -1162,6 +1327,19 @@ let campaign_cmd =
           | Some section ->
             Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
             section.Campaign.Sections.render Fmt.stdout artifact;
+            (match artifact.Campaign.Artifact.timing with
+            | None -> ()
+            | Some t ->
+              let n = List.length t.Campaign.Artifact.t_cells in
+              let wall = t.Campaign.Artifact.t_wall_s in
+              Fmt.pr "timing: %d cells in %.1f s wall (%d jobs%s)@." n wall
+                t.Campaign.Artifact.t_jobs
+                (if wall > 0. && n > 0 then
+                   Printf.sprintf ", %.2f cells/s" (float_of_int n /. wall)
+                 else "");
+              match overall_events_per_s artifact with
+              | Some eps -> Fmt.pr "perf:   %.0f events/s overall@." eps
+              | None -> ());
             `Ok ())
     in
     let term = Term.(ret (const action $ file_arg)) in
@@ -1171,6 +1349,66 @@ let campaign_cmd =
            "Summarize a campaign file: re-render a section's tables from an \
             artifact, or report a journal's checkpoint state and the exact \
             resume command")
+      term
+  in
+  let perfguard_cmd =
+    let file_arg n v =
+      Arg.(required & pos n (some file) None & info [] ~docv:v)
+    in
+    let max_regression_arg =
+      let doc =
+        "Maximum tolerated fractional regression in overall events/s: fail \
+         when CURRENT is more than this fraction slower than BASELINE \
+         (default 0.30 = 30%)."
+      in
+      Arg.(value & opt float 0.30 & info [ "max-regression" ] ~docv:"FRAC" ~doc)
+    in
+    let action base_path cur_path max_regression =
+      if max_regression < 0. then
+        `Error (true, "--max-regression must be >= 0")
+      else
+        match
+          ( Campaign.Artifact.read ~path:base_path,
+            Campaign.Artifact.read ~path:cur_path )
+        with
+        | Error e, _ | _, Error e -> `Error (false, e)
+        | Ok base, Ok cur -> (
+          match (overall_events_per_s base, overall_events_per_s cur) with
+          | None, _ ->
+            `Error
+              ( false,
+                base_path ^ ": no perf measurements in the timing section" )
+          | _, None ->
+            `Error
+              (false, cur_path ^ ": no perf measurements in the timing section")
+          | Some b, Some c ->
+            let change = (c -. b) /. b in
+            Fmt.pr "baseline: %.0f events/s (%s)@." b base_path;
+            Fmt.pr "current:  %.0f events/s (%s, %+.1f%%)@." c cur_path
+              (100. *. change);
+            if c < b *. (1. -. max_regression) then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "events/s regressed %.1f%% (more than the %.0f%% allowed)"
+                    (-100. *. change)
+                    (100. *. max_regression) )
+            else `Ok ())
+    in
+    let term =
+      Term.(
+        ret
+          (const action $ file_arg 0 "BASELINE.json" $ file_arg 1 "CURRENT.json"
+         $ max_regression_arg))
+    in
+    Cmd.v
+      (Cmd.info "perfguard"
+         ~doc:
+           "Compare the overall events/s of two perf artifacts and exit \
+            non-zero when the current one regressed beyond the allowed \
+            fraction. Timing numbers are machine-dependent: guard against \
+            baselines recorded on comparable hardware (e.g. the same CI \
+            runner class)")
       term
   in
   let info =
@@ -1183,7 +1421,7 @@ let campaign_cmd =
   in
   Cmd.group info
     (List.map section_cmd Campaign.Sections.all
-    @ [ resume_cmd; diff_cmd; validate_cmd; show_cmd ])
+    @ [ resume_cmd; diff_cmd; validate_cmd; show_cmd; perfguard_cmd ])
 
 let () =
   let doc =
@@ -1204,5 +1442,6 @@ let () =
             loops_cmd;
             trace_cmd;
             fuzz_cmd;
+            perf_cmd;
             campaign_cmd;
           ]))

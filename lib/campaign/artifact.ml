@@ -1,4 +1,5 @@
-let version = 2
+(* v3 adds the optional per-cell "perf" object inside timing cells. *)
+let version = 3
 
 let min_version = 1
 
@@ -31,6 +32,9 @@ type cell_timing = {
   ct_degree : int;
   ct_seed : int;
   ct_wall_s : float;
+  ct_perf : (string * float) list;
+      (* machine-speed measurements (ns/event, events/sec, GC promotion);
+         empty for sections that do not measure them *)
 }
 
 type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
@@ -220,13 +224,24 @@ let timing_to_json t : Obs.Json.t =
         List
           (List.map
              (fun ct ->
+               let perf =
+                 match ct.ct_perf with
+                 | [] -> []
+                 | xs ->
+                   [
+                     ( "perf",
+                       Obs.Json.Obj (List.map (fun (k, v) -> (k, fnum v)) xs)
+                     );
+                   ]
+               in
                Obs.Json.Obj
-                 [
-                   ("protocol", Obs.Json.String ct.ct_protocol);
-                   ("degree", Obs.Json.Int ct.ct_degree);
-                   ("seed", Obs.Json.Int ct.ct_seed);
-                   ("wall_s", fnum ct.ct_wall_s);
-                 ])
+                 ([
+                    ("protocol", Obs.Json.String ct.ct_protocol);
+                    ("degree", Obs.Json.Int ct.ct_degree);
+                    ("seed", Obs.Json.Int ct.ct_seed);
+                    ("wall_s", fnum ct.ct_wall_s);
+                  ]
+                 @ perf))
              t.t_cells) );
     ]
 
@@ -377,9 +392,34 @@ let timing_of_json j =
           let get_str n = Option.bind (Obs.Json.member n item) Obs.Json.to_string_val in
           let get_int n = Option.bind (Obs.Json.member n item) Obs.Json.to_int in
           let get_flt n = Option.bind (Obs.Json.member n item) float_of_json in
+          let* perf =
+            match Obs.Json.member "perf" item with
+            | None -> Ok []
+            | Some (Obs.Json.Obj fields) ->
+              List.fold_left
+                (fun acc (k, v) ->
+                  let* acc = acc in
+                  match float_of_json v with
+                  | Some f -> Ok (acc @ [ (k, f) ])
+                  | None ->
+                    Error
+                      (Printf.sprintf "timing: perf entry %S is not a number" k))
+                (Ok []) fields
+            | Some _ -> Error "timing: perf is not an object"
+          in
           match (get_str "protocol", get_int "degree", get_int "seed", get_flt "wall_s") with
           | Some p, Some d, Some s, Some w ->
-            Ok (acc @ [ { ct_protocol = p; ct_degree = d; ct_seed = s; ct_wall_s = w } ])
+            Ok
+              (acc
+              @ [
+                  {
+                    ct_protocol = p;
+                    ct_degree = d;
+                    ct_seed = s;
+                    ct_wall_s = w;
+                    ct_perf = perf;
+                  };
+                ])
           | _ -> Error "timing: malformed cell entry")
         (Ok []) items
     | _ -> Error "timing: missing cells list"

@@ -6,10 +6,10 @@
     plus averaged time series where the section has them), and a [timing]
     block (worker count, total and per-cell wall-clock).
 
-    {2 Schema v2}
+    {2 Schema v3}
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "kind": "rcsim-campaign",
       "section": "fig3",
       "git_sha": "<short sha or "unknown">",
@@ -28,15 +28,21 @@
                         "series": {...}? }, ... ],
       "timing": { "jobs": 8, "wall_s": ...,
                   "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
-                               "wall_s": ... }, ... ] }? }
+                               "wall_s": ...,
+                               "perf": { "ns_per_event": ..., ... }? },
+                             ... ] }? }
     v}
 
     Version history: v1 had no [quarantined] list ({!of_json} and {!validate}
-    still accept it, reading an empty quarantine). v2 (current) requires it —
-    cells the {!Driver} gave up on (watchdog timeout or a raised exception,
-    after bounded same-seed retries) are recorded there instead of aborting
-    the whole campaign, and aggregates are computed from the surviving cells
+    still accept it, reading an empty quarantine). v2 requires it — cells the
+    {!Driver} gave up on (watchdog timeout or a raised exception, after
+    bounded same-seed retries) are recorded there instead of aborting the
+    whole campaign, and aggregates are computed from the surviving cells
     only. A key may not appear both as a cell and as a quarantine entry.
+    v3 (current) adds the optional per-cell ["perf"] object inside timing
+    cells — machine-speed measurements from the perf section (ns/event,
+    events/sec, GC promotion), kept in [timing] because they are as
+    non-deterministic as wall time.
 
     Determinism contract: everything except [timing] is a pure function of
     (code, section, params) — cells are merged in cell-key order and
@@ -77,6 +83,9 @@ type cell_timing = {
   ct_degree : int;
   ct_seed : int;
   ct_wall_s : float;
+  ct_perf : (string * float) list;
+      (** the cell's {!Cell_result.t.perf} measurements; empty for sections
+          that do not measure machine speed *)
 }
 
 type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
@@ -117,7 +126,7 @@ val quarantine_of_json : Obs.Json.t -> (quarantine, string) result
     per-record format. *)
 
 val version : int
-(** The schema version this module writes: [2]. *)
+(** The schema version this module writes: [3]. *)
 
 val min_version : int
 (** The oldest schema version {!of_json} and {!validate} accept: [1]. *)

@@ -25,6 +25,8 @@ type t = {
   extras : (string * float) list;
   series : (string * series) list;
   wall_s : float;
+  perf : (string * float) list;
+  events : int;
 }
 
 let of_run ?(extras = []) ?(series = []) (r : Convergence.Metrics.run) =
@@ -48,6 +50,8 @@ let of_run ?(extras = []) ?(series = []) (r : Convergence.Metrics.run) =
     extras;
     series;
     wall_s = 0.;
+    perf = [];
+    events = r.Convergence.Metrics.sched_events;
   }
 
 let of_multi ?(extras = []) (m : Convergence.Metrics.multi) =
@@ -76,6 +80,8 @@ let of_multi ?(extras = []) (m : Convergence.Metrics.multi) =
     extras;
     series = [];
     wall_s = 0.;
+    perf = [];
+    events = m.Convergence.Metrics.m_sched_events;
   }
 
 let metrics t =
@@ -258,4 +264,6 @@ let of_json j =
       extras;
       series;
       wall_s = 0.;
+      perf = [];
+      events = 0;
     }

@@ -53,6 +53,15 @@ type t = {
           only for sections that render them *)
   wall_s : float;  (** wall-clock cost of the cell; excluded from the row's
                        serialization (see above) *)
+  perf : (string * float) list;
+      (** machine-speed measurements (ns/event, events/sec, GC promotion …)
+          produced by the perf section; non-deterministic like [wall_s], so
+          excluded from the row's serialization — the driver copies it into
+          the artifact's strippable [timing] section *)
+  events : int;
+      (** scheduler events the cell's simulation fired; transient like
+          [wall_s] (0 after deserialization) — feeds the driver's live
+          events/sec heartbeat *)
 }
 
 val of_run : ?extras:(string * float) list -> ?series:(string * series) list ->

@@ -86,8 +86,17 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
     pre;
   let base_done = Hashtbl.length pre in
   let done_count = ref base_done in
+  (* Scheduler events fired by freshly-run cells: the numerator of the
+     heartbeat's aggregate events/sec (checkpointed cells did their events in
+     a previous process, so they count for neither side of the rate). *)
+  let events_done = ref 0 in
   let progress_mutex = Mutex.create () in
   let t0 = Unix.gettimeofday () in
+  let rate_string v =
+    if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+    else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+    else Printf.sprintf "%.1f" v
+  in
   (* Everything that happens "when a cell finishes" is serialized here: the
      journal append (checkpoint durable before the count moves), the
      progress line, the heartbeat, and the stop-after test hook. *)
@@ -97,16 +106,28 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
         | Some j, Some (`Cell c) -> Journal.append_cell j c
         | Some j, Some (`Quarantine q) -> Journal.append_quarantine j q
         | _ -> ());
+        (match checkpoint with
+        | Some (`Cell (c : Cell_result.t)) ->
+          events_done := !events_done + c.Cell_result.events
+        | _ -> ());
         incr done_count;
         progress line;
         let done_here = !done_count - base_done in
         let remaining = n - !done_count in
         if done_here > 0 && remaining > 0 then begin
           let elapsed = Unix.gettimeofday () -. t0 in
+          let throughput =
+            if elapsed > 0. then
+              Printf.sprintf ", %s cells/s, %s events/s"
+                (rate_string (float_of_int done_here /. elapsed))
+                (rate_string (float_of_int !events_done /. elapsed))
+            else ""
+          in
           heartbeat
-            (Printf.sprintf "%d/%d cells, %.1f s elapsed, ETA %.0f s"
+            (Printf.sprintf "%d/%d cells, %.1f s elapsed, ETA %.0f s%s"
                !done_count n elapsed
-               (elapsed /. float_of_int done_here *. float_of_int remaining))
+               (elapsed /. float_of_int done_here *. float_of_int remaining)
+               throughput)
         end;
         match stop_after with
         | Some k when done_here >= k -> Dessim.Scheduler.request_stop ()
@@ -215,6 +236,7 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
                  ct_degree = c.Cell_result.degree;
                  ct_seed = c.Cell_result.seed;
                  ct_wall_s = c.Cell_result.wall_s;
+                 ct_perf = c.Cell_result.perf;
                })
              cells);
     }

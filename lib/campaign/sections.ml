@@ -619,6 +619,163 @@ let faults =
     render = render_faults;
   }
 
+(* ---------- performance ---------- *)
+
+(* The perf grid sweeps topology size, not mesh degree: like the faults
+   section, cells reuse the artifact's degree field as the axis code — here
+   the mesh's node count. The mesh degree stays the sweep base's.
+
+   Determinism split: everything a perf cell is allowed to put in [extras]
+   (event and callback counts, queue depth) is a pure function of the
+   simulated scenario. Machine-speed numbers (ns/event, events/sec) go into
+   [Cell_result.perf], which the driver stores in the artifact's strippable
+   [timing] block — and so does every [Gc]-derived number, allocation counts
+   included: OCaml 5's [Gc.quick_stat] aggregates across domains, so a
+   concurrent cell's allocations leak into this cell's delta whenever
+   [--jobs] > 1. *)
+let perf_meshes = [ (5, 5); (7, 7); (10, 10) ]
+
+let perf_measured_runs = 2
+
+let perf_cell (sweep : X.sweep) ~rows ~cols engine =
+  let cfg = { sweep.X.base with C.rows; cols } in
+  (* One unmeasured warm-up run absorbs one-time costs (domain-local slots,
+     size-class growth), so a cell measures the same on whichever worker
+     domain it lands — the jobs-independence the artifact diff checks. *)
+  ignore (E.run cfg engine);
+  let measure () =
+    let metrics = Obs.Registry.create () in
+    let t0 = Obs.Prof.now_ns () in
+    let r, g = Obs.Prof.gc_delta (fun () -> E.run ~metrics cfg engine) in
+    let ns = Int64.to_float (Int64.sub (Obs.Prof.now_ns ()) t0) in
+    (r, metrics, g, ns)
+  in
+  let samples = List.init perf_measured_runs (fun _ -> measure ()) in
+  (* Identical seeds give identical simulations: deterministic numbers come
+     from the last sample, machine-speed numbers average over all of them. *)
+  let r, metrics, _, _ = List.nth samples (perf_measured_runs - 1) in
+  let gauge name =
+    match Obs.Registry.lookup metrics name with
+    | Some (Obs.Registry.Gauge_value v) -> v
+    | Some _ | None -> Float.nan
+  in
+  let cnt name =
+    match Obs.Registry.lookup metrics name with
+    | Some (Obs.Registry.Counter_value n) -> float_of_int n
+    | Some _ | None -> Float.nan
+  in
+  let events = gauge "scheduler.events_fired" in
+  let mean f = Dessim.Stat.mean (List.map f samples) in
+  let mean_ns = mean (fun (_, _, _, ns) -> ns) in
+  let perf =
+    if events > 0. && mean_ns > 0. then
+      [
+        ("ns_per_event", mean_ns /. events);
+        ("events_per_s", events *. 1e9 /. mean_ns);
+        ("minor_words_per_event", gauge "alloc.minor_words_per_event");
+        ( "promoted_words",
+          mean (fun (_, _, g, _) -> g.Obs.Prof.d_promoted_words) );
+        ( "major_collections",
+          mean (fun (_, _, g, _) -> float_of_int g.Obs.Prof.d_major_collections)
+        );
+        ( "minor_collections",
+          mean (fun (_, _, g, _) -> float_of_int g.Obs.Prof.d_minor_collections)
+        );
+      ]
+    else []
+  in
+  {
+    (Cell_result.of_run
+       ~extras:
+         [
+           ("sched_events", events);
+           ("events_scheduled", gauge "scheduler.events_scheduled");
+           ("max_queue_depth", gauge "scheduler.max_queue_depth");
+           ("timer_fires", cnt "sched.timer_fires");
+           ("data_forwards", cnt "sched.data_forwards");
+         ]
+       r)
+    with
+    (* node count as the cell key's sweep dimension *)
+    Cell_result.degree = rows * cols;
+    perf;
+  }
+
+let perf_tasks (sweep : X.sweep) =
+  E.paper_four
+  |> List.concat_map (fun engine ->
+         perf_meshes
+         |> List.map (fun (rows, cols) ->
+                {
+                  t_protocol = E.name engine;
+                  t_degree = rows * cols;
+                  t_seed = sweep.X.base.C.seed;
+                  t_run = (fun () -> perf_cell sweep ~rows ~cols engine);
+                }))
+  |> Array.of_list
+
+let render_perf ppf (a : Artifact.t) =
+  let perf_of (c : Cell_result.t) =
+    match a.Artifact.timing with
+    | None -> []
+    | Some t -> (
+      match
+        List.find_opt
+          (fun (ct : Artifact.cell_timing) ->
+            ct.Artifact.ct_protocol = c.Cell_result.protocol
+            && ct.Artifact.ct_degree = c.Cell_result.degree
+            && ct.Artifact.ct_seed = c.Cell_result.seed)
+          t.Artifact.t_cells
+      with
+      | Some ct -> ct.Artifact.ct_perf
+      | None -> [])
+  in
+  let rule = String.make 78 '-' in
+  Fmt.pf ppf "engine speed by protocol and mesh size@.%s@." rule;
+  Fmt.pf ppf "%-8s %6s %10s %12s %12s %10s %9s@." "proto" "nodes" "events"
+    "events/s" "ns/event" "w/event" "promoted";
+  Fmt.pf ppf "%s@." rule;
+  let total_events = ref 0. and total_s = ref 0. in
+  List.iter
+    (fun (c : Cell_result.t) ->
+      let extra name =
+        Option.value ~default:Float.nan
+          (List.assoc_opt name c.Cell_result.extras)
+      in
+      let perf = perf_of c in
+      let p name = Option.value ~default:Float.nan (List.assoc_opt name perf) in
+      let events = extra "sched_events" in
+      let eps = p "events_per_s" in
+      if Float.is_finite events && Float.is_finite eps && eps > 0. then begin
+        total_events := !total_events +. events;
+        total_s := !total_s +. (events /. eps)
+      end;
+      Fmt.pf ppf "%-8s %6d %10.0f %12.0f %12.1f %10.2f %9.0f@."
+        c.Cell_result.protocol c.Cell_result.degree events eps
+        (p "ns_per_event")
+        (p "minor_words_per_event")
+        (p "promoted_words"))
+    a.Artifact.cells;
+  Fmt.pf ppf "%s@." rule;
+  if !total_s > 0. then
+    Fmt.pf ppf "overall: %.0f events in %.2f s measured = %.0f events/s@."
+      !total_events !total_s
+      (!total_events /. !total_s);
+  Fmt.pf ppf "@."
+
+let perf =
+  {
+    name = "perf";
+    family = "perf";
+    title =
+      "Engine performance: events/sec, ns/event and allocations/event by \
+       protocol and mesh size";
+    doc = "events/sec, ns/event and allocations/event per protocol and mesh size";
+    include_series = false;
+    tasks = perf_tasks;
+    render = render_perf;
+  }
+
 (* ---------- sweep scaling ---------- *)
 
 let ablation_scale ~full (sweep : X.sweep) =
@@ -631,6 +788,8 @@ let ablation_scale ~full (sweep : X.sweep) =
 let sweep_for t ~full sweep =
   match t.family with
   | "paper" | "scenarios" -> sweep
+  (* perf sweeps mesh sizes internally; degrees/runs scaling does not apply *)
+  | "perf" -> sweep
   | _ -> ablation_scale ~full sweep
 
 (* ---------- registry ---------- *)
@@ -651,6 +810,7 @@ let all =
     ext_multiflow;
     ext_transport;
     faults;
+    perf;
   ]
 
 let names = List.map (fun s -> s.name) all

@@ -39,7 +39,10 @@ let pp_mismatch ppf m =
      is a live neighbor strictly closer to dst — the monotone-metric
      condition that makes the converged forwarding graph loop-free;
    - hold no route at all otherwise. *)
+let prof_check = Obs.Prof.scope "check.oracle"
+
 let check ?max_metric (view : Convergence.Runner.routing_view) =
+  Obs.Prof.time prof_check @@ fun () ->
   let topo = view.Convergence.Runner.rv_topology in
   let n = Netsim.Topology.node_count topo in
   let mismatches = ref [] in

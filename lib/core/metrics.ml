@@ -25,6 +25,7 @@ type run = {
   pre_failure_path : Netsim.Types.node_id list;
   final_path : Netsim.Types.node_id list;
   final_path_complete : bool;
+  sched_events : int;
 }
 
 let total_drops r =
@@ -149,6 +150,7 @@ type multi = {
   m_ctrl_lost : int;
   m_routing_convergence : float;
   m_failed_links : (Netsim.Types.node_id * Netsim.Types.node_id) list;
+  m_sched_events : int;
 }
 
 let flow_total_drops f =
@@ -216,5 +218,6 @@ let run_of_multi m =
       pre_failure_path = f.f_pre_failure_path;
       final_path = f.f_final_path;
       final_path_complete = f.f_final_path_complete;
+      sched_events = m.m_sched_events;
     }
   | _ -> invalid_arg "Metrics.run_of_multi: expected exactly one flow"

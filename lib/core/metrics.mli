@@ -38,6 +38,9 @@ type run = {
   pre_failure_path : Netsim.Types.node_id list;
   final_path : Netsim.Types.node_id list;
   final_path_complete : bool;
+  sched_events : int;
+      (** scheduler events fired during the run — the denominator for
+          events/sec and allocations/event in the perf harness *)
 }
 
 val total_drops : run -> int
@@ -116,6 +119,7 @@ type multi = {
   m_routing_convergence : float;
       (** measured from the {e first} failure to the last route change *)
   m_failed_links : (Netsim.Types.node_id * Netsim.Types.node_id) list;
+  m_sched_events : int;  (** scheduler events fired during the run *)
 }
 
 val flow_delivery_ratio : flow -> float

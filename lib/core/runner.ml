@@ -135,6 +135,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     mutable rtx_retransmissions : int;
     mutable rtx_timeouts : int;
     mutable session_resets : int;
+    (* per-category event counts for the perf harness *)
+    mutable timer_fires : int;
+    mutable data_forwards : int;
   }
 
   let link st u v =
@@ -145,6 +148,18 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
   (* Trace emission helpers. Producers guard with [tracing] before building
      an event, so a disabled trace costs one boolean test per site. *)
   let tracing st cat = Obs.Trace.on st.trace cat
+
+  (* Profiling scopes, registered once at functor application. The hot sites
+     below use enter/exit pairs rather than [Obs.Prof.time] so that a
+     disabled profiler costs one atomic load per site and allocates
+     nothing. *)
+  let prof_forward = Obs.Prof.scope "engine.forward"
+
+  let prof_on_message = Obs.Prof.scope ("proto." ^ P.name ^ ".on_message")
+
+  let prof_timer = Obs.Prof.scope ("proto." ^ P.name ^ ".timer")
+
+  let prof_run = Obs.Prof.scope "engine.run"
 
   let emit st ev =
     Obs.Trace.emit st.trace ~time:(Dessim.Scheduler.now st.sched) ev
@@ -225,6 +240,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     (handler_of st p).h_drop p reason
 
   let rec forward st node (p : Netsim.Packet.t) =
+    st.data_forwards <- st.data_forwards + 1;
+    Obs.Prof.enter prof_forward;
+    do_forward st node p;
+    Obs.Prof.exit prof_forward
+
+  and do_forward st node (p : Netsim.Packet.t) =
     Netsim.Packet.visit p node;
     if node = p.dst then deliver_data st p
     else
@@ -253,7 +274,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
              dst = at_node;
              kind = msg_kind_of (P.message_kind msg);
            });
-    P.on_message st.routers.(at_node) ~from msg
+    Obs.Prof.enter prof_on_message;
+    P.on_message st.routers.(at_node) ~from msg;
+    Obs.Prof.exit prof_on_message
 
   and on_arrival st at_node payload =
     match payload with
@@ -441,15 +464,22 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           if not (Hashtbl.mem st.rtx_sessions (id, nb)) then
             Hashtbl.replace st.rtx_sessions (id, nb) (make_rtx_session st id nb))
         (Netsim.Topology.neighbors st.topo id);
+    let run_timer fn =
+      st.timer_fires <- st.timer_fires + 1;
+      Obs.Prof.enter prof_timer;
+      fn ();
+      Obs.Prof.exit prof_timer
+    in
     let after_action =
       if trace_control then fun delay fn ->
         Dessim.Scheduler.after st.sched ~delay (fun () ->
             if live () then begin
               emit st (Obs.Event.Timer_fired { node = id });
-              fn ()
+              run_timer fn
             end)
       else fun delay fn ->
-        Dessim.Scheduler.after st.sched ~delay (fun () -> if live () then fn ())
+        Dessim.Scheduler.after st.sched ~delay (fun () ->
+            if live () then run_timer fn)
     in
     let actions =
       {
@@ -933,6 +963,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         rtx_retransmissions = 0;
         rtx_timeouts = 0;
         session_resets = 0;
+        timer_fires = 0;
+        data_forwards = 0;
       }
     in
     make_links st;
@@ -956,15 +988,20 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       m_ctrl_lost = st.ctrl_lost;
       m_routing_convergence = routing_convergence;
       m_failed_links = List.rev st.failed_links;
+      m_sched_events = Dessim.Scheduler.events_processed st.sched;
     }
 
   (* Drive the scheduler to the end of the scenario, then record what it cost:
      a [Sched_stats] trace event and, when a registry was supplied, scheduler
      and control-plane metrics. *)
   let run_scheduler st =
+    let gc0 = Gc.quick_stat () in
     let cpu0 = Sys.time () in
+    Obs.Prof.enter prof_run;
     Dessim.Scheduler.run ~until:st.cfg.Config.sim_end st.sched;
+    Obs.Prof.exit prof_run;
     let cpu_s = Sys.time () -. cpu0 in
+    let gc1 = Gc.quick_stat () in
     let events = Dessim.Scheduler.events_processed st.sched in
     let max_queue = Dessim.Scheduler.max_queue_depth st.sched in
     if tracing st Obs.Event.Sched then
@@ -975,8 +1012,38 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       Obs.Registry.set (Obs.Registry.gauge m "scheduler.events_fired")
         (float_of_int events);
       Obs.Registry.set
+        (Obs.Registry.gauge m "scheduler.events_scheduled")
+        (float_of_int (Dessim.Scheduler.events_scheduled st.sched));
+      Obs.Registry.set
+        (Obs.Registry.gauge m "scheduler.events_skipped")
+        (float_of_int (Dessim.Scheduler.events_skipped st.sched));
+      Obs.Registry.set
         (Obs.Registry.gauge m "scheduler.max_queue_depth")
         (float_of_int max_queue);
+      Obs.Registry.set
+        (Obs.Registry.gauge m "scheduler.events_per_cpu_s")
+        (if cpu_s > 0. then float_of_int events /. cpu_s else 0.);
+      Obs.Registry.incr ~by:st.timer_fires
+        (Obs.Registry.counter m "sched.timer_fires");
+      Obs.Registry.incr ~by:st.data_forwards
+        (Obs.Registry.counter m "sched.data_forwards");
+      (* Allocation telemetry: minor words are deterministic for a
+         deterministic simulation (collection timing does not change how
+         much is allocated), promotion and collection counts are not. *)
+      Obs.Registry.set
+        (Obs.Registry.gauge m "gc.minor_words")
+        (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+      Obs.Registry.set
+        (Obs.Registry.gauge m "gc.promoted_words")
+        (gc1.Gc.promoted_words -. gc0.Gc.promoted_words);
+      Obs.Registry.set
+        (Obs.Registry.gauge m "gc.major_collections")
+        (float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
+      Obs.Registry.set
+        (Obs.Registry.gauge m "alloc.minor_words_per_event")
+        (if events > 0 then
+           (gc1.Gc.minor_words -. gc0.Gc.minor_words) /. float_of_int events
+         else 0.);
       Obs.Registry.set (Obs.Registry.gauge m "scenario.cpu_s") cpu_s;
       Obs.Registry.incr ~by:st.ctrl_messages (Obs.Registry.counter m "ctrl.messages");
       Obs.Registry.incr ~by:st.ctrl_bytes (Obs.Registry.counter m "ctrl.bytes");
@@ -1081,6 +1148,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
               m_ctrl_lost = 0;
               m_routing_convergence = 0.;
               m_failed_links = [];
+              m_sched_events = 0;
             };
         }
     in

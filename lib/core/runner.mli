@@ -83,9 +83,16 @@ type transport_outcome = {
       (data plane, control plane, environment, scheduler). Defaults to
       {!Obs.Trace.null}, which costs one boolean test per potential event.
     - [?metrics] — an {!Obs.Registry.t} the run populates with
-      [scheduler.events_fired], [scheduler.max_queue_depth], [scenario.cpu_s]
-      gauges, [ctrl.messages]/[ctrl.bytes]/[ctrl.lost] counters, and a
-      [packet.delay_s] histogram of CBR delivery delays.
+      [scheduler.events_fired], [scheduler.events_scheduled],
+      [scheduler.events_skipped], [scheduler.max_queue_depth],
+      [scheduler.events_per_cpu_s], [scenario.cpu_s], [gc.minor_words],
+      [gc.promoted_words], [gc.major_collections] and
+      [alloc.minor_words_per_event] gauges,
+      [ctrl.messages]/[ctrl.bytes]/[ctrl.lost]/[sched.timer_fires]/
+      [sched.data_forwards] counters, and a [packet.delay_s] histogram of
+      CBR delivery delays. Event and callback counts are deterministic;
+      the cpu, gc and alloc numbers are honest measurement (and, in
+      multi-domain programs, [Gc.quick_stat] aggregates across domains).
     - [?faults] — a {!Fault.Spec.t} describing injected link noise, fault
       schedules (flaps, crashes), and the reliable-control-transport
       configuration. Defaults to {!Fault.Spec.none}, in which case the run

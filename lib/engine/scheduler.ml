@@ -7,11 +7,19 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
+  mutable skipped : int;
   mutable max_depth : int;
 }
 
 let create () =
-  { queue = Heap.create (); clock = 0.0; next_seq = 0; fired = 0; max_depth = 0 }
+  {
+    queue = Heap.create ();
+    clock = 0.0;
+    next_seq = 0;
+    fired = 0;
+    skipped = 0;
+    max_depth = 0;
+  }
 
 let now t = t.clock
 
@@ -44,7 +52,8 @@ let step t =
     if not ev.h.cancelled then begin
       t.fired <- t.fired + 1;
       ev.fn ()
-    end;
+    end
+    else t.skipped <- t.skipped + 1;
     true
 
 exception Wall_timeout
@@ -114,5 +123,9 @@ let run ?until t =
     loop ()
 
 let events_processed t = t.fired
+
+let events_scheduled t = t.next_seq
+
+let events_skipped t = t.skipped
 
 let max_queue_depth t = t.max_depth

@@ -86,6 +86,14 @@ val events_processed : t -> int
 (** [events_processed t] counts events fired since creation (cancelled events
     excluded). *)
 
+val events_scheduled : t -> int
+(** [events_scheduled t] counts every {!schedule}/{!after} call since
+    creation, whether or not the event later fired. *)
+
+val events_skipped : t -> int
+(** [events_skipped t] counts cancelled events that were popped and discarded
+    without firing — the queue-churn cost of cancellation. *)
+
 val max_queue_depth : t -> int
 (** [max_queue_depth t] is the high-water mark of the event queue: the largest
     number of simultaneously pending events (cancelled-but-undiscarded

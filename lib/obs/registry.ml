@@ -125,6 +125,7 @@ type value =
       min : float;
       max : float;
       p50 : float;
+      p95 : float;
       p99 : float;
     }
 
@@ -140,6 +141,7 @@ let snapshot_of = function
         min = (if h.observations = 0 then 0. else h.lo);
         max = (if h.observations = 0 then 0. else h.hi);
         p50 = quantile h 0.5;
+        p95 = quantile h 0.95;
         p99 = quantile h 0.99;
       }
 
@@ -158,9 +160,9 @@ let pp_value ppf = function
   | Gauge_value v ->
     if Float.is_integer v && Float.abs v < 1e15 then Fmt.pf ppf "%.0f" v
     else Fmt.pf ppf "%g" v
-  | Histogram_value { n; mean; min; max; p50; p99; _ } ->
-    Fmt.pf ppf "n=%d mean=%g min=%g p50<=%g p99<=%g max=%g" n mean min p50 p99
-      max
+  | Histogram_value { n; mean; min; max; p50; p95; p99; _ } ->
+    Fmt.pf ppf "n=%d mean=%g min=%g p50<=%g p95<=%g p99<=%g max=%g" n mean min
+      p50 p95 p99 max
 
 let pp ppf t =
   let entries = snapshot t in

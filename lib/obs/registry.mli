@@ -62,6 +62,7 @@ type value =
       min : float;
       max : float;
       p50 : float;
+      p95 : float;
       p99 : float;
     }
 

@@ -36,6 +36,10 @@ let rec on t cat =
   | Collector c -> c.cats.(Event.category_index cat)
   | Tee ts -> List.exists (fun t -> on t cat) ts
 
+(* Sink I/O is a profiling scope of its own so a hot-scope report separates
+   "time simulating" from "time writing the trace". *)
+let prof_sink = Prof.scope "trace.sink"
+
 let rec emit t ~time event =
   match t with
   | Off -> ()
@@ -47,13 +51,19 @@ let rec emit t ~time event =
     then begin
       let seq = c.seq in
       c.seq <- seq + 1;
-      c.sink.Sink.emit { Sink.time; seq; event }
+      Prof.enter prof_sink;
+      c.sink.Sink.emit { Sink.time; seq; event };
+      Prof.exit prof_sink
     end
   | Tee ts -> List.iter (fun t -> emit t ~time event) ts
 
-let rec flush = function
+let rec flush t =
+  match t with
   | Off -> ()
-  | Collector c -> c.sink.Sink.flush ()
+  | Collector c ->
+    Prof.enter prof_sink;
+    c.sink.Sink.flush ();
+    Prof.exit prof_sink
   | Tee ts -> List.iter flush ts
 
 let rec close = function

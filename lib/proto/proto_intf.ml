@@ -71,6 +71,11 @@ module type PROTOCOL = sig
   (** begin operation: install the self route, announce, start timers *)
 
   val on_message : t -> from:Netsim.Types.node_id -> message -> unit
+  (** a control message from direct neighbor [from] arrived. The harness
+      profiles this callback (and every timer set through [actions]) under
+      the [proto.<name>.on_message] / [proto.<name>.timer] scopes of
+      [Obs.Prof], so protocol implementations need no instrumentation of
+      their own to show up in [rcsim perf]'s hot-scope report. *)
 
   val on_link_down : t -> neighbor:Netsim.Types.node_id -> unit
   (** the link to [neighbor] was detected down *)

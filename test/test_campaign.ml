@@ -72,6 +72,8 @@ let cell ?(protocol = "P") ?(degree = 3) ~seed ~drops ?(conv = 1.5) ?(extras = [
     extras;
     series;
     wall_s = 0.;
+    perf = [];
+    events = 0;
   }
 
 let stat_of aggregate name =

@@ -135,6 +135,7 @@ let sample_run ?(protocol = "X") ?(degree = 4) ?(seed = 1) ?(sent = 100)
     pre_failure_path = [ 0; 1 ];
     final_path = [ 0; 2; 1 ];
     final_path_complete = true;
+    sched_events = 0;
   }
 
 let test_metrics_accounting () =

@@ -487,6 +487,8 @@ let fixture_cell ?(degree = 3) ~seed () =
     extras = [];
     series = [];
     wall_s = 0.;
+    perf = [];
+    events = 0;
   }
 
 let fixture_params =
@@ -606,7 +608,7 @@ let test_committed_bench_artifacts_still_validate () =
           Alcotest.(check (list string))
             (path ^ " validates") []
             (Campaign.Artifact.validate (Campaign.Artifact.to_json a)))
-    [ "../BENCH_fig3.json"; "../BENCH_scenarios.json" ]
+    [ "../BENCH_fig3.json"; "../BENCH_scenarios.json"; "../BENCH_perf.json" ]
 
 (* ---------- replay hardening ---------- *)
 
