@@ -62,8 +62,22 @@ type transport_outcome = {
 }
 
 module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
+  (* Every data packet carries a handler deciding what its delivery or loss
+     means: CBR flows count packets, transport endpoints run their protocol
+     logic. The handler rides in the payload itself, so forwarding never
+     touches a lookup table. *)
+  type packet_handler = {
+    h_deliver : Netsim.Packet.t -> unit;
+    h_drop : Netsim.Packet.t -> Netsim.Types.drop_reason -> unit;
+  }
+
+  (* A data packet in flight. Allocated once at launch and threaded through
+     every hop unchanged — forwarding re-sends this very value, so a hop
+     allocates nothing beyond the link's own bookkeeping. *)
+  type data = { d_pkt : Netsim.Packet.t; d_handler : packet_handler }
+
   type payload =
-    | Data of Netsim.Packet.t
+    | Data of data
     | Ctrl of { from : Netsim.Types.node_id; msg : P.message }
     | Rseg of { from : Netsim.Types.node_id; seg : P.message Fault.Rtx.segment }
         (* a reliable-transport segment; only exists when [Fault.Spec.rtx]
@@ -93,22 +107,16 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         (* the sampled path is currently inside this cycle, since this time *)
   }
 
-  (* Every data packet carries a handler deciding what its delivery or loss
-     means: CBR flows count packets, transport endpoints run their protocol
-     logic. Registered per packet id, removed when the packet dies. *)
-  type packet_handler = {
-    h_deliver : Netsim.Packet.t -> unit;
-    h_drop : Netsim.Packet.t -> Netsim.Types.drop_reason -> unit;
-  }
-
   type state = {
     cfg : Config.t;
     sched : Dessim.Scheduler.t;
     topo : Netsim.Topology.t;
-    links : (int * int, payload Netsim.Link.t) Hashtbl.t;
+    n_nodes : int;
+    links : payload Netsim.Link.t option array;
+        (* directed links, indexed [u * n_nodes + v]: the per-hop lookup is
+           an array read, not a tuple-keyed hash probe *)
     mutable routers : P.t array;
     flows : flow_state array;
-    handlers : (int, packet_handler) Hashtbl.t;  (* packet id -> handler *)
     trace : Obs.Trace.t;
     metrics : Obs.Registry.t option;
     delay_hist : Obs.Registry.histogram option;
@@ -141,7 +149,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
   }
 
   let link st u v =
-    match Hashtbl.find_opt st.links (u, v) with
+    match st.links.((u * st.n_nodes) + v) with
     | Some l -> l
     | None -> invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
 
@@ -227,32 +235,27 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     | Some _ | None -> ());
     Array.iter (fun f -> if f.dst = dst then record_path_sample st f) st.flows
 
-  let handler_of st (p : Netsim.Packet.t) =
-    match Hashtbl.find_opt st.handlers p.id with
-    | Some h ->
-      Hashtbl.remove st.handlers p.id;
-      h
-    | None -> invalid_arg "Runner: packet without handler"
+  let drop_data (d : data) (reason : Netsim.Types.drop_reason) =
+    d.d_handler.h_drop d.d_pkt reason
 
-  let deliver_data st (p : Netsim.Packet.t) = (handler_of st p).h_deliver p
-
-  let drop_data st (p : Netsim.Packet.t) (reason : Netsim.Types.drop_reason) =
-    (handler_of st p).h_drop p reason
-
-  let rec forward st node (p : Netsim.Packet.t) =
+  (* [payload] is the [Data d] wrapper this packet was launched with: re-sent
+     as-is on every hop rather than re-wrapped, it stays a single allocation
+     for the packet's whole life. *)
+  let rec forward st node payload (d : data) =
     st.data_forwards <- st.data_forwards + 1;
     Obs.Prof.enter prof_forward;
-    do_forward st node p;
+    do_forward st node payload d;
     Obs.Prof.exit prof_forward
 
-  and do_forward st node (p : Netsim.Packet.t) =
+  and do_forward st node payload (d : data) =
+    let p = d.d_pkt in
     Netsim.Packet.visit p node;
-    if node = p.dst then deliver_data st p
+    if node = p.dst then d.d_handler.h_deliver p
     else
       match next_hop_of st node ~dst:p.dst with
-      | None -> drop_data st p Netsim.Types.No_route
+      | None -> drop_data d Netsim.Types.No_route
       | Some nh ->
-        if p.ttl <= 0 then drop_data st p Netsim.Types.Ttl_expired
+        if p.ttl <= 0 then drop_data d Netsim.Types.Ttl_expired
         else begin
           if tracing st Obs.Event.Data then
             emit st
@@ -261,7 +264,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           p.ttl <- p.ttl - 1;
           (* Rejections are accounted by the link's [dropped] callback. *)
           ignore
-            (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits (Data p))
+            (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits payload)
         end
 
   and deliver_ctrl st ~from at_node msg =
@@ -280,7 +283,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
 
   and on_arrival st at_node payload =
     match payload with
-    | Data p -> forward st at_node p
+    | Data d -> forward st at_node payload d
     | Ctrl { from; msg } -> deliver_ctrl st ~from at_node msg
     | Rseg { from; seg } -> (
       match Hashtbl.find_opt st.rtx_sessions (at_node, from) with
@@ -312,9 +315,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     if tracing st Obs.Event.Env then
       emit st (Obs.Event.Fault_injected { u; v; what });
     match payload with
-    | Data p ->
+    | Data d ->
       st.injected_data_drops <- st.injected_data_drops + 1;
-      drop_data st p reason
+      drop_data d reason
     | Ctrl _ ->
       st.injected_ctrl_drops <- st.injected_ctrl_drops + 1;
       st.ctrl_lost <- st.ctrl_lost + 1;
@@ -358,7 +361,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
 
   let on_link_drop st payload reason =
     match payload with
-    | Data p -> drop_data st p reason
+    | Data d -> drop_data d reason
     | Ctrl _ | Rseg _ ->
       (* Rseg counts like Ctrl here: a segment caught on a failing link is a
          control-plane loss event, exactly as the idealized transport's
@@ -378,7 +381,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           ~dropped:(fun payload reason -> on_link_drop st payload reason)
           ()
       in
-      Hashtbl.replace st.links (u, v) l
+      st.links.((u * st.n_nodes) + v) <- Some l
     in
     let both (u, v) =
       directed (u, v);
@@ -470,16 +473,23 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       fn ();
       Obs.Prof.exit prof_timer
     in
-    let after_action =
-      if trace_control then fun delay fn ->
-        Dessim.Scheduler.after st.sched ~delay (fun () ->
+    (* Timers are tagged events whose payload is the protocol's own callback:
+       arming one allocates the cancellation handle and nothing else (the
+       liveness guard and trace wrapper live in the per-router handler,
+       registered once here instead of closed over per timer). *)
+    let timer_tag =
+      if trace_control then
+        Dessim.Scheduler.register st.sched (fun fn ->
             if live () then begin
               emit st (Obs.Event.Timer_fired { node = id });
               run_timer fn
             end)
-      else fun delay fn ->
-        Dessim.Scheduler.after st.sched ~delay (fun () ->
+      else
+        Dessim.Scheduler.register st.sched (fun fn ->
             if live () then run_timer fn)
+    in
+    let after_action delay fn =
+      Dessim.Scheduler.after_tag_h st.sched ~delay timer_tag fn
     in
     let actions =
       {
@@ -525,7 +535,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     st.routers <- Array.init n make;
     Array.iter P.start st.routers
 
-  (* Create a packet at [src] bound for [dst], register its handler, and push
+  (* Create a packet at [src] bound for [dst], attach its handler, and push
      it into the forwarding plane. Returns the packet id. [?flow] identifies
      the originating flow in the trace; anonymous packets (transport ACKs)
      are not announced. *)
@@ -536,12 +546,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       Netsim.Packet.create ~id ~src ~dst ~size_bits ~ttl:st.cfg.Config.ttl
         ~sent_at:(Dessim.Scheduler.now st.sched)
     in
-    Hashtbl.replace st.handlers id handler;
+    let d = { d_pkt = p; d_handler = handler } in
     (match flow with
     | Some fidx when tracing st Obs.Event.Data ->
       emit st (Obs.Event.Packet_sent { flow = fidx; pkt = id; src; dst })
     | Some _ | None -> ());
-    forward st src p;
+    forward st src (Data d) d;
     id
 
   let start_traffic st (f : flow_state) =
@@ -582,6 +592,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
                    { flow = f.idx; pkt = p.Netsim.Packet.id; reason; looped }));
       }
     in
+    (* One self-rescheduling pacer closure for the flow's whole life: with
+       [fire_after] (no handle, recycled event cell) the steady-state cost of
+       a CBR tick is the packet itself. *)
     let rec send_one () =
       let now = Dessim.Scheduler.now st.sched in
       if now < cfg.Config.sim_end then begin
@@ -589,10 +602,10 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         ignore
           (launch_packet st ~flow:f.idx ~handler ~src:f.src ~dst:f.dst
              ~size_bits:(8 * cfg.Config.data_packet_bytes) ());
-        ignore (Dessim.Scheduler.after st.sched ~delay:interval send_one)
+        Dessim.Scheduler.fire_after st.sched ~delay:interval send_one
       end
     in
-    ignore (Dessim.Scheduler.schedule st.sched ~at:f.start send_one)
+    Dessim.Scheduler.fire_at st.sched ~at:f.start send_one
 
   let path_link_candidates path =
     let rec pairs = function
@@ -933,10 +946,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         cfg;
         sched = Dessim.Scheduler.create ();
         topo;
-        links = Hashtbl.create 256;
+        n_nodes = Netsim.Topology.node_count topo;
+        links =
+          (let n = Netsim.Topology.node_count topo in
+           Array.make (n * n) None);
         routers = [||];
         flows = Array.of_list (List.mapi resolve_flow flows);
-        handlers = Hashtbl.create 1024;
         trace;
         metrics;
         delay_hist =

@@ -1,77 +1,173 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Structure-of-arrays 4-ary min-heap.
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+   The key [(time, seq)] lives in two flat unboxed arrays ([float array] is
+   flat in OCaml, [int array] is immediate), so an insertion allocates
+   nothing: no per-entry record, no boxed key, and sift operations walk
+   cache-dense arrays instead of chasing entry pointers. Payloads sit in a
+   third, uniform [Obj.t array] — [Obj.t] because a ['a array] seeded with a
+   dummy value of an unknown ['a] cannot be built without one, and because it
+   keeps the array uniform even when ['a] is [float] (a ['a array] would be
+   flattened by the float-array hack and crash on a non-float dummy).
 
-let create () = { arr = [||]; size = 0 }
+   Arity 4 rather than 2: scheduler queues reach depths of 10^4..10^5
+   (every armed protocol timeout is a pending entry), and a sift-down at
+   depth d costs one round of scattered reads per level. Four-way nodes
+   halve the levels and the four children's keys are adjacent (32 bytes of
+   [times]), so the extra compares per level are against data already in
+   cache. Pop order is unaffected: [(time, seq)] is a strict total order
+   (seq is unique), so any correct priority queue pops the same sequence —
+   the differential harness in [test/test_differential.ml] checks this
+   against the reference binary heap.
+
+   Vacated slots are reset to an immediate dummy on every [pop] and growth
+   copies only the live prefix, so a popped payload is never pinned by the
+   heap — the GC-retention bug of the previous entry-array implementation
+   (whose [ensure_capacity] seeded the doubled array with [t.arr.(0)]). *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
+  mutable size : int;
+}
+
+(* An immediate value: never scanned, never keeps anything alive. *)
+let dummy = Obj.repr 0
+
+let create () = { times = [||]; seqs = [||]; payloads = [||]; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let ensure_capacity t entry =
-  let cap = Array.length t.arr in
-  if cap = 0 then t.arr <- Array.make 16 entry
-  else if t.size = cap then begin
-    let bigger = Array.make (2 * cap) t.arr.(0) in
-    Array.blit t.arr 0 bigger 0 cap;
-    t.arr <- bigger
+let ensure_capacity t =
+  let cap = Array.length t.seqs in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let times = Array.make ncap 0.0 in
+    let seqs = Array.make ncap 0 in
+    let payloads = Array.make ncap dummy in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.payloads 0 payloads 0 t.size;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.payloads <- payloads
   end
 
-let rec sift_up arr i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less arr.(i) arr.(parent) then begin
-      let tmp = arr.(i) in
-      arr.(i) <- arr.(parent);
-      arr.(parent) <- tmp;
-      sift_up arr parent
-    end
-  end
-
-let rec sift_down arr size i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = if left < size && less arr.(left) arr.(i) then left else i in
-  let smallest =
-    if right < size && less arr.(right) arr.(smallest) then right else smallest
-  in
-  if smallest <> i then begin
-    let tmp = arr.(i) in
-    arr.(i) <- arr.(smallest);
-    arr.(smallest) <- tmp;
-    sift_down arr size smallest
-  end
+(* The sift loops below use unsafe array accesses: every index is either
+   [t.size]'s predecessor, an ancestor of one ([(i - 1) / 4] shrinks), or a
+   child index explicitly compared against [n] first, so all are within the
+   live prefix of arrays whose capacity is at least [t.size]. *)
 
 let add t ~time ~seq payload =
-  let entry = { time; seq; payload } in
-  ensure_capacity t entry;
-  t.arr.(t.size) <- entry;
+  ensure_capacity t;
+  let times = t.times and seqs = t.seqs and payloads = t.payloads in
+  (* Hole insertion: walk the ancestor chain moving larger keys down, then
+     write the new element once — same comparisons and final layout as a
+     swap-based sift-up, without rewriting the element at every level. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t.arr (t.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set payloads !i (Array.unsafe_get payloads parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set payloads !i (Obj.repr payload)
 
-let min_elt t =
+let min_elt (t : 'a t) : (float * int * 'a) option =
   if t.size = 0 then None
-  else
-    let e = t.arr.(0) in
-    Some (e.time, e.seq, e.payload)
+  else Some (t.times.(0), t.seqs.(0), Obj.obj t.payloads.(0))
 
-let pop t =
+type slot = { mutable slot_time : float }
+
+let slot () = { slot_time = 0.0 }
+
+let peek_time (t : 'a t) (out : slot) : bool =
+  if t.size = 0 then false
+  else begin
+    out.slot_time <- t.times.(0);
+    true
+  end
+
+(* All-float record: the root key crosses the module boundary through an
+   unboxed store instead of a [Some (time, seq, x)] allocation. The caller
+   must check [is_empty] first. *)
+let pop_into (t : 'a t) (out : slot) ~(seq : int ref) : 'a =
+  if t.size = 0 then invalid_arg "Heap.pop_into: empty heap"
+  else begin
+    let times = t.times and seqs = t.seqs and payloads = t.payloads in
+    out.slot_time <- Array.unsafe_get times 0;
+    seq := Array.unsafe_get seqs 0;
+    let rpay = Array.unsafe_get payloads 0 in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      (* Re-insert the last element at the root hole, sifting it down. *)
+      let ltime = Array.unsafe_get times n and lseq = Array.unsafe_get seqs n in
+      let lpay = Array.unsafe_get payloads n in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let first = (4 * !i) + 1 in
+        if first >= n then continue := false
+        else begin
+          (* Smallest of the up-to-four children. *)
+          let last = if first + 3 < n - 1 then first + 3 else n - 1 in
+          let c = ref first in
+          let ct = ref (Array.unsafe_get times first) in
+          let cs = ref (Array.unsafe_get seqs first) in
+          for k = first + 1 to last do
+            let kt = Array.unsafe_get times k in
+            if kt < !ct || (kt = !ct && Array.unsafe_get seqs k < !cs) then begin
+              c := k;
+              ct := kt;
+              cs := Array.unsafe_get seqs k
+            end
+          done;
+          if !ct < ltime || (!ct = ltime && !cs < lseq) then begin
+            let c = !c in
+            Array.unsafe_set times !i !ct;
+            Array.unsafe_set seqs !i !cs;
+            Array.unsafe_set payloads !i (Array.unsafe_get payloads c);
+            i := c
+          end
+          else continue := false
+        end
+      done;
+      Array.unsafe_set times !i ltime;
+      Array.unsafe_set seqs !i lseq;
+      Array.unsafe_set payloads !i lpay
+    end;
+    (* Drop the vacated slot so the payload can be collected. *)
+    Array.unsafe_set payloads n dummy;
+    Obj.obj rpay
+  end
+
+let pop_seq = ref 0
+
+let pop_slot = slot ()
+
+let pop (t : 'a t) : (float * int * 'a) option =
   if t.size = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
-      sift_down t.arr t.size 0
-    end;
-    (* Drop the stale slot so the payload can be collected. *)
-    t.arr.(t.size) <- top;
-    Some (top.time, top.seq, top.payload)
+    let x = pop_into t pop_slot ~seq:pop_seq in
+    Some (pop_slot.slot_time, !pop_seq, x)
   end
 
 let clear t =
-  t.arr <- [||];
+  t.times <- [||];
+  t.seqs <- [||];
+  t.payloads <- [||];
   t.size <- 0
 
 let to_sorted_list t =

@@ -2,7 +2,11 @@
 
     The heap orders elements by time first and, for equal times, by an integer
     sequence number. Schedulers use the sequence number to guarantee FIFO
-    delivery of simultaneous events, which keeps simulations deterministic. *)
+    delivery of simultaneous events, which keeps simulations deterministic.
+
+    Keys are stored in flat unboxed arrays and payloads in a uniform array
+    whose vacated slots are cleared on [pop], so insertion allocates nothing
+    and the heap never retains a reference to a payload it has returned. *)
 
 type 'a t
 (** A mutable min-heap of payloads of type ['a]. *)
@@ -24,6 +28,22 @@ val min_elt : 'a t -> (float * int * 'a) option
 
 val pop : 'a t -> (float * int * 'a) option
 (** [pop t] removes and returns the smallest-keyed element. *)
+
+type slot = { mutable slot_time : float }
+(** Out-parameter for {!pop_into}. All-float, so writing the popped time into
+    it does not box. *)
+
+val slot : unit -> slot
+
+val peek_time : 'a t -> slot -> bool
+(** [peek_time t out] writes the smallest key's time into [out] and returns
+    true, or returns false when [t] is empty. Allocates nothing. *)
+
+val pop_into : 'a t -> slot -> seq:int ref -> 'a
+(** [pop_into t out ~seq] removes the smallest-keyed element, writing its
+    time into [out] and its sequence number into [seq], and returns the
+    payload. Unlike {!pop} it allocates nothing. The heap must not be empty
+    (check {!is_empty} first); raises [Invalid_argument] otherwise. *)
 
 val clear : 'a t -> unit
 (** [clear t] removes every element. *)

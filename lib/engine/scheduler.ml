@@ -1,60 +1,444 @@
 type handle = { mutable cancelled : bool }
 
-type event = { h : handle; fn : unit -> unit }
+(* The shared handle carried by events that can never be cancelled
+   (fire_at / fire_after / schedule_tag). Internal only: no caller can reach
+   it, so no caller can cancel it. *)
+let live = { cancelled = false }
+
+(* Exported placeholder for callers that need "a handle" before they have
+   scheduled anything (e.g. a record field initialized before its first real
+   event). Attached to no event; cancelling it does nothing. Distinct from
+   [live] so a stray [cancel inert_handle] cannot kill shared events. *)
+let inert_handle = { cancelled = false }
+
+type 'a tag = int
+
+(* One queued event. Cells live in a per-scheduler pool array and are
+   recycled through a free list of pool indices: after the event loop's
+   1k-th event, scheduling allocates nothing — the popped cell of one event
+   becomes the cell of the next. The queue itself stores only the pool
+   index (see [Int_heap]), so the priority queue's arrays are fully unboxed:
+   sift moves never execute a write barrier and the GC never scans the
+   queue, however deep it gets. The cancellation handle stays a separate
+   (shared or 2-word) record precisely because cells are recycled: a handle
+   must keep meaning "that one event" even after the cell moves on to
+   carrying a different one.
+
+   [c_tag >= 0] indexes the scheduler's handler table and [c_obj] is the
+   handler's payload; [c_tag = -1] means [c_obj] is a [unit -> unit] closure
+   (the fallback path for rare events). *)
+type cell = {
+  mutable c_h : handle;
+  mutable c_tag : int;
+  mutable c_obj : Obj.t;
+  mutable c_free : int;  (* next free pool index; -1 = end of free list *)
+}
+
+let dummy = Obj.repr 0
+
+(* Placeholder filling never-acquired pool slots; replaced on first use. *)
+let dummy_cell = { c_h = live; c_tag = -1; c_obj = dummy; c_free = -1 }
+
+type recorder = {
+  on_add : float -> int -> unit;
+  on_pop : float -> int -> bool -> unit;
+}
+
+(* A timing lane: a FIFO of events that all share one relative delay.
+
+   Nearly every hot event is scheduled as "now + d" for a d that repeats
+   millions of times — a link's propagation delay, a packet's transmission
+   time, a protocol's route-timeout constant. Because the clock never moves
+   backwards, the absolute times of such events arrive already sorted, so
+   they need no heap at all: an append-only array popped from the front is
+   a correct priority queue for them. [step] merges the lanes with the heap
+   by the full [(time, seq)] key, which preserves the global pop order
+   exactly (each lane is sorted, the heap is sorted, and every key is
+   distinct in [seq] — a k-way merge of sorted streams).
+
+   The payoff is structural: route timeouts alone hold 10^5 entries in the
+   distance-vector campaigns, and with them out of the heap, heap sifts
+   that walked 9 levels walk 4, while lane pushes and pops are O(1). *)
+type lane = {
+  l_delay : float;  (* the relative delay this lane serves *)
+  mutable l_times : float array;
+  mutable l_seqs : int array;
+  mutable l_vals : int array;  (* cell-pool indices, like the heap payload *)
+  mutable l_head : int;  (* next entry to pop *)
+  mutable l_tail : int;  (* next slot to fill *)
+}
+
+(* Lanes are created on demand, for delays seen often enough to matter:
+   a delay >= [lane_min_delay] earns a candidate slot, and its
+   [lane_promote_count]-th occurrence promotes it to a lane (bounded by
+   [max_lanes]; excess recurring delays just stay on the heap, which is
+   merely slower, never wrong). Candidate slots evict the lowest count, so
+   one-off jittered delays churn the table without ever displacing a
+   recurring constant that is accumulating occurrences. *)
+let max_lanes = 8
+
+let lane_promote_count = 64
+
+let new_lane d =
+  {
+    l_delay = d;
+    l_times = [||];
+    l_seqs = [||];
+    l_vals = [||];
+    l_head = 0;
+    l_tail = 0;
+  }
 
 type t = {
-  queue : event Heap.t;
+  queue : Int_heap.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
   mutable skipped : int;
   mutable max_depth : int;
+  mutable cells : cell array;  (* event-cell pool, addressed by queue payload *)
+  mutable n_cells : int;
+  mutable free_head : int;  (* head of the free-index list; -1 = empty *)
+  mutable lanes : lane array;  (* constant-delay FIFO lanes, merged on pop *)
+  cand_delay : float array;  (* lane-candidate delays (NaN = empty slot) *)
+  cand_count : int array;  (* occurrence counts for the candidates *)
+  mutable n_pending : int;  (* queued events across the heap and all lanes *)
+  mutable handlers : (Obj.t -> unit) array;
+  mutable n_handlers : int;
+  mutable recorder : recorder option;
+  (* Out-parameters for [Int_heap.pop_into]: reused every pop so the hot
+     loop never allocates a [Some (time, seq, idx)] triple. *)
+  pop_time : Int_heap.slot;
+  pop_seq : int ref;
 }
+
+let no_handler (_ : Obj.t) = ()
+
+(* Ambient recorder for schedulers whose creation site a test cannot reach
+   (the runner builds its scheduler internally): [create] adopts whatever the
+   enclosing [with_default_recorder] installed on this domain. *)
+let default_recorder : recorder option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_default_recorder r fn =
+  let slot = Domain.DLS.get default_recorder in
+  let saved = !slot in
+  slot := Some r;
+  Fun.protect ~finally:(fun () -> slot := saved) fn
 
 let create () =
   {
-    queue = Heap.create ();
+    queue = Int_heap.create ();
     clock = 0.0;
     next_seq = 0;
     fired = 0;
     skipped = 0;
     max_depth = 0;
+    cells = [||];
+    n_cells = 0;
+    free_head = -1;
+    lanes = [||];
+    cand_delay = Array.make 16 nan;
+    cand_count = Array.make 16 0;
+    n_pending = 0;
+    handlers = [||];
+    n_handlers = 0;
+    recorder = !(Domain.DLS.get default_recorder);
+    pop_time = Int_heap.slot ();
+    pop_seq = ref 0;
   }
 
 let now t = t.clock
 
-let schedule t ~at fn =
+let set_recorder t r = t.recorder <- r
+
+let register (type a) t (f : a -> unit) : a tag =
+  let idx = t.n_handlers in
+  if idx = Array.length t.handlers then begin
+    let bigger = Array.make (if idx = 0 then 8 else 2 * idx) no_handler in
+    Array.blit t.handlers 0 bigger 0 idx;
+    t.handlers <- bigger
+  end;
+  t.handlers.(idx) <- (fun obj -> f (Obj.obj obj));
+  t.n_handlers <- idx + 1;
+  idx
+
+(* Acquire a pool index: pop the free list, or extend the pool. Pool slots
+   are only ever appended, so an index stays valid for the cell's whole
+   queued life even when the array is reallocated by growth. *)
+let acquire t =
+  let idx = t.free_head in
+  if idx >= 0 then begin
+    t.free_head <- (Array.unsafe_get t.cells idx).c_free;
+    idx
+  end
+  else begin
+    let n = t.n_cells in
+    if n = Array.length t.cells then begin
+      let ncap = if n = 0 then 16 else 2 * n in
+      let bigger = Array.make ncap dummy_cell in
+      Array.blit t.cells 0 bigger 0 n;
+      t.cells <- bigger
+    end;
+    t.cells.(n) <- { c_h = live; c_tag = -1; c_obj = dummy; c_free = -1 };
+    t.n_cells <- n + 1;
+    n
+  end
+
+(* Reset the fields that keep foreign objects alive before parking the cell:
+   a free cell must pin neither the payload nor the handle it carried. *)
+let release t idx =
+  let c = Array.unsafe_get t.cells idx in
+  c.c_h <- live;
+  c.c_obj <- dummy;
+  c.c_free <- t.free_head;
+  t.free_head <- idx
+
+(* Fill a fresh cell and allocate the event's sequence number; shared by the
+   heap and lane push paths. Returns the pool index. *)
+let fill_cell t h tag obj =
+  let idx = acquire t in
+  let c = Array.unsafe_get t.cells idx in
+  c.c_h <- h;
+  c.c_tag <- tag;
+  c.c_obj <- obj;
+  idx
+
+let note_pushed t at seq =
+  (match t.recorder with None -> () | Some r -> r.on_add at seq);
+  let depth = t.n_pending + 1 in
+  t.n_pending <- depth;
+  if depth > t.max_depth then t.max_depth <- depth
+
+let push t ~at h tag obj =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Scheduler.schedule: at=%g is before now=%g" at t.clock);
+  let idx = fill_cell t h tag obj in
+  let seq = t.next_seq in
+  Int_heap.add t.queue ~time:at ~seq idx;
+  t.next_seq <- seq + 1;
+  note_pushed t at seq
+
+let lane_append t l ~at idx =
+  let cap = Array.length l.l_seqs in
+  if l.l_tail = cap then begin
+    let live = l.l_tail - l.l_head in
+    if l.l_head > cap / 2 then begin
+      (* Plenty of popped prefix: slide the live suffix down in place. *)
+      Array.blit l.l_times l.l_head l.l_times 0 live;
+      Array.blit l.l_seqs l.l_head l.l_seqs 0 live;
+      Array.blit l.l_vals l.l_head l.l_vals 0 live
+    end
+    else begin
+      let ncap = if cap = 0 then 64 else 2 * cap in
+      let times = Array.make ncap 0.0 in
+      let seqs = Array.make ncap 0 in
+      let vals = Array.make ncap 0 in
+      Array.blit l.l_times l.l_head times 0 live;
+      Array.blit l.l_seqs l.l_head seqs 0 live;
+      Array.blit l.l_vals l.l_head vals 0 live;
+      l.l_times <- times;
+      l.l_seqs <- seqs;
+      l.l_vals <- vals
+    end;
+    l.l_head <- 0;
+    l.l_tail <- live
+  end;
+  let tail = l.l_tail in
+  let seq = t.next_seq in
+  Array.unsafe_set l.l_times tail at;
+  Array.unsafe_set l.l_seqs tail seq;
+  Array.unsafe_set l.l_vals tail idx;
+  l.l_tail <- tail + 1;
+  t.next_seq <- seq + 1;
+  note_pushed t at seq
+
+(* Count an occurrence of a recurring delay; true when it just earned a
+   lane. Misses evict the smallest count (see the lane comment above). *)
+let note_candidate t d =
+  let cd = t.cand_delay and cc = t.cand_count in
+  let n = Array.length cd in
+  let found = ref (-1) in
+  let minc = ref max_int and mini = ref 0 in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    if cd.(!i) = d then found := !i
+    else begin
+      if cc.(!i) < !minc then begin
+        minc := cc.(!i);
+        mini := !i
+      end;
+      incr i
+    end
+  done;
+  if !found >= 0 then begin
+    let s = !found in
+    let c = cc.(s) + 1 in
+    if c >= lane_promote_count then begin
+      cd.(s) <- nan;
+      cc.(s) <- 0;
+      true
+    end
+    else begin
+      cc.(s) <- c;
+      false
+    end
+  end
+  else begin
+    cd.(!mini) <- d;
+    cc.(!mini) <- 1;
+    false
+  end
+
+(* Delay-relative push: the fast path of [after]/[fire_after] and the tag
+   variants. Routes recurring delays to their lane; everything else to the
+   heap. The lane guard ([at] not before the lane's tail) can only trip if
+   the clock ever ran backwards — it falls back to the heap, trading speed
+   for unconditional correctness of the merge invariant. *)
+let push_delayed t ~delay h tag obj =
+  if delay < 0.0 then invalid_arg "Scheduler.after: negative delay";
+  let at = t.clock +. delay in
+  let lanes = t.lanes in
+  let n = Array.length lanes in
+  let li = ref (-1) in
+  let i = ref 0 in
+  while !li < 0 && !i < n do
+    if (Array.unsafe_get lanes !i).l_delay = delay then li := !i else incr i
+  done;
+  if !li >= 0 then begin
+    let l = Array.unsafe_get lanes !li in
+    if l.l_tail > l.l_head && at < Array.unsafe_get l.l_times (l.l_tail - 1)
+    then push t ~at h tag obj
+    else lane_append t l ~at (fill_cell t h tag obj)
+  end
+  else begin
+    if n < max_lanes && note_candidate t delay then
+      t.lanes <- Array.append t.lanes [| new_lane delay |];
+    push t ~at h tag obj
+  end
+
+let schedule t ~at fn =
   let h = { cancelled = false } in
-  Heap.add t.queue ~time:at ~seq:t.next_seq { h; fn };
-  t.next_seq <- t.next_seq + 1;
-  let depth = Heap.length t.queue in
-  if depth > t.max_depth then t.max_depth <- depth;
+  push t ~at h (-1) (Obj.repr fn);
   h
 
 let after t ~delay fn =
-  if delay < 0.0 then invalid_arg "Scheduler.after: negative delay";
-  schedule t ~at:(t.clock +. delay) fn
+  let h = { cancelled = false } in
+  push_delayed t ~delay h (-1) (Obj.repr fn);
+  h
+
+let fire_at t ~at fn = push t ~at live (-1) (Obj.repr fn)
+
+let fire_after t ~delay fn = push_delayed t ~delay live (-1) (Obj.repr fn)
+
+let schedule_tag t ~at tag x = push t ~at live tag (Obj.repr x)
+
+let after_tag t ~delay tag x = push_delayed t ~delay live tag (Obj.repr x)
+
+let schedule_tag_h t ~at tag x =
+  let h = { cancelled = false } in
+  push t ~at h tag (Obj.repr x);
+  h
+
+let after_tag_h t ~delay tag x =
+  let h = { cancelled = false } in
+  push_delayed t ~delay h tag (Obj.repr x);
+  h
+
+let schedule_tag_using t ~at ~handle tag x = push t ~at handle tag (Obj.repr x)
+
+let after_tag_using t ~delay ~handle tag x =
+  push_delayed t ~delay handle tag (Obj.repr x)
+
+let fresh_handle () = { cancelled = false }
+
+let renew h = h.cancelled <- false
 
 let cancel h = h.cancelled <- true
 
 let is_cancelled h = h.cancelled
 
-let pending t = Heap.length t.queue
+let pending t = t.n_pending
+
+(* Which queue holds the globally minimum [(time, seq)] key: 0 for the
+   heap, [i + 1] for lane [i], -1 when everything is empty. Writes the
+   winning time into [t.pop_time] as a side effect (used by [run ~until]).
+   The scan is over at most [max_lanes + 1] heads — the whole point of the
+   lanes is that this fixed-size merge replaces deep heap sifts. *)
+let select t =
+  let src = ref (-1) in
+  let bt = ref infinity and bs = ref max_int in
+  if Int_heap.peek_key t.queue t.pop_time ~seq:t.pop_seq then begin
+    src := 0;
+    bt := t.pop_time.Int_heap.slot_time;
+    bs := !(t.pop_seq)
+  end;
+  let lanes = t.lanes in
+  for i = 0 to Array.length lanes - 1 do
+    let l = Array.unsafe_get lanes i in
+    let h = l.l_head in
+    if h < l.l_tail then begin
+      let ht = Array.unsafe_get l.l_times h in
+      if
+        !src < 0 || ht < !bt
+        || (ht = !bt && Array.unsafe_get l.l_seqs h < !bs)
+      then begin
+        src := i + 1;
+        bt := ht;
+        bs := Array.unsafe_get l.l_seqs h;
+        t.pop_time.Int_heap.slot_time <- ht
+      end
+    end
+  done;
+  !src
+
+(* Pop the head of queue [s] (a [select] result) and dispatch it. *)
+let exec t s =
+  let idx =
+    if s = 0 then begin
+      let idx = Int_heap.pop_into t.queue t.pop_time ~seq:t.pop_seq in
+      t.clock <- t.pop_time.Int_heap.slot_time;
+      idx
+    end
+    else begin
+      let l = Array.unsafe_get t.lanes (s - 1) in
+      let h = l.l_head in
+      t.clock <- Array.unsafe_get l.l_times h;
+      t.pop_seq := Array.unsafe_get l.l_seqs h;
+      let idx = Array.unsafe_get l.l_vals h in
+      let h' = h + 1 in
+      if h' = l.l_tail then begin
+        l.l_head <- 0;
+        l.l_tail <- 0
+      end
+      else l.l_head <- h';
+      idx
+    end
+  in
+  t.n_pending <- t.n_pending - 1;
+  let c = Array.unsafe_get t.cells idx in
+  (* Read the event out and recycle the cell *before* dispatch, so the
+     callback (which usually schedules) reuses this very cell. *)
+  let h = c.c_h and tag = c.c_tag and obj = c.c_obj in
+  release t idx;
+  let fires = not h.cancelled in
+  (match t.recorder with
+  | None -> ()
+  | Some r -> r.on_pop t.clock !(t.pop_seq) fires);
+  if fires then begin
+    t.fired <- t.fired + 1;
+    if tag < 0 then (Obj.obj obj : unit -> unit) () else t.handlers.(tag) obj
+  end
+  else t.skipped <- t.skipped + 1
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, _seq, ev) ->
-    t.clock <- time;
-    if not ev.h.cancelled then begin
-      t.fired <- t.fired + 1;
-      ev.fn ()
-    end
-    else t.skipped <- t.skipped + 1;
+  let s = select t in
+  if s < 0 then false
+  else begin
+    exec t s;
     true
+  end
 
 exception Wall_timeout
 
@@ -105,20 +489,26 @@ let run ?until t =
   in
   match until with
   | None ->
-    while
-      check_wall ();
-      step t
-    do
-      ()
-    done
-  | Some horizon ->
     let rec loop () =
-      match Heap.min_elt t.queue with
-      | Some (time, _, _) when time <= horizon ->
+      let s = select t in
+      if s >= 0 then begin
         check_wall ();
-        ignore (step t);
+        exec t s;
         loop ()
-      | Some _ | None -> if t.clock < horizon then t.clock <- horizon
+      end
+    in
+    loop ()
+  | Some horizon ->
+    (* [select] leaves the winning time in [t.pop_time] — no [Some (time,
+       seq, x)] triple is boxed to decide whether the event is in range. *)
+    let rec loop () =
+      let s = select t in
+      if s >= 0 && t.pop_time.Int_heap.slot_time <= horizon then begin
+        check_wall ();
+        exec t s;
+        loop ()
+      end
+      else if t.clock < horizon then t.clock <- horizon
     in
     loop ()
 

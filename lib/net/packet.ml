@@ -6,23 +6,49 @@ type t = {
   sent_at : float;
   mutable ttl : int;
   mutable visits : Types.node_id list;
+  mutable revisited : bool;
+  (* Inline bitset over node ids 0..125 (two 63-bit words): the loop check
+     below is one bit test instead of a walk of [visits]. Ids >= 126 fall
+     back to the list scan, so the check stays exact for any topology. *)
+  mutable vmask0 : int;
+  mutable vmask1 : int;
 }
 
 let create ~id ~src ~dst ~size_bits ~ttl ~sent_at =
-  { id; src; dst; size_bits; sent_at; ttl; visits = [] }
+  {
+    id;
+    src;
+    dst;
+    size_bits;
+    sent_at;
+    ttl;
+    visits = [];
+    revisited = false;
+    vmask0 = 0;
+    vmask1 = 0;
+  }
 
-let visit p n = p.visits <- n :: p.visits
+(* The loop check rides along with the visit — one bit test per hop instead
+   of a quadratic rescan of the whole journey at delivery time. *)
+let visit p n =
+  if n < 63 then begin
+    let b = 1 lsl n in
+    if p.vmask0 land b <> 0 then p.revisited <- true
+    else p.vmask0 <- p.vmask0 lor b
+  end
+  else if n < 126 then begin
+    let b = 1 lsl (n - 63) in
+    if p.vmask1 land b <> 0 then p.revisited <- true
+    else p.vmask1 <- p.vmask1 lor b
+  end
+  else if (not p.revisited) && List.mem n p.visits then p.revisited <- true;
+  p.visits <- n :: p.visits
 
 let hop_count p = max 0 (List.length p.visits - 1)
 
 let path p = List.rev p.visits
 
-let looped p =
-  let rec dup seen = function
-    | [] -> false
-    | n :: rest -> List.mem n seen || dup (n :: seen) rest
-  in
-  dup [] p.visits
+let looped p = p.revisited
 
 let pp ppf p =
   Fmt.pf ppf "packet#%d %d->%d ttl=%d path=%a" p.id p.src p.dst p.ttl

@@ -12,6 +12,9 @@ type t = {
   sent_at : float;
   mutable ttl : int;
   mutable visits : Types.node_id list;  (** visited routers, most recent first *)
+  mutable revisited : bool;  (** some router appears twice in [visits] *)
+  mutable vmask0 : int;  (** visited-id bitset, ids 0..62 *)
+  mutable vmask1 : int;  (** visited-id bitset, ids 63..125 *)
 }
 
 val create :

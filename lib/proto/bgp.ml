@@ -97,6 +97,10 @@ type t = {
     (Netsim.Types.node_id, (Netsim.Types.node_id, Netsim.Types.node_id list) Hashtbl.t)
     Hashtbl.t;
   best : (Netsim.Types.node_id, best) Hashtbl.t;
+  fib : Route_table.t;
+      (* dense mirror of [best] (metric = received path length, next hop =
+         [via]), maintained by [recompute] so the per-hop forwarding query
+         never hashes *)
   gates : (Netsim.Types.node_id, gate) Hashtbl.t;  (* Per_neighbor scope *)
   pd_gates : (Netsim.Types.node_id * Netsim.Types.node_id, gate) Hashtbl.t;
       (* Per_destination scope, keyed by (neighbor, dst) *)
@@ -113,6 +117,7 @@ let create cfg ~rng ~id ~neighbors ~actions =
     up = List.sort compare neighbors;
     rib_in = Hashtbl.create 8;
     best = Hashtbl.create 64;
+    fib = Route_table.create ();
     gates = Hashtbl.create 8;
     pd_gates = Hashtbl.create 64;
     rfd_table = Hashtbl.create 64;
@@ -257,12 +262,14 @@ let recompute t dst =
     | None, None -> Unchanged
     | Some old, Some (_, via, path) when old.via = via && old.path_rx = path ->
       Unchanged
-    | _, Some (_, via, path) ->
+    | _, Some (len, via, path) ->
       Hashtbl.replace t.best dst { via; path_rx = path };
+      Route_table.set t.fib ~dst ~metric:len ~next_hop:via;
       t.actions.Proto_intf.route_changed dst;
       Changed
     | Some _, None ->
       Hashtbl.remove t.best dst;
+      Route_table.set t.fib ~dst ~metric:(-1) ~next_hop:(-1);
       t.actions.Proto_intf.route_changed dst;
       Lost
   end
@@ -400,15 +407,13 @@ let on_link_up t ~neighbor =
   end
 
 let next_hop t ~dst =
-  if dst = t.id then None
-  else match Hashtbl.find_opt t.best dst with Some b -> Some b.via | None -> None
+  if dst = t.id then None else Route_table.next_hop t.fib dst
 
 let metric t ~dst =
   if dst = t.id then Some 0
   else
-    match Hashtbl.find_opt t.best dst with
-    | Some b -> Some (List.length b.path_rx)
-    | None -> None
+    let m = Route_table.metric t.fib dst in
+    if m < 0 then None else Some m
 
 let known_destinations t =
   let dsts = Hashtbl.fold (fun d _ acc -> d :: acc) t.best [] in

@@ -14,14 +14,15 @@ let message_kind = Dv_core.message_kind
 
 let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
 
-type cache_entry = {
-  mutable heard : int;  (* metric as advertised by the neighbor *)
-  mutable timeout : Dessim.Scheduler.handle option;
-}
-
-type route = {
-  mutable metric : int;
-  mutable next_hop : Netsim.Types.node_id option;  (* None: the self route *)
+(* One neighbor's adj-RIB-in: the vector of metrics last heard from it,
+   dense by destination id. A heard metric of [infinity_metric] and a
+   never-heard destination are indistinguishable to every consumer (both
+   mean "this neighbor offers no route"), so the vector needs no separate
+   presence bit — infinity is the fill value. *)
+type neighbor_cache = {
+  heard : Route_table.Int_vec.t;
+  ctimeout : Route_table.Handle_vec.t;
+  expire_fns : Route_table.Fn_vec.t;  (* memoised per-destination expiry *)
 }
 
 type t = {
@@ -30,8 +31,10 @@ type t = {
   id : Netsim.Types.node_id;
   actions : message Proto_intf.actions;
   mutable up : Netsim.Types.node_id list;
-  cache : (Netsim.Types.node_id, (Netsim.Types.node_id, cache_entry) Hashtbl.t) Hashtbl.t;
-  table : (Netsim.Types.node_id, route) Hashtbl.t;
+  mutable cache : neighbor_cache option array;
+      (* dense by neighbor id: [recompute] probes every up neighbor for
+         every destination, so this lookup must not hash or allocate *)
+  table : Route_table.t;
   changed : (Netsim.Types.node_id, unit) Hashtbl.t;
   mutable trigger : Dv_core.Trigger.t option;
   mutable started : bool;
@@ -39,35 +42,53 @@ type t = {
 
 let infinity_of t = t.cfg.Dv_core.infinity_metric
 
+let cache_slot t neighbor =
+  if neighbor < Array.length t.cache then t.cache.(neighbor) else None
+
+let set_cache_slot t neighbor slot =
+  if neighbor >= Array.length t.cache then begin
+    let cap = Array.length t.cache in
+    let cap' = max 16 (max (neighbor + 1) (2 * cap)) in
+    let bigger = Array.make cap' None in
+    Array.blit t.cache 0 bigger 0 cap;
+    t.cache <- bigger
+  end;
+  t.cache.(neighbor) <- slot
+
 let neighbor_cache t neighbor =
-  match Hashtbl.find_opt t.cache neighbor with
-  | Some tbl -> tbl
+  match cache_slot t neighbor with
+  | Some nc -> nc
   | None ->
-    let tbl = Hashtbl.create 64 in
-    Hashtbl.replace t.cache neighbor tbl;
-    tbl
+    let nc =
+      {
+        heard = Route_table.Int_vec.create ~default:(infinity_of t);
+        ctimeout = Route_table.Handle_vec.create ();
+        expire_fns = Route_table.Fn_vec.create ();
+      }
+    in
+    set_cache_slot t neighbor (Some nc);
+    nc
 
 let cached_metric t ~neighbor ~dst =
-  match Hashtbl.find_opt t.cache neighbor with
+  match cache_slot t neighbor with
   | None -> None
-  | Some tbl ->
-    (match Hashtbl.find_opt tbl dst with
-    | Some e when e.heard < infinity_of t -> Some e.heard
-    | Some _ | None -> None)
+  | Some nc ->
+    let heard = Route_table.Int_vec.get nc.heard dst in
+    if heard < infinity_of t then Some heard else None
 
-let sorted_destinations t =
-  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table [] |> List.sort compare
+let sorted_destinations t = Route_table.destinations t.table
 
 let entries_for t ~neighbor dsts =
   let entry dst =
-    match Hashtbl.find_opt t.table dst with
-    | None -> None
-    | Some r ->
-      let poisoned =
-        match r.next_hop with Some nh -> nh = neighbor | None -> false
+    if not (Route_table.mem t.table dst) then None
+    else begin
+      let metric = Route_table.metric t.table dst in
+      let poisoned = Route_table.next_hop_id t.table dst = neighbor in
+      let metric =
+        if poisoned then infinity_of t else min metric (infinity_of t)
       in
-      let metric = if poisoned then infinity_of t else min r.metric (infinity_of t) in
       Some { Dv_core.dst; metric }
+    end
   in
   List.filter_map entry dsts
 
@@ -86,86 +107,103 @@ let flush_triggered t =
 let trigger t =
   match t.trigger with Some tr -> Dv_core.Trigger.request tr | None -> ()
 
+(* The metric this router would reach [dst] through [neighbor] at. *)
+let candidate t ~neighbor ~dst ~inf =
+  match cache_slot t neighbor with
+  | None -> inf
+  | Some nc -> min (Route_table.Int_vec.get nc.heard dst + 1) inf
+
 (* Recompute the best route to [dst] from the neighbor cache. Prefers the
    incumbent next hop on ties, then the lowest neighbor id, so routes are
-   stable and deterministic. Returns true when metric or next hop changed. *)
+   stable and deterministic. Returns true when metric or next hop changed.
+   Seeding the scan with the incumbent's candidate (rather than reordering
+   the neighbor list) keeps the tie-break without building a list. *)
 let recompute t dst =
   if dst = t.id then false
   else begin
     let inf = infinity_of t in
-    let consider (best_metric, best_nh) neighbor =
-      match Hashtbl.find_opt t.cache neighbor with
-      | None -> (best_metric, best_nh)
-      | Some tbl ->
-        (match Hashtbl.find_opt tbl dst with
-        | None -> (best_metric, best_nh)
-        | Some e ->
-          let cand = min (e.heard + 1) inf in
-          if cand < best_metric then (cand, Some neighbor)
-          else (best_metric, best_nh))
+    let present = Route_table.mem t.table dst in
+    let incumbent_nh =
+      if present then Route_table.next_hop_id t.table dst else -1
     in
-    let incumbent = Hashtbl.find_opt t.table dst in
-    let ordered_neighbors =
-      (* Listing the incumbent first makes ties keep the current next hop. *)
-      match incumbent with
-      | Some { next_hop = Some nh; _ } when List.mem nh t.up ->
-        nh :: List.filter (fun n -> n <> nh) t.up
-      | Some _ | None -> t.up
-    in
-    let metric, next_hop = List.fold_left consider (inf, None) ordered_neighbors in
-    match incumbent with
-    | None ->
+    let incumbent_live = incumbent_nh >= 0 && List.mem incumbent_nh t.up in
+    let best_metric = ref inf and best_nh = ref (-1) in
+    if incumbent_live then begin
+      let cand = candidate t ~neighbor:incumbent_nh ~dst ~inf in
+      if cand < inf then begin
+        best_metric := cand;
+        best_nh := incumbent_nh
+      end
+    end;
+    List.iter
+      (fun neighbor ->
+        if not (incumbent_live && neighbor = incumbent_nh) then begin
+          let cand = candidate t ~neighbor ~dst ~inf in
+          if cand < !best_metric then begin
+            best_metric := cand;
+            best_nh := neighbor
+          end
+        end)
+      t.up;
+    let metric = !best_metric and next_hop = !best_nh in
+    if not present then begin
       if metric < inf then begin
-        Hashtbl.replace t.table dst { metric; next_hop };
+        Route_table.set t.table ~dst ~metric ~next_hop;
         Hashtbl.replace t.changed dst ();
         t.actions.Proto_intf.route_changed dst;
         true
       end
       else false
-    | Some r ->
+    end
+    else begin
       (* A dead route's stored next hop is inert (masked by the metric), so
          only a live next-hop difference counts as a change. *)
-      if r.metric <> metric || (metric < inf && r.next_hop <> next_hop) then begin
-        r.metric <- metric;
-        if metric < inf then r.next_hop <- next_hop;
+      let old_metric = Route_table.metric t.table dst in
+      if
+        old_metric <> metric
+        || (metric < inf && Route_table.next_hop_id t.table dst <> next_hop)
+      then begin
+        Route_table.set_metric t.table ~dst ~metric;
+        if metric < inf then Route_table.set_next_hop t.table ~dst ~next_hop;
         Hashtbl.replace t.changed dst ();
         t.actions.Proto_intf.route_changed dst;
         true
       end
       else false
+    end
   end
 
-let cache_expire t ~neighbor ~dst entry () =
-  entry.timeout <- None;
-  if entry.heard < infinity_of t then begin
-    entry.heard <- infinity_of t;
+let cache_expire t nc ~dst () =
+  Route_table.Handle_vec.clear nc.ctimeout dst;
+  if Route_table.Int_vec.get nc.heard dst < infinity_of t then begin
+    Route_table.Int_vec.set nc.heard dst (infinity_of t);
     if recompute t dst then trigger t
-  end;
-  ignore neighbor
+  end
 
-let store_heard t ~neighbor (e : Dv_core.entry) =
+(* The expiry closure for this cache entry, built once and re-armed for every
+   subsequent refresh of the same (neighbor, dst) slot. *)
+let cache_expire_fn t nc dst =
+  let f = Route_table.Fn_vec.get nc.expire_fns dst in
+  if f != Route_table.Fn_vec.nop then f
+  else begin
+    let f = cache_expire t nc ~dst in
+    Route_table.Fn_vec.set nc.expire_fns dst f;
+    f
+  end
+
+let store_heard t nc (e : Dv_core.entry) =
   let inf = infinity_of t in
   let advertised = min e.metric inf in
-  let tbl = neighbor_cache t neighbor in
-  let entry =
-    match Hashtbl.find_opt tbl e.dst with
-    | Some entry -> entry
-    | None ->
-      let entry = { heard = inf; timeout = None } in
-      Hashtbl.replace tbl e.dst entry;
-      entry
-  in
-  entry.heard <- advertised;
-  (match entry.timeout with
-  | Some h ->
+  Route_table.Int_vec.set nc.heard e.dst advertised;
+  let h = Route_table.Handle_vec.get nc.ctimeout e.dst in
+  if h != Route_table.Handle_vec.none then begin
     Dessim.Scheduler.cancel h;
-    entry.timeout <- None
-  | None -> ());
+    Route_table.Handle_vec.clear nc.ctimeout e.dst
+  end;
   if advertised < inf then
-    entry.timeout <-
-      Some
-        (t.actions.Proto_intf.after t.cfg.Dv_core.timeout
-           (cache_expire t ~neighbor ~dst:e.dst entry))
+    Route_table.Handle_vec.set nc.ctimeout e.dst
+      (t.actions.Proto_intf.after t.cfg.Dv_core.timeout
+         (cache_expire_fn t nc e.dst))
 
 let create cfg ~rng ~id ~neighbors ~actions =
   let t =
@@ -175,8 +213,8 @@ let create cfg ~rng ~id ~neighbors ~actions =
       id;
       actions;
       up = List.sort compare neighbors;
-      cache = Hashtbl.create 8;
-      table = Hashtbl.create 64;
+      cache = [||];
+      table = Route_table.create ();
       changed = Hashtbl.create 16;
       trigger = None;
       started = false;
@@ -190,7 +228,10 @@ let create cfg ~rng ~id ~neighbors ~actions =
   t
 
 let rec periodic t () =
-  List.iter (send_full t) t.up;
+  (* One destination snapshot for the whole round: the table cannot change
+     between the per-neighbor sends of a single instant. *)
+  let dsts = sorted_destinations t in
+  List.iter (fun n -> send_vector t ~neighbor:n dsts) t.up;
   (match t.trigger with
   | Some tr -> Dv_core.Trigger.note_full_update_sent tr
   | None -> ());
@@ -200,7 +241,7 @@ let rec periodic t () =
 let start t =
   if t.started then invalid_arg "Dbf.start: already started";
   t.started <- true;
-  Hashtbl.replace t.table t.id { metric = 0; next_hop = None };
+  Route_table.set t.table ~dst:t.id ~metric:0 ~next_hop:(-1);
   ignore
     (t.actions.Proto_intf.after
        (Dessim.Rng.uniform t.rng 0.01 0.5)
@@ -212,7 +253,8 @@ let start t =
 
 let on_message t ~from msg =
   if List.mem from t.up then begin
-    List.iter (store_heard t ~neighbor:from) msg;
+    let nc = neighbor_cache t from in
+    List.iter (store_heard t nc) msg;
     let changed_any =
       List.fold_left (fun acc (e : Dv_core.entry) -> recompute t e.dst || acc) false msg
     in
@@ -222,12 +264,12 @@ let on_message t ~from msg =
 let on_link_down t ~neighbor =
   t.up <- List.filter (fun n -> n <> neighbor) t.up;
   (* Discard the dead neighbor's vector: it is no longer a candidate. *)
-  (match Hashtbl.find_opt t.cache neighbor with
-  | Some tbl ->
-    Hashtbl.iter
-      (fun _ e -> match e.timeout with Some h -> Dessim.Scheduler.cancel h | None -> ())
-      tbl;
-    Hashtbl.remove t.cache neighbor
+  (match cache_slot t neighbor with
+  | Some nc ->
+    Route_table.iter t.table (fun dst ->
+        let h = Route_table.Handle_vec.get nc.ctimeout dst in
+        if h != Route_table.Handle_vec.none then Dessim.Scheduler.cancel h);
+    set_cache_slot t neighbor None
   | None -> ());
   (* Instant switch-over: recompute every known destination from the cache. *)
   let changed_any =
@@ -244,13 +286,13 @@ let on_link_up t ~neighbor =
   end
 
 let next_hop t ~dst =
-  match Hashtbl.find_opt t.table dst with
-  | Some r when r.metric < infinity_of t -> r.next_hop
-  | Some _ | None -> None
+  if Route_table.metric t.table dst >= 0
+     && Route_table.metric t.table dst < infinity_of t
+  then Route_table.next_hop t.table dst
+  else None
 
 let metric t ~dst =
-  match Hashtbl.find_opt t.table dst with
-  | Some r when r.metric < infinity_of t -> Some r.metric
-  | Some _ | None -> None
+  let m = Route_table.metric t.table dst in
+  if m >= 0 && m < infinity_of t then Some m else None
 
 let known_destinations t = sorted_destinations t

@@ -12,19 +12,22 @@ let pp_message = Dv_core.pp_message
 
 let message_kind = Dv_core.message_kind
 
-type route = {
-  mutable metric : int;
-  mutable next_hop : Netsim.Types.node_id option;  (* None: the self route *)
-  mutable timeout : Dessim.Scheduler.handle option;
-}
-
 type t = {
   cfg : config;
   rng : Dessim.Rng.t;
   id : Netsim.Types.node_id;
   actions : message Proto_intf.actions;
   mutable up : Netsim.Types.node_id list;
-  table : (Netsim.Types.node_id, route) Hashtbl.t;
+  table : Route_table.t;
+  timeouts : Route_table.Handle_vec.t;  (* per-destination route timeouts *)
+  expire_fns : Route_table.Fn_vec.t;  (* memoised per-destination expiry *)
+  order : (Netsim.Types.node_id, unit) Hashtbl.t;
+      (* Destinations in hash-table iteration order. The dense table has no
+         insertion order, but the order in which [on_link_down] invalidates
+         routes is observable (per-destination trace events at one instant),
+         and the original implementation folded over its route Hashtbl. This
+         shadow table receives exactly the same insertions, so folding it
+         reproduces that order. *)
   changed : (Netsim.Types.node_id, unit) Hashtbl.t;
   mutable trigger : Dv_core.Trigger.t option;
   mutable started : bool;
@@ -35,20 +38,20 @@ let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
 
 let infinity_of t = t.cfg.Dv_core.infinity_metric
 
-let sorted_destinations t =
-  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table [] |> List.sort compare
+let sorted_destinations t = Route_table.destinations t.table
 
 (* Entries advertised to [neighbor], with split horizon / poison reverse. *)
 let entries_for t ~neighbor dsts =
   let entry dst =
-    match Hashtbl.find_opt t.table dst with
-    | None -> None
-    | Some r ->
-      let poisoned =
-        match r.next_hop with Some nh -> nh = neighbor | None -> false
+    if not (Route_table.mem t.table dst) then None
+    else begin
+      let metric = Route_table.metric t.table dst in
+      let poisoned = Route_table.next_hop_id t.table dst = neighbor in
+      let metric =
+        if poisoned then infinity_of t else min metric (infinity_of t)
       in
-      let metric = if poisoned then infinity_of t else min r.metric (infinity_of t) in
       Some { Dv_core.dst; metric }
+    end
   in
   List.filter_map entry dsts
 
@@ -71,24 +74,37 @@ let mark_changed t dst =
   Hashtbl.replace t.changed dst ();
   t.actions.Proto_intf.route_changed dst
 
-let cancel_timeout r =
-  match r.timeout with
-  | Some h ->
+let cancel_timeout t dst =
+  let h = Route_table.Handle_vec.get t.timeouts dst in
+  if h != Route_table.Handle_vec.none then begin
     Dessim.Scheduler.cancel h;
-    r.timeout <- None
-  | None -> ()
+    Route_table.Handle_vec.clear t.timeouts dst
+  end
 
-let expire t dst r () =
-  r.timeout <- None;
-  if r.metric < infinity_of t then begin
-    r.metric <- infinity_of t;
+let expire t dst () =
+  Route_table.Handle_vec.clear t.timeouts dst;
+  if Route_table.metric t.table dst < infinity_of t then begin
+    Route_table.set_metric t.table ~dst ~metric:(infinity_of t);
     mark_changed t dst;
     trigger t
   end
 
-let reset_timeout t dst r =
-  cancel_timeout r;
-  r.timeout <- Some (t.actions.Proto_intf.after t.cfg.Dv_core.timeout (expire t dst r))
+(* The expiry closure for [dst], built once and re-armed ever after: resets
+   happen for every entry of every update from the current next hop, so a
+   fresh closure per reset would dominate the control plane's allocation. *)
+let expire_fn t dst =
+  let f = Route_table.Fn_vec.get t.expire_fns dst in
+  if f != Route_table.Fn_vec.nop then f
+  else begin
+    let f = expire t dst in
+    Route_table.Fn_vec.set t.expire_fns dst f;
+    f
+  end
+
+let reset_timeout t dst =
+  cancel_timeout t dst;
+  Route_table.Handle_vec.set t.timeouts dst
+    (t.actions.Proto_intf.after t.cfg.Dv_core.timeout (expire_fn t dst))
 
 (* Returns true when the route changed (caller batches the trigger request). *)
 let process_entry t ~from:neighbor (e : Dv_core.entry) =
@@ -97,34 +113,32 @@ let process_entry t ~from:neighbor (e : Dv_core.entry) =
     let inf = infinity_of t in
     let advertised = min e.metric inf in
     let new_metric = min (advertised + 1) inf in
-    match Hashtbl.find_opt t.table e.dst with
-    | None ->
+    if not (Route_table.mem t.table e.dst) then begin
       if new_metric < inf then begin
-        let r = { metric = new_metric; next_hop = Some neighbor; timeout = None } in
-        Hashtbl.replace t.table e.dst r;
-        reset_timeout t e.dst r;
+        Route_table.set t.table ~dst:e.dst ~metric:new_metric ~next_hop:neighbor;
+        Hashtbl.replace t.order e.dst ();
+        reset_timeout t e.dst;
         mark_changed t e.dst;
         true
       end
       else false
-    | Some r ->
-      if r.next_hop = Some neighbor then begin
-        if new_metric < inf then reset_timeout t e.dst r else cancel_timeout r;
-        if new_metric <> r.metric then begin
-          r.metric <- new_metric;
-          mark_changed t e.dst;
-          true
-        end
-        else false
-      end
-      else if new_metric < r.metric then begin
-        r.metric <- new_metric;
-        r.next_hop <- Some neighbor;
-        reset_timeout t e.dst r;
+    end
+    else if Route_table.next_hop_id t.table e.dst = neighbor then begin
+      if new_metric < inf then reset_timeout t e.dst else cancel_timeout t e.dst;
+      if new_metric <> Route_table.metric t.table e.dst then begin
+        Route_table.set_metric t.table ~dst:e.dst ~metric:new_metric;
         mark_changed t e.dst;
         true
       end
       else false
+    end
+    else if new_metric < Route_table.metric t.table e.dst then begin
+      Route_table.set t.table ~dst:e.dst ~metric:new_metric ~next_hop:neighbor;
+      reset_timeout t e.dst;
+      mark_changed t e.dst;
+      true
+    end
+    else false
   end
 
 let create cfg ~rng ~id ~neighbors ~actions =
@@ -135,7 +149,10 @@ let create cfg ~rng ~id ~neighbors ~actions =
       id;
       actions;
       up = List.sort compare neighbors;
-      table = Hashtbl.create 64;
+      table = Route_table.create ();
+      timeouts = Route_table.Handle_vec.create ();
+      expire_fns = Route_table.Fn_vec.create ();
+      order = Hashtbl.create 64;
       changed = Hashtbl.create 16;
       trigger = None;
       started = false;
@@ -149,7 +166,10 @@ let create cfg ~rng ~id ~neighbors ~actions =
   t
 
 let rec periodic t () =
-  List.iter (send_full t) t.up;
+  (* One destination snapshot for the whole round: the table cannot change
+     between the per-neighbor sends of a single instant. *)
+  let dsts = sorted_destinations t in
+  List.iter (fun n -> send_vector t ~neighbor:n dsts) t.up;
   (* The full table supersedes any pending triggered update. *)
   (match t.trigger with
   | Some tr -> Dv_core.Trigger.note_full_update_sent tr
@@ -160,7 +180,8 @@ let rec periodic t () =
 let start t =
   if t.started then invalid_arg "Rip.start: already started";
   t.started <- true;
-  Hashtbl.replace t.table t.id { metric = 0; next_hop = None; timeout = None };
+  Route_table.set t.table ~dst:t.id ~metric:0 ~next_hop:(-1);
+  Hashtbl.replace t.order t.id ();
   (* Announce quickly on boot (RFC request/response), then settle into the
      jittered periodic cycle at a random phase. *)
   ignore
@@ -182,16 +203,19 @@ let on_message t ~from msg =
 
 let on_link_down t ~neighbor =
   t.up <- List.filter (fun n -> n <> neighbor) t.up;
-  let invalidate dst r changed =
-    if r.next_hop = Some neighbor && r.metric < infinity_of t then begin
-      r.metric <- infinity_of t;
-      cancel_timeout r;
+  let invalidate dst () changed =
+    if
+      Route_table.next_hop_id t.table dst = neighbor
+      && Route_table.metric t.table dst < infinity_of t
+    then begin
+      Route_table.set_metric t.table ~dst ~metric:(infinity_of t);
+      cancel_timeout t dst;
       mark_changed t dst;
       true
     end
     else changed
   in
-  let changed_any = Hashtbl.fold invalidate t.table false in
+  let changed_any = Hashtbl.fold invalidate t.order false in
   if changed_any then trigger t
 
 let on_link_up t ~neighbor =
@@ -201,13 +225,13 @@ let on_link_up t ~neighbor =
   end
 
 let next_hop t ~dst =
-  match Hashtbl.find_opt t.table dst with
-  | Some r when r.metric < infinity_of t -> r.next_hop
-  | Some _ | None -> None
+  if Route_table.metric t.table dst >= 0
+     && Route_table.metric t.table dst < infinity_of t
+  then Route_table.next_hop t.table dst
+  else None
 
 let metric t ~dst =
-  match Hashtbl.find_opt t.table dst with
-  | Some r when r.metric < infinity_of t -> Some r.metric
-  | Some _ | None -> None
+  let m = Route_table.metric t.table dst in
+  if m >= 0 && m < infinity_of t then Some m else None
 
 let known_destinations t = sorted_destinations t

@@ -1,0 +1,141 @@
+(* Dense routing state keyed by node index.
+
+   Distance-vector protocols address destinations by small integer node ids,
+   so their per-router state — the routing table, the adj-RIB-in heard
+   vectors, the per-route timeout handles — fits flat growable arrays
+   indexed by id. A lookup on the forwarding hot path is then a bounds check
+   and an array read instead of a hash, and updating a route writes in place
+   instead of churning hash buckets.
+
+   Arrays grow by doubling when a larger id appears; protocols never learn
+   the network size up front, so the vectors discover it. *)
+
+module Int_vec = struct
+  type t = { mutable a : int array; default : int }
+
+  let create ~default = { a = [||]; default }
+
+  let get v i = if i < Array.length v.a then v.a.(i) else v.default
+
+  let grow v i =
+    let cap = Array.length v.a in
+    let cap' = max 16 (max (i + 1) (2 * cap)) in
+    let bigger = Array.make cap' v.default in
+    Array.blit v.a 0 bigger 0 cap;
+    v.a <- bigger
+
+  let set v i x =
+    if i >= Array.length v.a then grow v i;
+    v.a.(i) <- x
+end
+
+(* Sentinel-based rather than [option]-based: arming a protocol timeout is a
+   per-routing-entry, per-message operation, and wrapping every stored handle
+   in [Some] would allocate on each arm. Absence is the shared [none] handle,
+   compared physically. *)
+module Handle_vec = struct
+  let none = Dessim.Scheduler.fresh_handle ()
+
+  type t = { mutable a : Dessim.Scheduler.handle array }
+
+  let create () = { a = [||] }
+
+  let get v i = if i < Array.length v.a then v.a.(i) else none
+
+  let grow v i =
+    let cap = Array.length v.a in
+    let cap' = max 16 (max (i + 1) (2 * cap)) in
+    let bigger = Array.make cap' none in
+    Array.blit v.a 0 bigger 0 cap;
+    v.a <- bigger
+
+  let set v i h =
+    if i >= Array.length v.a then grow v i;
+    v.a.(i) <- h
+
+  let clear v i = if i < Array.length v.a then v.a.(i) <- none
+end
+
+(* Per-slot memoised thunks (e.g. a destination's timeout-expiry action), so
+   re-arming a timer reuses the closure built the first time. Absence is the
+   shared [nop], compared physically. *)
+module Fn_vec = struct
+  let nop () = ()
+
+  type t = { mutable a : (unit -> unit) array }
+
+  let create () = { a = [||] }
+
+  let get v i = if i < Array.length v.a then v.a.(i) else nop
+
+  let grow v i =
+    let cap = Array.length v.a in
+    let cap' = max 16 (max (i + 1) (2 * cap)) in
+    let bigger = Array.make cap' nop in
+    Array.blit v.a 0 bigger 0 cap;
+    v.a <- bigger
+
+  let set v i f =
+    if i >= Array.length v.a then grow v i;
+    v.a.(i) <- f
+end
+
+type t = {
+  metric : Int_vec.t;  (* [absent] when no route was ever installed *)
+  next_hop : Int_vec.t;  (* -1: no next hop (the self route) *)
+  mutable next_hop_opt : int option array;
+      (* boxed mirror of [next_hop], kept on write so the per-hop
+         forwarding query returns a preallocated option *)
+  mutable hi : int;  (* 1 + highest destination ever installed *)
+}
+
+let absent = -1
+
+let create () =
+  {
+    metric = Int_vec.create ~default:absent;
+    next_hop = Int_vec.create ~default:(-1);
+    next_hop_opt = [||];
+    hi = 0;
+  }
+
+let mem t dst = Int_vec.get t.metric dst <> absent
+
+let metric t dst = Int_vec.get t.metric dst
+
+let next_hop_id t dst = Int_vec.get t.next_hop dst
+
+let next_hop t dst =
+  if dst < Array.length t.next_hop_opt then t.next_hop_opt.(dst) else None
+
+let set_next_hop t ~dst ~next_hop =
+  Int_vec.set t.next_hop dst next_hop;
+  if dst >= Array.length t.next_hop_opt then begin
+    let cap = Array.length t.next_hop_opt in
+    let cap' = max 16 (max (dst + 1) (2 * cap)) in
+    let bigger = Array.make cap' None in
+    Array.blit t.next_hop_opt 0 bigger 0 cap;
+    t.next_hop_opt <- bigger
+  end;
+  t.next_hop_opt.(dst) <- (if next_hop < 0 then None else Some next_hop)
+
+let set_metric t ~dst ~metric =
+  Int_vec.set t.metric dst metric;
+  if dst >= t.hi then t.hi <- dst + 1
+
+let set t ~dst ~metric ~next_hop =
+  set_metric t ~dst ~metric;
+  set_next_hop t ~dst ~next_hop
+
+let iter t f =
+  for dst = 0 to t.hi - 1 do
+    if Int_vec.get t.metric dst <> absent then f dst
+  done
+
+(* Ascending, i.e. exactly the old [Hashtbl.fold ... |> List.sort compare]. *)
+let destinations t =
+  let acc = ref [] in
+  for dst = t.hi - 1 downto 0 do
+    if Int_vec.get t.metric dst <> absent then acc := dst :: !acc
+  done;
+  !acc

@@ -1,0 +1,88 @@
+(** Dense routing state keyed by node index.
+
+    Distance-vector routing tables map small integer node ids to a metric
+    and a next hop; storing them in flat growable arrays makes the
+    forwarding-path lookup an array read and route updates in-place writes.
+    A destination is {e present} once a route has been installed for it —
+    presence is independent of the metric value, matching the hash-table
+    tables this replaces where invalidated routes stayed in the table at
+    infinity. *)
+
+type t
+
+val create : unit -> t
+
+val mem : t -> int -> bool
+(** [mem t dst] is true once [set] or [set_metric] has installed [dst]. *)
+
+val metric : t -> int -> int
+(** [metric t dst] is the stored metric, or [-1] when [dst] is absent. *)
+
+val next_hop_id : t -> int -> int
+(** [next_hop_id t dst] is the stored next hop, [-1] meaning none (the self
+    route, or an absent destination). *)
+
+val next_hop : t -> int -> int option
+(** [next_hop t dst] is [next_hop_id] as an option — preallocated on write,
+    so the per-hop forwarding query allocates nothing. *)
+
+val set : t -> dst:int -> metric:int -> next_hop:int -> unit
+
+val set_metric : t -> dst:int -> metric:int -> unit
+
+val set_next_hop : t -> dst:int -> next_hop:int -> unit
+
+val iter : t -> (int -> unit) -> unit
+(** [iter t f] applies [f] to every present destination in ascending order. *)
+
+val destinations : t -> int list
+(** Present destinations, ascending — the same list the hash-table
+    implementation produced with [Hashtbl.fold ... |> List.sort compare]. *)
+
+(** Growable [int] vector with an out-of-bounds default, for dense
+    per-neighbor heard-metric vectors (adj-RIB-in). *)
+module Int_vec : sig
+  type t
+
+  val create : default:int -> t
+
+  val get : t -> int -> int
+
+  val set : t -> int -> int -> unit
+end
+
+(** Growable vector of cancellation handles, for per-route and
+    per-cache-entry timeouts. Absence is the shared sentinel {!Handle_vec.none}
+    (compare physically); the sentinel avoids boxing a [Some] on every
+    timer (re)arm. *)
+module Handle_vec : sig
+  type t
+
+  val none : Dessim.Scheduler.handle
+  (** Sentinel meaning "no handle stored". Never schedule with it. *)
+
+  val create : unit -> t
+
+  val get : t -> int -> Dessim.Scheduler.handle
+  (** [get v i] is the stored handle, or {!none}. *)
+
+  val set : t -> int -> Dessim.Scheduler.handle -> unit
+
+  val clear : t -> int -> unit
+  (** [clear v i] resets slot [i] to {!none}. *)
+end
+
+(** Growable vector of memoised [unit -> unit] thunks (timeout-expiry
+    actions), so re-arming a timer reuses the closure built on first use.
+    Absence is the shared sentinel {!Fn_vec.nop} (compare physically). *)
+module Fn_vec : sig
+  type t
+
+  val nop : unit -> unit
+
+  val create : unit -> t
+
+  val get : t -> int -> unit -> unit
+
+  val set : t -> int -> (unit -> unit) -> unit
+end

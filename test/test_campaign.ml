@@ -296,6 +296,66 @@ let test_campaign_jobs_invariance () =
   Alcotest.(check (list Alcotest.reject)) "no diff" []
     (List.map (fun _ -> ()) (Campaign.Diff.artifacts a b))
 
+(* ---------- byte-identity of quick-mode fig3 rows ---------- *)
+
+let fig3_fixture_path = "fixtures/fig3_quick_rows.jsonl"
+
+(* The full quick-mode fig3 campaign, row by row, against a committed
+   fixture. Together with the golden traces this pins the engine's observable
+   behavior: any change to event ordering, float arithmetic, or RNG
+   consumption shows up as a row diff here. Regenerate (after an intentional
+   behavior change) with:
+     FIG3_FIXTURE_REGEN=<absolute test dir>/fixtures dune test test/test_campaign.exe *)
+let test_fig3_quick_rows_fixture () =
+  let section =
+    match Campaign.Sections.find "fig3" with
+    | Some s -> s
+    | None -> Alcotest.fail "fig3 section missing"
+  in
+  let sweep =
+    Campaign.Sections.sweep_for section ~full:false
+      Convergence.Experiments.quick_sweep
+  in
+  let artifact = Campaign.Driver.run ~jobs:2 ~mode:"quick" sweep section in
+  let rows =
+    List.map
+      (fun c ->
+        Obs.Json.to_string (Campaign.Cell_result.to_json ~include_series:false c))
+      artifact.Campaign.Artifact.cells
+  in
+  let actual = String.concat "\n" rows ^ "\n" in
+  match Sys.getenv_opt "FIG3_FIXTURE_REGEN" with
+  | Some dir ->
+    let dir = if dir = "1" then Filename.dirname fig3_fixture_path else dir in
+    let target = Filename.concat dir (Filename.basename fig3_fixture_path) in
+    Rcutil.Atomic_file.write_string ~path:target actual;
+    Alcotest.failf "regenerated %s (%d rows); review and commit it" target
+      (List.length rows)
+  | None ->
+    let ic = open_in_bin fig3_fixture_path in
+    let expected =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    if String.equal expected actual then ()
+    else begin
+      let el = String.split_on_char '\n' expected in
+      let al = String.split_on_char '\n' actual in
+      let rec first_diff i = function
+        | e :: es, a :: as_ ->
+          if String.equal e a then first_diff (i + 1) (es, as_) else (i, e, a)
+        | e :: _, [] -> (i, e, "<rows ended>")
+        | [], a :: _ -> (i, "<fixture ended>", a)
+        | [], [] -> (i, "", "")
+      in
+      let line, e, a = first_diff 1 (el, al) in
+      Alcotest.failf
+        "fig3 quick rows diverge from %s at row %d@.  fixture: %s@.  actual: \
+         %s@.(FIG3_FIXTURE_REGEN to regenerate after an intentional change)"
+        fig3_fixture_path line e a
+    end
+
 (* ---------- diff ---------- *)
 
 let test_diff_ignores_timing_and_sha () =
@@ -422,6 +482,8 @@ let () =
         [
           Alcotest.test_case "jobs 1 vs 3 byte-identical" `Slow
             test_campaign_jobs_invariance;
+          Alcotest.test_case "fig3 quick rows match committed fixture" `Slow
+            test_fig3_quick_rows_fixture;
         ] );
       ( "diff",
         [

@@ -1,7 +1,13 @@
-(* Golden-trace regression: a fixed-seed 3x3 RIP failure scenario must emit
-   byte-for-byte the JSONL trace committed under [golden/]. Any change to
-   event content, ordering, severity classification, JSON encoding, or the
-   simulation's deterministic behavior shows up here as a diff.
+(* Golden-trace regression: fixed-seed scenarios must emit byte-for-byte the
+   JSONL traces committed under [golden/]. Any change to event content,
+   ordering, severity classification, JSON encoding, or the simulation's
+   deterministic behavior shows up here as a diff.
+
+   Two cells are covered:
+   - a 3x3 RIP failure scenario (the original seed cell);
+   - a 4x4 DBF cell with a CBR-heavy traffic window, pinning the per-packet
+     injection times and delivery order of the flow pacer (the engine's
+     batched CBR path must emit exactly these sends and arrivals).
 
    The [Sched] category is deliberately excluded (its [cpu_s] field is
    wall-clock) and the severity floor is [Info] (per-hop forwarding and timer
@@ -11,9 +17,27 @@
      GOLDEN_REGEN=1 dune test test/test_golden.exe
    then review the diff and commit it. *)
 
-let golden_path = "golden/rip_3x3.jsonl"
+let rip_golden_path = "golden/rip_3x3.jsonl"
 
-let scenario_trace () =
+let cbr_golden_path = "golden/dbf_cbr_4x4.jsonl"
+
+let trace_of cfg engine =
+  let buf = Buffer.create 4096 in
+  let sink =
+    Obs.Sink.jsonl_writer (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+  in
+  let trace =
+    Obs.Trace.create
+      ~categories:[ Obs.Event.Data; Obs.Event.Control; Obs.Event.Env ]
+      ~min_severity:Obs.Event.Info sink
+  in
+  let _ = Convergence.Engine_registry.run ~trace cfg engine in
+  Obs.Trace.close trace;
+  Buffer.contents buf
+
+let rip_trace () =
   let cfg =
     {
       Convergence.Config.quick with
@@ -28,20 +52,27 @@ let scenario_trace () =
       seed = 7;
     }
   in
-  let buf = Buffer.create 4096 in
-  let sink =
-    Obs.Sink.jsonl_writer (fun line ->
-        Buffer.add_string buf line;
-        Buffer.add_char buf '\n')
+  trace_of cfg Convergence.Engine_registry.rip
+
+(* A CBR-heavy cell: 40 pps through a 4x4 mesh with a mid-run failure. At
+   this rate the flow pacer is the dominant event source, so the trace pins
+   every injection timestamp and delivery the batched-CBR path produces. *)
+let cbr_trace () =
+  let cfg =
+    {
+      Convergence.Config.quick with
+      rows = 4;
+      cols = 4;
+      degree = 4;
+      send_rate_pps = 40.;
+      traffic_start = 20.;
+      warmup = 20.;
+      failure_time = 25.;
+      sim_end = 35.;
+      seed = 11;
+    }
   in
-  let trace =
-    Obs.Trace.create
-      ~categories:[ Obs.Event.Data; Obs.Event.Control; Obs.Event.Env ]
-      ~min_severity:Obs.Event.Info sink
-  in
-  let _ = Convergence.Engine_registry.run ~trace cfg Convergence.Engine_registry.rip in
-  Obs.Trace.close trace;
-  Buffer.contents buf
+  trace_of cfg Convergence.Engine_registry.dbf
 
 let read_file path =
   let ic = open_in_bin path in
@@ -49,13 +80,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let test_golden () =
-  let actual = scenario_trace () in
+let check_golden ~golden_path actual =
   match Sys.getenv_opt "GOLDEN_REGEN" with
-  | Some target ->
-    (* Regeneration mode: GOLDEN_REGEN names the destination (use an absolute
-       path into the source tree — tests run inside _build). *)
-    let target = if target = "1" then golden_path else target in
+  | Some dir ->
+    (* Regeneration mode: GOLDEN_REGEN names the destination directory (use
+       an absolute path into the source tree — tests run inside _build). *)
+    let dir = if dir = "1" then Filename.dirname golden_path else dir in
+    let target = Filename.concat dir (Filename.basename golden_path) in
     Rcutil.Atomic_file.write_string ~path:target actual;
     Alcotest.failf "regenerated %s (%d bytes); review and commit it" target
       (String.length actual)
@@ -82,10 +113,14 @@ let test_golden () =
         golden_path line e a (List.length el) (List.length al)
     end
 
-let test_golden_replays () =
+let test_rip_golden () = check_golden ~golden_path:rip_golden_path (rip_trace ())
+
+let test_cbr_golden () = check_golden ~golden_path:cbr_golden_path (cbr_trace ())
+
+let test_golden_replays path () =
   (* The committed trace must round-trip through the replay decoder with no
      skipped lines and internally consistent packet accounting. *)
-  let records, stats = Obs.Replay.of_string (read_file golden_path) in
+  let records, stats = Obs.Replay.of_string (read_file path) in
   Alcotest.(check int) "no unparseable lines" 0 stats.Obs.Replay.skipped;
   Alcotest.(check bool) "non-empty" true (stats.Obs.Replay.parsed > 0);
   let totals = Obs.Replay.totals records in
@@ -96,7 +131,14 @@ let () =
     [
       ( "rip 3x3",
         [
-          Alcotest.test_case "trace matches byte-for-byte" `Quick test_golden;
-          Alcotest.test_case "trace replays cleanly" `Quick test_golden_replays;
+          Alcotest.test_case "trace matches byte-for-byte" `Quick test_rip_golden;
+          Alcotest.test_case "trace replays cleanly" `Quick
+            (test_golden_replays rip_golden_path);
+        ] );
+      ( "dbf cbr 4x4",
+        [
+          Alcotest.test_case "trace matches byte-for-byte" `Quick test_cbr_golden;
+          Alcotest.test_case "trace replays cleanly" `Quick
+            (test_golden_replays cbr_golden_path);
         ] );
     ]
