@@ -314,15 +314,75 @@ let topo_cmd =
     let doc = "Emit Graphviz DOT instead of a summary." in
     Arg.(value & flag & info [ "dot" ] ~doc)
   in
-  let action degree rows cols dot =
-    let topo = Netsim.Mesh.generate ~rows ~cols ~degree in
-    if dot then print_string (Netsim.Dot.to_dot topo)
-    else Fmt.pr "%a@." Netsim.Dot.summary topo;
-    `Ok ()
+  let family_arg =
+    let doc =
+      "Topology family: $(b,mesh) (the paper's), $(b,er) (Erdős–Rényi), \
+       $(b,waxman), $(b,ba) (Barabási–Albert preferential attachment) or \
+       $(b,hier) (tier-1/tier-2/stub AS-like)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("mesh", `Mesh); ("er", `Er); ("waxman", `Waxman); ("ba", `Ba); ("hier", `Hier) ]) `Mesh
+      & info [ "family" ] ~docv:"FAMILY" ~doc)
   in
-  let term = Term.(ret (const action $ degree_arg $ rows_arg $ cols_arg $ dot_arg)) in
+  let nodes_arg =
+    let doc = "Node count for the random families (ignored for mesh)." in
+    Arg.(value & opt int 49 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let p_arg =
+    let doc = "Edge probability for $(b,er)." in
+    Arg.(value & opt (some float) None & info [ "p" ] ~docv:"P" ~doc)
+  in
+  let m_arg =
+    let doc = "Edges per new node for $(b,ba)." in
+    Arg.(value & opt int 2 & info [ "m"; "ba-m" ] ~docv:"M" ~doc)
+  in
+  let tiers_arg =
+    let doc =
+      "Explicit tier sizes $(docv) for $(b,hier) (default: derived from \
+       --nodes as in the campaign sweep)."
+    in
+    Arg.(
+      value
+      & opt (some (t3 int int int)) None
+      & info [ "tiers" ] ~docv:"T1,T2,STUBS" ~doc)
+  in
+  let action degree rows cols seed dot family nodes p m tiers =
+    match
+      let rng = Dessim.Rng.create seed in
+      match family with
+      | `Mesh -> Ok (Netsim.Mesh.generate ~rows ~cols ~degree)
+      | `Er ->
+        let p = Option.value p ~default:(6. /. float_of_int (max 2 nodes - 1)) in
+        Ok (Netsim.Random_topo.erdos_renyi rng ~nodes ~p)
+      | `Waxman -> Ok (Netsim.Random_topo.waxman rng ~nodes ~alpha:0.4 ~beta:0.2)
+      | `Ba -> Ok (Netsim.Random_topo.barabasi_albert rng ~nodes ~m)
+      | `Hier -> (
+        match tiers with
+        | None -> Ok (Netsim.Random_topo.hierarchical_auto rng ~nodes)
+        | Some (t1, t2, stubs) ->
+          Ok
+            (Netsim.Random_topo.hierarchical rng ~t1 ~t2 ~stubs
+               ~t2_uplinks:(min 2 t1) ~stub_uplinks:(min 2 t2) ()))
+    with
+    | exception Invalid_argument e -> `Error (false, e)
+    | Error e -> `Error (false, e)
+    | Ok topo ->
+      if dot then print_string (Netsim.Dot.to_dot topo)
+      else Fmt.pr "%a@." Netsim.Dot.summary topo;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ degree_arg $ rows_arg $ cols_arg $ seed_arg $ dot_arg
+       $ family_arg $ nodes_arg $ p_arg $ m_arg $ tiers_arg))
+  in
   Cmd.v
-    (Cmd.info "topo" ~doc:"Inspect or export a regular mesh from the paper's family")
+    (Cmd.info "topo"
+       ~doc:
+         "Inspect or export a topology: the paper's mesh or one of the \
+          random families (ER, Waxman, BA, hierarchical)")
     term
 
 (* ---------- anatomy ---------- *)

@@ -776,6 +776,189 @@ let perf =
     render = render_perf;
   }
 
+(* ---------- topology families ---------- *)
+
+(* The topo grid sweeps generator family × node count, not mesh degree: like
+   the faults and perf sections, cells reuse the artifact's degree field as
+   the axis code — [family_index * 100_000 + node_count], so BA at 1024 nodes
+   is 201024 and the two dimensions can never collide. The sweep's [degrees]
+   list carries the node counts (set by [sweep_for]). *)
+let topo_families = [ (`Mesh, 0, "mesh"); (`Er, 1, "ER"); (`Ba, 2, "BA"); (`Hier, 3, "hierarchical") ]
+
+let topo_axis ~family_idx ~nodes = (family_idx * 100_000) + nodes
+
+(* Which protocols run at which size. The limiter is per-protocol routing
+   state, not the generators: the path-vector pair keeps full AS paths per
+   (node, neighbor, destination) in its adj-RIB-in — measured at several GB
+   for one 1024-node cell — so BGP and BGP-3 stop at 256 nodes and the
+   larger sizes run the O(n·deg) distance-vector pair. At 4096 DBF hits a
+   second wall: it re-arms a 180 s cache timeout per (neighbor, destination)
+   on every heard entry, each re-arm leaves the cancelled event queued until
+   its fire time, and the tombstone population (entry rate × 180 s, × degree
+   versus RIP's one timer per destination) OOM-killed an ER DBF cell past
+   110 GB. RIP stays within ~30 GB there. The full scale audit is
+   DESIGN.md §15. *)
+let topo_protocols nodes =
+  if nodes <= 256 then E.paper_four
+  else if nodes <= 1024 then [ E.rip; E.dbf ]
+  else [ E.rip ]
+
+let topo_build family ~nodes ~seed =
+  let rng = Dessim.Rng.create seed in
+  match family with
+  | `Mesh ->
+    (* Node counts are chosen square (49/256/1024/4096), paper degree 4. *)
+    let side = int_of_float (sqrt (float_of_int nodes) +. 0.5) in
+    Netsim.Mesh.generate ~rows:side ~cols:side ~degree:4
+  | `Er ->
+    (* mean degree ~6, independent of size *)
+    Netsim.Random_topo.erdos_renyi rng ~nodes ~p:(6. /. float_of_int (nodes - 1))
+  | `Ba -> Netsim.Random_topo.barabasi_albert rng ~nodes ~m:2
+  | `Hier -> Netsim.Random_topo.hierarchical_auto rng ~nodes
+
+(* Worst-case per-hop settling allowance, from each protocol's own pacing:
+   RIP/DBF triggered updates are damped 1-5 s (plus batching), BGP's MRAI is
+   mean 30 s with ±25% jitter, BGP-3's is mean 3 s. *)
+let topo_perhop = function
+  | "BGP" -> 32.
+  | "BGP-3" -> 5.
+  | _ -> 6.
+
+let topo_ecc dist =
+  Array.fold_left (fun m d -> if d < max_int && d > m then d else m) 0 dist
+
+let topo_cell (sweep : X.sweep) ~family ~family_idx ~nodes engine i =
+  let base = sweep.X.base in
+  let axis = topo_axis ~family_idx ~nodes in
+  let seed = base.C.seed + i in
+  let proto = E.name engine in
+  let topo = topo_build family ~nodes ~seed:(seed + (axis * 7919)) in
+  (* Flow endpoints: src 0, dst among nodes at BFS distance min(ecc, 10) —
+     far enough to cross real re-convergence, near enough to stay inside the
+     distance-vector infinity (16) on every family and size. *)
+  let src = 0 in
+  let dist0 = Netsim.Topology.bfs_distances topo src in
+  let ecc0 = topo_ecc dist0 in
+  let want = min ecc0 10 in
+  let cands = ref [] in
+  Array.iteri (fun v d -> if d = want && v <> src then cands := v :: !cands) dist0;
+  let cell_rng = Dessim.Rng.create (seed + (axis * 104_729)) in
+  let dst =
+    match !cands with [] -> nodes - 1 | l -> Dessim.Rng.pick cell_rng l
+  in
+  (* Initial convergence must finish before traffic starts, and the failed
+     route must re-converge before the oracle reads the tables at the end,
+     so both the lead-in and the post-failure window scale with graph reach ×
+     protocol pacing (never below the paper's 240 s measurement window). *)
+  let dhat = max ecc0 (topo_ecc (Netsim.Topology.bfs_distances topo dst)) in
+  let allowance = 30. +. (1.3 *. topo_perhop proto *. float_of_int dhat) in
+  let cfg =
+    {
+      base with
+      (* placeholder mesh fields; the run is pinned to [~topology] *)
+      C.rows = 3;
+      cols = 3;
+      degree = 4;
+      traffic_start = allowance;
+      warmup = allowance +. 10.;
+      failure_time = allowance +. 20.;
+      sim_end = allowance +. 20. +. Float.max 240. allowance;
+      seed;
+    }
+  in
+  (* The BFS differential oracle anchors correctness at quiescence. Bounded
+     protocols must drop (not hold) routes at >= 16 hops; at the largest
+     sizes the all-pairs probe is spot-checked on a strided destination
+     sample to stay inside the wall budget. *)
+  let max_metric =
+    if proto = "RIP" || proto = "DBF" then
+      Some Protocols.Dv_core.default_config.Protocols.Dv_core.infinity_metric
+    else None
+  in
+  let dests =
+    if nodes <= 2048 then None
+    else
+      let stride = nodes / 256 in
+      let sample = List.init 256 (fun i -> i * stride) in
+      Some (if List.mem dst sample then sample else dst :: sample)
+  in
+  let mismatches = ref Float.nan in
+  let on_quiesce view =
+    mismatches :=
+      float_of_int (List.length (Check.Oracle.check ?max_metric ?dests view))
+  in
+  let r = E.run ~topology:topo ~src ~dst ~on_quiesce cfg engine in
+  let ratio =
+    if r.M.sent = 0 then Float.nan
+    else float_of_int r.M.delivered /. float_of_int r.M.sent
+  in
+  {
+    (Cell_result.of_run
+       ~extras:
+         [
+           ("delivery_ratio", ratio);
+           ("oracle_mismatches", !mismatches);
+           ("edges", float_of_int (Netsim.Topology.edge_count topo));
+         ]
+       r)
+    with
+    (* family × node count as the cell key's sweep dimension *)
+    Cell_result.degree = axis;
+  }
+
+let topo_tasks (sweep : X.sweep) =
+  topo_families
+  |> List.concat_map (fun (family, idx, _) ->
+         sweep.X.degrees
+         |> List.concat_map (fun nodes ->
+                topo_protocols nodes
+                |> List.concat_map (fun engine ->
+                       List.init sweep.X.runs (fun i ->
+                           {
+                             t_protocol = E.name engine;
+                             t_degree = topo_axis ~family_idx:idx ~nodes;
+                             t_seed = sweep.X.base.C.seed + i;
+                             t_run =
+                               (fun () ->
+                                 topo_cell sweep ~family ~family_idx:idx ~nodes
+                                   engine i);
+                           }))))
+  |> Array.of_list
+
+let render_topo ppf a =
+  List.iter
+    (fun (_, idx, label) ->
+      let keep d = d / 100_000 = idx in
+      let relabel d = d mod 100_000 in
+      let table metric title unit_label =
+        fault_axis_table ~title:(label ^ ": " ^ title) ~unit_label ~metric ~keep
+          ~relabel ppf a
+      in
+      table "delivery_ratio" "delivery ratio during convergence"
+        "fraction; rows are node count";
+      table "routing_convergence" "routing convergence after the failure"
+        "seconds; rows are node count";
+      table "ctrl_messages" "control-message load"
+        "messages; rows are node count";
+      table "oracle_mismatches" "oracle mismatches at quiescence"
+        "count; rows are node count")
+    topo_families
+
+let topo =
+  {
+    name = "topo";
+    family = "topo";
+    title =
+      "Topology families: delivery, convergence and message load across \
+       mesh/ER/BA/hierarchical at 49-4096 nodes";
+    doc =
+      "delivery ratio, convergence time and control-message load per \
+       topology family and size";
+    include_series = false;
+    tasks = topo_tasks;
+    render = render_topo;
+  }
+
 (* ---------- sweep scaling ---------- *)
 
 let ablation_scale ~full (sweep : X.sweep) =
@@ -790,6 +973,12 @@ let sweep_for t ~full sweep =
   | "paper" | "scenarios" -> sweep
   (* perf sweeps mesh sizes internally; degrees/runs scaling does not apply *)
   | "perf" -> sweep
+  (* the topo grid reuses [degrees] as its node-count axis; one seed per
+     cell — each cell is a whole large-graph simulation *)
+  | "topo" ->
+    X.scale ~runs:1
+      ~degrees:(if full then [ 49; 256; 1024; 4096 ] else [ 49; 256; 1024 ])
+      sweep
   | _ -> ablation_scale ~full sweep
 
 (* ---------- registry ---------- *)
@@ -811,6 +1000,7 @@ let all =
     ext_transport;
     faults;
     perf;
+    topo;
   ]
 
 let names = List.map (fun s -> s.name) all

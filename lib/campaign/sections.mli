@@ -59,15 +59,25 @@ val all : t list
 (** Every artifact-backed section, in bench order: [fig3], [fig4], [fig5],
     [fig6], [fig7], [overhead], [scenarios], [ablation-mrai],
     [ablation-damping], [ablation-rfd], [ext-ls], [ext-multiflow],
-    [ext-transport], [faults]. (The bechamel [micro] section stays in the
-    bench binary: its output is pure wall-clock and has no deterministic part
-    to archive.)
+    [ext-transport], [faults], [topo]. (The bechamel [micro] section stays in
+    the bench binary: its output is pure wall-clock and has no deterministic
+    part to archive.)
 
     The [faults] section sweeps a fault axis instead of mesh degree, reusing
     each cell's degree field as the axis code: loss cells store their
     control-plane loss percentage (0/2/5/10), flap cells store [100 + period]
     for three down/up cycles of [period] seconds. Its extras are
-    [delivery_ratio], [retransmissions] and [injected_ctrl_drops]. *)
+    [delivery_ratio], [retransmissions] and [injected_ctrl_drops].
+
+    The [topo] section sweeps generator family × node count: the axis code is
+    [family_index * 100_000 + node_count] with families mesh/ER/BA/
+    hierarchical indexed 0-3, node counts 49/256/1024 (4096 in full mode),
+    one seed per cell, and per-cell timelines scaled to graph reach ×
+    protocol pacing. All four protocols run at <= 256 nodes, RIP and DBF at
+    1024, RIP alone at 4096 (the memory walls are audited in DESIGN.md §15).
+    Each cell runs the quiescence BFS oracle
+    ({!Check.Oracle.check}); its extras are [delivery_ratio],
+    [oracle_mismatches] and [edges]. *)
 
 val names : string list
 

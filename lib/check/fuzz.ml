@@ -8,6 +8,8 @@ type topo_spec =
   | Mesh of { rows : int; cols : int; degree : int }
   | Erdos of { nodes : int; tseed : int }
   | Waxman of { nodes : int; tseed : int }
+  | Ba of { nodes : int; m : int; tseed : int }
+  | Hier of { nodes : int; tseed : int }
 
 type failure = {
   fail_dt : int;  (** seconds after [traffic_start] *)
@@ -51,12 +53,17 @@ let topology_of = function
   | Waxman { nodes; tseed } ->
     Netsim.Random_topo.waxman (Dessim.Rng.create tseed) ~nodes ~alpha:0.6
       ~beta:0.4
+  | Ba { nodes; m; tseed } ->
+    Netsim.Random_topo.barabasi_albert (Dessim.Rng.create tseed) ~nodes ~m
+  | Hier { nodes; tseed } ->
+    Netsim.Random_topo.hierarchical_auto (Dessim.Rng.create tseed) ~nodes
 
 let config_of sc =
   let rows, cols, degree =
     match sc.topo with
     | Mesh { rows; cols; degree } -> (rows, cols, degree)
-    | Erdos _ | Waxman _ -> (3, 3, 4)  (* placeholders; topology is pinned *)
+    | Erdos _ | Waxman _ | Ba _ | Hier _ ->
+      (3, 3, 4)  (* placeholders; topology is pinned *)
   in
   {
     Convergence.Config.quick with
@@ -244,6 +251,11 @@ let topo_gen =
        return (Erdos { nodes; tseed }));
       (let* nodes = int_range 8 24 and* tseed = int_range 0 9999 in
        return (Waxman { nodes; tseed }));
+      (let* nodes = int_range 8 24 and* m = int_range 1 3 and* tseed = int_range 0 9999 in
+       (* BA needs nodes >= m + 2 *)
+       return (Ba { nodes = max nodes (m + 2); m; tseed }));
+      (let* nodes = int_range 8 24 and* tseed = int_range 0 9999 in
+       return (Hier { nodes; tseed }));
     ]
 
 let failure_gen =
@@ -295,6 +307,8 @@ let pp_topo ppf = function
   | Mesh { rows; cols; degree } -> Fmt.pf ppf "mesh %dx%d deg %d" rows cols degree
   | Erdos { nodes; tseed } -> Fmt.pf ppf "erdos n=%d tseed=%d" nodes tseed
   | Waxman { nodes; tseed } -> Fmt.pf ppf "waxman n=%d tseed=%d" nodes tseed
+  | Ba { nodes; m; tseed } -> Fmt.pf ppf "ba n=%d m=%d tseed=%d" nodes m tseed
+  | Hier { nodes; tseed } -> Fmt.pf ppf "hier n=%d tseed=%d" nodes tseed
 
 let pp_failure ppf f =
   Fmt.pf ppf "{dt=%d pick=%d%a}" f.fail_dt f.pick

@@ -24,6 +24,12 @@ type topo_spec =
   | Mesh of { rows : int; cols : int; degree : int }
   | Erdos of { nodes : int; tseed : int }
   | Waxman of { nodes : int; tseed : int }
+  | Ba of { nodes : int; m : int; tseed : int }
+      (** Barabási–Albert preferential attachment; connected by
+          construction, so failures still resolve against non-bridges only *)
+  | Hier of { nodes : int; tseed : int }
+      (** tier-1/tier-2/stub AS-like graph via
+          {!Netsim.Random_topo.hierarchical_auto} *)
 
 type failure = {
   fail_dt : int;  (** seconds after [traffic_start] *)

@@ -41,7 +41,7 @@ let pp_mismatch ppf m =
    - hold no route at all otherwise. *)
 let prof_check = Obs.Prof.scope "check.oracle"
 
-let check ?max_metric (view : Convergence.Runner.routing_view) =
+let check ?max_metric ?dests (view : Convergence.Runner.routing_view) =
   Obs.Prof.time prof_check @@ fun () ->
   let topo = view.Convergence.Runner.rv_topology in
   let n = Netsim.Topology.node_count topo in
@@ -49,7 +49,18 @@ let check ?max_metric (view : Convergence.Runner.routing_view) =
   let add src dst kind =
     mismatches := { m_src = src; m_dst = dst; m_kind = kind } :: !mismatches
   in
-  for dst = n - 1 downto 0 do
+  let dests =
+    match dests with
+    | None -> List.init n (fun dst -> n - 1 - dst)
+    | Some ds ->
+      List.iter
+        (fun d ->
+          if d < 0 || d >= n then
+            invalid_arg (Printf.sprintf "Oracle.check: dest %d out of range" d))
+        ds;
+      ds
+  in
+  List.iter (fun dst ->
     let dist = Netsim.Topology.bfs_distances topo dst in
     for src = n - 1 downto 0 do
       if src <> dst then begin
@@ -77,6 +88,6 @@ let check ?max_metric (view : Convergence.Runner.routing_view) =
         else if metric <> None || nh <> None then
           add src dst (Unreachable_but_routed { next_hop = nh; metric })
       end
-    done
-  done;
+    done)
+    dests;
   !mismatches

@@ -48,10 +48,21 @@ val pp_mismatch : mismatch Fmt.t
     ["7->42: wrong metric (expected 4, got 6)"] — the format the fuzzer's
     counterexample reports and [rcsim fuzz] print. *)
 
-val check : ?max_metric:int -> Convergence.Runner.routing_view -> mismatch list
+val check :
+  ?max_metric:int ->
+  ?dests:int list ->
+  Convergence.Runner.routing_view ->
+  mismatch list
 (** [check view] is every disagreement between [view] and the independent
     BFS computation; [[]] means the tables are provably converged and
     loop-free. Obtain the [view] from [?on_quiesce] — it must be consulted
     only inside the hook (the underlying tables are live simulation state).
     Runs one BFS per destination: O(nodes * edges) total, negligible next to
-    the simulation that produced the view. *)
+    the simulation that produced the view.
+
+    [?dests] restricts the check to the given destinations (all sources are
+    still probed against each). The all-pairs probe loop is O(nodes²) per
+    destination checked, so at the campaign's largest sizes callers pass a
+    strided sample to stay inside the wall budget — a spot check rather than
+    a proof, per the scale audit in DESIGN.md §15.
+    @raise Invalid_argument if a sampled destination is out of range. *)

@@ -112,9 +112,21 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     sched : Dessim.Scheduler.t;
     topo : Netsim.Topology.t;
     n_nodes : int;
+    link_off : int array;
+        (* CSR row offsets: node [u]'s outgoing links occupy slots
+           [link_off.(u) .. link_off.(u+1) - 1] of [link_nbr]/[links] *)
+    link_nbr : int array;
+        (* neighbor id per slot, ascending within each row *)
+    slot_dense : int array;
+        (* n×n direct map [u * n_nodes + v] -> slot (-1 when no link), built
+           only while n² stays small; [||] above the threshold, where the
+           binary search over [link_nbr] takes over. Keeps the per-hop lookup
+           at mesh scale as cheap as the old dense link array without paying
+           O(n²) memory at 10k nodes *)
     links : payload Netsim.Link.t option array;
-        (* directed links, indexed [u * n_nodes + v]: the per-hop lookup is
-           an array read, not a tuple-keyed hash probe *)
+        (* directed link per slot, parallel to [link_nbr]. CSR rather than a
+           flat n×n array: the dense form is O(n²) words — ~800 MB of
+           pointers at 10k nodes — while adjacency is O(n + m) *)
     mutable routers : P.t array;
     flows : flow_state array;
     trace : Obs.Trace.t;
@@ -148,10 +160,31 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     mutable data_forwards : int;
   }
 
+  (* Slot of directed link [u -> v] in the CSR arrays, or -1 when absent.
+     Rows are sorted, so this is a binary search over [degree u] entries —
+     or a single read when the dense map exists. *)
+  let link_slot st u v =
+    if Array.length st.slot_dense > 0 then st.slot_dense.((u * st.n_nodes) + v)
+    else begin
+      let lo = ref st.link_off.(u) and hi = ref (st.link_off.(u + 1) - 1) in
+      let found = ref (-1) in
+      while !found < 0 && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let nbr = st.link_nbr.(mid) in
+        if nbr = v then found := mid
+        else if nbr < v then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    end
+
   let link st u v =
-    match st.links.((u * st.n_nodes) + v) with
-    | Some l -> l
-    | None -> invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
+    let slot = link_slot st u v in
+    if slot < 0 then invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
+    else
+      match st.links.(slot) with
+      | Some l -> l
+      | None -> invalid_arg (Printf.sprintf "Runner: no link %d->%d" u v)
 
   (* Trace emission helpers. Producers guard with [tracing] before building
      an event, so a disabled trace costs one boolean test per site. *)
@@ -381,7 +414,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           ~dropped:(fun payload reason -> on_link_drop st payload reason)
           ()
       in
-      st.links.((u * st.n_nodes) + v) <- Some l
+      st.links.(link_slot st u v) <- Some l
     in
     let both (u, v) =
       directed (u, v);
@@ -941,15 +974,48 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         loop_since = None;
       }
     in
+    let link_off, link_nbr =
+      let n = Netsim.Topology.node_count topo in
+      let off = Array.make (n + 1) 0 in
+      for u = 0 to n - 1 do
+        off.(u + 1) <- off.(u) + Netsim.Topology.degree topo u
+      done;
+      let nbr = Array.make off.(n) 0 in
+      for u = 0 to n - 1 do
+        (* [Topology.neighbors] is sorted ascending, which [link_slot]'s
+           binary search depends on. *)
+        List.iteri
+          (fun i v -> nbr.(off.(u) + i) <- v)
+          (Netsim.Topology.neighbors topo u)
+      done;
+      (off, nbr)
+    in
+    let slot_dense =
+      let n = Netsim.Topology.node_count topo in
+      (* 8 MB of slot indexes at the 1024-node threshold; graphs past it are
+         the internet-scale sweeps, whose per-hop rate tolerates the binary
+         search far better than their footprint tolerates O(n²) memory. *)
+      if n * n > 1_048_576 then [||]
+      else begin
+        let dense = Array.make (n * n) (-1) in
+        for u = 0 to n - 1 do
+          for s = link_off.(u) to link_off.(u + 1) - 1 do
+            dense.((u * n) + link_nbr.(s)) <- s
+          done
+        done;
+        dense
+      end
+    in
     let st =
       {
         cfg;
         sched = Dessim.Scheduler.create ();
         topo;
         n_nodes = Netsim.Topology.node_count topo;
-        links =
-          (let n = Netsim.Topology.node_count topo in
-           Array.make (n * n) None);
+        link_off;
+        link_nbr;
+        slot_dense;
+        links = Array.make (Array.length link_nbr) None;
         routers = [||];
         flows = Array.of_list (List.mapi resolve_flow flows);
         trace;

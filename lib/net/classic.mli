@@ -2,7 +2,8 @@
 
     Small standard graphs used throughout the test suites and handy for
     protocol debugging: every function returns a {!Topology.t} on nodes
-    [0 .. n-1]. *)
+    [0 .. n-1]. Deterministic by construction (no RNG), unlike
+    {!Random_topo}; sized fixtures, unlike the paper-scale {!Mesh}. *)
 
 val line : int -> Topology.t
 (** [line n] is the path 0 - 1 - ... - (n-1). @raise Invalid_argument if

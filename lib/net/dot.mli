@@ -1,4 +1,8 @@
-(** Graphviz and ASCII rendering of topologies. *)
+(** Graphviz and ASCII rendering of topologies.
+
+    [rcsim topo --dot] drives {!to_dot} for every generator family; the
+    README's topology gallery is produced this way. {!summary} is the
+    one-line shape report the same command prints by default. *)
 
 val to_dot :
   ?highlight:(Types.node_id * Types.node_id) list ->
@@ -9,7 +13,9 @@ val to_dot :
     drawn red and bold (e.g. the failed link). *)
 
 val degree_histogram : Topology.t -> (int * int) list
-(** [(degree, node count)] pairs, sorted by degree. *)
+(** [(degree, node count)] pairs, sorted by degree — the quickest way to see
+    a family's signature (a mesh concentrates on one degree, a BA graph
+    spreads into a heavy tail). *)
 
 val summary : Topology.t Fmt.t
 (** One-paragraph statistics: nodes, edges, degree histogram, diameter,

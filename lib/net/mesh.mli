@@ -13,7 +13,10 @@
     - degree 5+: the grid plus diagonal/skip "directions" added in a fixed
       order; applying a direction to every row raises interior degree by 2,
       applying it to even rows only raises it by 1, so every degree in
-      [3 .. 12] is reachable. *)
+      [3 .. 12] is reachable.
+
+    For the irregular families beyond the paper's mesh (Erdős–Rényi, Waxman,
+    Barabási–Albert, hierarchical AS-like), see {!Random_topo}. *)
 
 val min_degree : int
 val max_degree : int

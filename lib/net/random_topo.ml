@@ -1,23 +1,60 @@
+(* All generators draw every random quantity from the caller's [Dessim.Rng.t]
+   and nothing else, so a (generator, parameters, seed) triple names one graph
+   forever — the determinism contract the campaign artifacts and the fuzzer
+   counterexamples rely on. *)
+
 let ensure_connected rng t =
-  let rec fix t =
-    match Topology.components t with
-    | [] | [ _ ] -> t
-    | first :: second :: _ ->
-      let u = Dessim.Rng.pick rng first in
-      let v = Dessim.Rng.pick rng second in
-      fix (Topology.add_edge t u v)
-  in
-  fix t
+  match Topology.components t with
+  | [] | [ _ ] -> t
+  | anchor :: rest ->
+    (* One stitch edge per extra component, then a single rebuild: the old
+       one-edge-per-rebuild loop was O(components * edges log edges), which
+       the 10k-node sweeps cannot afford. Anchoring every stitch in the first
+       component keeps the result connected whatever [rest] contains. *)
+    let stitches =
+      List.map (fun comp -> (Dessim.Rng.pick rng anchor, Dessim.Rng.pick rng comp)) rest
+    in
+    Topology.create ~nodes:(Topology.node_count t)
+      ~edges:(stitches @ Topology.edges t)
 
 let erdos_renyi rng ~nodes ~p =
   if nodes < 2 then invalid_arg "Random_topo.erdos_renyi: nodes < 2";
   if p < 0. || p > 1. then invalid_arg "Random_topo.erdos_renyi: p out of range";
   let edges = ref [] in
-  for u = 0 to nodes - 2 do
-    for v = u + 1 to nodes - 1 do
-      if Dessim.Rng.float rng 1. < p then edges := (u, v) :: !edges
+  let total = nodes * (nodes - 1) / 2 in
+  if p >= 1. then
+    for u = 0 to nodes - 2 do
+      for v = u + 1 to nodes - 1 do
+        edges := (u, v) :: !edges
+      done
     done
-  done;
+  else if p > 0. then begin
+    (* Geometric skip sampling: instead of one Bernoulli draw per pair
+       (O(n^2) draws — minutes of RNG at 10k nodes), draw the gap to the next
+       included pair directly. Gaps are geometric with parameter [p], so the
+       included set has exactly the G(n, p) distribution in O(n + m) draws.
+       Pairs are indexed row-major over the strict upper triangle. *)
+    let log_q = log (1. -. p) in
+    let k = ref (-1) in
+    (* (row, row_start) track which [u] the flat index currently falls in;
+       both advance monotonically, so decoding all edges is O(n + m). *)
+    let row = ref 0 in
+    let row_start = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let r = Dessim.Rng.float rng 1. in
+      let skip = int_of_float (log (1. -. r) /. log_q) in
+      k := !k + 1 + skip;
+      if !k >= total || !k < 0 then stop := true
+      else begin
+        while !k - !row_start >= nodes - 1 - !row do
+          row_start := !row_start + (nodes - 1 - !row);
+          incr row
+        done;
+        edges := (!row, !row + 1 + (!k - !row_start)) :: !edges
+      end
+    done
+  end;
   ensure_connected rng (Topology.create ~nodes ~edges:!edges)
 
 let waxman rng ~nodes ~alpha ~beta =
@@ -37,3 +74,109 @@ let waxman rng ~nodes ~alpha ~beta =
     done
   done;
   ensure_connected rng (Topology.create ~nodes ~edges:!edges)
+
+let barabasi_albert rng ~nodes ~m =
+  if m < 1 then invalid_arg "Random_topo.barabasi_albert: m < 1";
+  if nodes < m + 2 then
+    invalid_arg "Random_topo.barabasi_albert: nodes must exceed m + 1";
+  (* [ends] lists every edge endpoint, so a uniform draw from it is a
+     degree-proportional draw over nodes — the preferential-attachment pick,
+     in O(1) with no per-node weights to maintain. Its final length is twice
+     the edge count, which is known up front. *)
+  let seed_edges = m * (m + 1) / 2 in
+  let cap = 2 * (seed_edges + (m * (nodes - m - 1))) in
+  let ends = Array.make cap 0 in
+  let len = ref 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    ends.(!len) <- u;
+    ends.(!len + 1) <- v;
+    len := !len + 2
+  in
+  (* Seed with a clique on m+1 nodes: enough distinct targets for the first
+     attachment round, and every seed node starts with degree m. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  (* [chosen.(t) = v] marks t as already picked by the node v currently
+     attaching; a single array gives O(1) duplicate rejection without
+     clearing between rounds. *)
+  let chosen = Array.make nodes (-1) in
+  let targets = Array.make m 0 in
+  for v = m + 1 to nodes - 1 do
+    let picked = ref 0 in
+    while !picked < m do
+      let t = ends.(Dessim.Rng.int rng !len) in
+      if chosen.(t) <> v then begin
+        chosen.(t) <- v;
+        targets.(!picked) <- t;
+        incr picked
+      end
+    done;
+    (* Edges are recorded only after all m draws: appending endpoints
+       mid-round would let v draw itself (a self-loop) and skew the round's
+       remaining picks toward its own fresh edges. *)
+    for i = 0 to m - 1 do
+      add_edge targets.(i) v
+    done
+  done;
+  Topology.create ~nodes ~edges:!edges
+
+let hierarchical rng ?(peer_p = 0.25) ~t1 ~t2 ~stubs ~t2_uplinks ~stub_uplinks
+    () =
+  if t1 < 1 then invalid_arg "Random_topo.hierarchical: t1 < 1";
+  if t2 < 1 then invalid_arg "Random_topo.hierarchical: t2 < 1";
+  if stubs < 0 then invalid_arg "Random_topo.hierarchical: stubs < 0";
+  if t2_uplinks < 1 || t2_uplinks > t1 then
+    invalid_arg "Random_topo.hierarchical: t2_uplinks outside [1, t1]";
+  if stub_uplinks < 1 || stub_uplinks > t2 then
+    invalid_arg "Random_topo.hierarchical: stub_uplinks outside [1, t2]";
+  if peer_p < 0. || peer_p > 1. then
+    invalid_arg "Random_topo.hierarchical: peer_p outside [0, 1]";
+  let nodes = t1 + t2 + stubs in
+  if nodes < 2 then invalid_arg "Random_topo.hierarchical: fewer than 2 nodes";
+  let edges = ref [] in
+  (* Tier-1 core: a full clique (tier-1 counts are small by design, so the
+     quadratic edge count is a handful of links, not a scale hazard). *)
+  for u = 0 to t1 - 1 do
+    for v = u + 1 to t1 - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let chosen = Array.make nodes (-1) in
+  (* Attach [v] to [k] distinct uniform picks from [base .. base+count-1]. *)
+  let attach v ~base ~count ~k =
+    let picked = ref 0 in
+    while !picked < k do
+      let t = base + Dessim.Rng.int rng count in
+      if chosen.(t) <> v then begin
+        chosen.(t) <- v;
+        edges := (t, v) :: !edges;
+        incr picked
+      end
+    done
+  in
+  for i = 0 to t2 - 1 do
+    let v = t1 + i in
+    attach v ~base:0 ~count:t1 ~k:t2_uplinks;
+    (* Lateral tier-2 peering, toward already-placed peers only so the draw
+       count stays a pure function of the parameters and seed. *)
+    if i > 0 && Dessim.Rng.float rng 1. < peer_p then
+      edges := (t1 + Dessim.Rng.int rng i, v) :: !edges
+  done;
+  for j = 0 to stubs - 1 do
+    let v = t1 + t2 + j in
+    attach v ~base:t1 ~count:t2 ~k:stub_uplinks
+  done;
+  Topology.create ~nodes ~edges:!edges
+
+let hierarchical_auto rng ~nodes =
+  if nodes < 8 then invalid_arg "Random_topo.hierarchical_auto: nodes < 8";
+  let t1 = max 3 (min 16 (nodes / 64)) in
+  let t2 = max 4 (nodes / 8) in
+  let stubs = nodes - t1 - t2 in
+  hierarchical rng ~t1 ~t2 ~stubs ~t2_uplinks:(min 2 t1)
+    ~stub_uplinks:(min 2 t2) ()

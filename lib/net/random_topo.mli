@@ -1,12 +1,38 @@
 (** Random topology generators (the paper's future-work direction).
 
-    Both generators post-process the raw random graph so the result is always
-    connected: components are stitched together with one extra edge between
-    random representatives until a single component remains. *)
+    Four families beyond the paper's regular mesh: Erdős–Rényi and Waxman
+    random graphs (stitched connected after the fact), Barabási–Albert
+    preferential attachment and a hierarchical tier-1/tier-2/stub AS-like
+    model (both connected by construction).
+
+    {2 Determinism contract}
+
+    Every generator draws all of its randomness from the caller's
+    {!Dessim.Rng.t} and consumes a number of draws that is a pure function of
+    the parameters and the draw outcomes themselves — never of wall time,
+    hashing order, or any global state. Consequently a
+    (generator, parameters, seed) triple names exactly one graph, on every
+    machine, forever. Campaign artifacts and fuzzer counterexamples rely on
+    this to replay byte-identically.
+
+    {2 Connectivity}
+
+    {!erdos_renyi} and {!waxman} may sample disconnected graphs; both pass
+    their result through {!ensure_connected}, which stitches components with
+    one extra random edge each. {!barabasi_albert} and {!hierarchical} are
+    connected by construction (every node attaches to previously placed
+    nodes), so their degree structure is never distorted by stitching. *)
 
 val erdos_renyi : Dessim.Rng.t -> nodes:int -> p:float -> Topology.t
-(** [erdos_renyi rng ~nodes ~p] includes each possible edge independently with
-    probability [p], then stitches components.
+(** [erdos_renyi rng ~nodes ~p] includes each of the [nodes*(nodes-1)/2]
+    possible edges independently with probability [p], then stitches
+    components.
+
+    Sampling uses geometric gap-skipping over the flat upper-triangle pair
+    index — O(nodes + edges) RNG draws rather than one per pair — so
+    [nodes] in the tens of thousands is cheap even at low [p]. The edge set
+    is still exactly G(n, p)-distributed.
+
     @raise Invalid_argument if [p] is outside [0, 1] or [nodes < 2]. *)
 
 val waxman :
@@ -14,8 +40,70 @@ val waxman :
 (** [waxman rng ~nodes ~alpha ~beta] places nodes uniformly in the unit square
     and connects [u, v] with probability
     [alpha * exp (-d(u,v) / (beta * sqrt 2.))], then stitches components.
-    Typical values: [alpha = 0.4], [beta = 0.2]. *)
+    Typical values: [alpha = 0.4], [beta = 0.2].
+
+    Distance-dependent probabilities preclude gap-skipping, so this generator
+    remains O(nodes²); prefer {!erdos_renyi} or {!barabasi_albert} above a
+    few thousand nodes.
+
+    @raise Invalid_argument if [nodes < 2], [alpha] is outside (0, 1], or
+    [beta <= 0]. *)
+
+val barabasi_albert : Dessim.Rng.t -> nodes:int -> m:int -> Topology.t
+(** [barabasi_albert rng ~nodes ~m] grows a scale-free graph by preferential
+    attachment: starting from a clique on the first [m + 1] nodes, each
+    subsequent node attaches to [m] {e distinct} existing nodes chosen with
+    probability proportional to their current degree (uniform draws from the
+    edge-endpoint multiset, rejecting duplicates). Degrees follow a power
+    law; minimum degree is exactly [m]; the result is connected by
+    construction and never stitched.
+
+    All [m] targets for a node are drawn before its edges are recorded, so a
+    node can neither attach to itself nor bias later picks in its own round.
+    Runs in O(nodes · m) expected time and O(nodes · m) space.
+
+    @raise Invalid_argument if [m < 1] or [nodes < m + 2]. *)
+
+val hierarchical :
+  Dessim.Rng.t ->
+  ?peer_p:float ->
+  t1:int ->
+  t2:int ->
+  stubs:int ->
+  t2_uplinks:int ->
+  stub_uplinks:int ->
+  unit ->
+  Topology.t
+(** [hierarchical rng ~t1 ~t2 ~stubs ~t2_uplinks ~stub_uplinks ()] builds an
+    AS-like three-tier graph on [t1 + t2 + stubs] nodes:
+
+    - nodes [0 .. t1-1] form the tier-1 core, fully meshed (a clique);
+    - nodes [t1 .. t1+t2-1] are tier-2 providers, each multihomed to
+      [t2_uplinks] distinct tier-1 nodes chosen uniformly; with probability
+      [?peer_p] (default [0.25]) a tier-2 node also gains one lateral peering
+      link to a uniformly chosen earlier tier-2 node;
+    - the remaining [stubs] nodes are stub leaves, each attached to
+      [stub_uplinks] distinct tier-2 providers chosen uniformly.
+
+    Every node outside the core attaches to at least one already-connected
+    node, so the graph is connected by construction. Runs in
+    O(t1² + (t2 + stubs) · uplinks) time.
+
+    @raise Invalid_argument if [t1 < 1], [t2 < 1], [stubs < 0],
+    [t2_uplinks] is outside [1, t1], [stub_uplinks] is outside [1, t2],
+    [peer_p] is outside [0, 1], or the total node count is below 2. *)
+
+val hierarchical_auto : Dessim.Rng.t -> nodes:int -> Topology.t
+(** [hierarchical_auto rng ~nodes] is {!hierarchical} with tier sizes derived
+    from the total: [t1 = max 3 (min 16 (nodes / 64))] core nodes,
+    [t2 = max 4 (nodes / 8)] providers, the rest stubs, and up to two uplinks
+    per non-core node. This is the parameterization the campaign topology
+    sweep uses, so a size fully determines the shape.
+
+    @raise Invalid_argument if [nodes < 8]. *)
 
 val ensure_connected : Dessim.Rng.t -> Topology.t -> Topology.t
-(** [ensure_connected rng t] adds random inter-component edges until [t] is
-    connected. *)
+(** [ensure_connected rng t] returns [t] itself when already connected;
+    otherwise adds one edge from a random representative of the first
+    component to a random representative of each other component and rebuilds
+    once — O(components) extra edges, one O(edges log edges) rebuild. *)

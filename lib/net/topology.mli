@@ -2,7 +2,16 @@
 
     All protocols in the paper run over unit-cost links, so shortest paths are
     BFS paths; a weighted Dijkstra is provided for the link-state extension
-    and for tests that cross-check the two. *)
+    and for tests that cross-check the two.
+
+    Graphs are built by {!Mesh} (the paper's regular family), {!Random_topo}
+    (ER/Waxman/BA/hierarchical) and {!Classic} (test fixtures). Adjacency is
+    stored as one sorted neighbor array per node, so the representation is
+    O(nodes + edges) and generation scales to the campaign's 10k-node
+    graphs; per-node queries ({!neighbors}, {!degree}, {!has_edge}) and BFS
+    are cheap at any size, while the all-pairs helpers ({!diameter},
+    {!average_path_length}) remain O(nodes × edges) and are meant for
+    reporting, not hot paths. *)
 
 type t
 
@@ -19,7 +28,8 @@ val edges : t -> (Types.node_id * Types.node_id) list
 (** Canonical edge list, each as [(u, v)] with [u < v], sorted. *)
 
 val neighbors : t -> Types.node_id -> Types.node_id list
-(** Sorted ascending. *)
+(** Sorted ascending — callers (the engine's CSR link table, the oracle's
+    BFS) rely on the order being deterministic. *)
 
 val degree : t -> Types.node_id -> int
 
@@ -27,9 +37,14 @@ val has_edge : t -> Types.node_id -> Types.node_id -> bool
 
 val remove_edge : t -> Types.node_id -> Types.node_id -> t
 (** [remove_edge t u v] is [t] without the (undirected) edge [u-v]; returns
-    [t] unchanged when absent. *)
+    [t] unchanged when absent. Rebuilds the graph — O(edges log edges), fine
+    for scenario setup, not for bulk construction (pass the full edge list to
+    {!create} instead; {!Random_topo.ensure_connected} batches its stitches
+    for the same reason). *)
 
 val add_edge : t -> Types.node_id -> Types.node_id -> t
+(** [add_edge t u v] is [t] with the (undirected) edge [u-v] added; same
+    rebuild cost as {!remove_edge}. *)
 
 val is_connected : t -> bool
 

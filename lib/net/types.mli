@@ -1,7 +1,14 @@
-(** Shared identifiers and drop taxonomy for the network substrate. *)
+(** Shared identifiers and drop taxonomy for the network substrate.
+
+    The drop taxonomy is load-bearing for the paper's figures: Figure 3
+    counts {!No_route}, Figure 4 counts {!Ttl_expired}, and the fault
+    campaign separates {!Injected_loss}/{!Corrupted} from the organic
+    reasons so injected noise never contaminates the baseline counts. *)
 
 type node_id = int
-(** Routers are numbered [0 .. n-1]. *)
+(** Routers are numbered [0 .. n-1], densely — every array-indexed structure
+    in the engine (routing tables, the CSR link table, BFS scratch) depends
+    on ids being small contiguous ints. *)
 
 type drop_reason =
   | No_route  (** the router had no next hop for the destination *)
