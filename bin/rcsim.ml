@@ -195,9 +195,17 @@ let faults_of ~loss ~loss_scope ~no_rtx ~fault_seed =
     | Ok () -> Ok spec
     | Error e -> Error e)
 
+let frr_arg =
+  let doc =
+    "Enable fast reroute: every router precomputes a loop-free backup next \
+     hop per destination and switches onto it the instant it locally detects \
+     an incident link down, before the protocol reconverges (DESIGN.md §16)."
+  in
+  Arg.(value & flag & info [ "frr" ] ~doc)
+
 let run_cmd =
   let action protocol degree rows cols seed rate trace_file trace_filter stats
-      csv loss loss_scope no_rtx fault_seed =
+      csv loss loss_scope no_rtx fault_seed frr =
     match engine_of_name protocol with
     | Error e -> `Error (false, e)
     | Ok engine -> (
@@ -210,7 +218,8 @@ let run_cmd =
           let cfg = config_of ~rows ~cols ~degree ~seed ~rate in
           let metrics = if stats then Some (Obs.Registry.create ()) else None in
           let run =
-            Convergence.Engine_registry.run ~faults ~trace ?metrics cfg engine
+            Convergence.Engine_registry.run ~faults ~frr ~trace ?metrics cfg
+              engine
           in
           Obs.Trace.close trace;
           Fmt.pr "%a@." Convergence.Report.run_details run;
@@ -228,7 +237,7 @@ let run_cmd =
       ret
         (const action $ protocol_arg $ degree_arg $ rows_arg $ cols_arg $ seed_arg
        $ rate_arg $ trace_file_arg $ trace_filter_arg $ stats_arg $ csv_arg
-       $ loss_arg $ loss_scope_arg $ no_rtx_arg $ fault_seed_arg))
+       $ loss_arg $ loss_scope_arg $ no_rtx_arg $ fault_seed_arg $ frr_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one failure scenario under one routing protocol")
@@ -639,6 +648,7 @@ let trace_cmd =
   let s_timeline = Obs.Prof.scope "replay.drop_timeline" in
   let s_loops = Obs.Prof.scope "replay.loop_report" in
   let s_links = Obs.Prof.scope "replay.link_report" in
+  let s_frr = Obs.Prof.scope "replay.frr_report" in
   let action file bucket flow prof =
     if bucket <= 0. then `Error (false, "bucket width must be positive")
     else begin
@@ -686,7 +696,26 @@ let trace_cmd =
             Fmt.pr "@.%d link outage episode(s):@." (List.length episodes);
             List.iter
               (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_link_episode e)
-              episodes)
+              episodes);
+          let frr = Obs.Prof.time s_frr (fun () -> Obs.Replay.frr_report records) in
+          if frr.Obs.Replay.fr_activations > 0 || frr.Obs.Replay.fr_forwards > 0
+          then begin
+            Fmt.pr
+              "@.fast reroute: %d backups installed, %d activations, %d \
+               backup forwards, %d exhausted@."
+              frr.Obs.Replay.fr_installs frr.Obs.Replay.fr_activations
+              frr.Obs.Replay.fr_forwards frr.Obs.Replay.fr_exhausted;
+            List.iter
+              (fun e -> Fmt.pr "  %a@." Obs.Replay.pp_frr_episode e)
+              frr.Obs.Replay.fr_episodes;
+            match frr.Obs.Replay.fr_exhausted_windows with
+            | [] -> ()
+            | windows ->
+              Fmt.pr "  %d exhausted-backup window(s):@." (List.length windows);
+              List.iter
+                (fun w -> Fmt.pr "    %a@." Obs.Replay.pp_frr_window w)
+                windows
+          end
         end;
         if prof then Fmt.pr "@.cost attribution:@.%a" Obs.Prof.pp_report ();
         `Ok ()
@@ -916,6 +945,66 @@ let overall_events_per_s (a : Campaign.Artifact.t) =
         | None -> ())
       a.Campaign.Artifact.cells;
     if !tot_s > 0. then Some (!tot_events /. !tot_s) else None
+
+(* The schema-v4 axis legend of an artifact: each axis name with its values,
+   both in first-appearance order across the aggregates. Empty for plain
+   (protocol, degree) grids and pre-v4 artifacts. *)
+let artifact_axes (a : Campaign.Artifact.t) =
+  let push xs x = if List.mem x !xs then () else xs := !xs @ [ x ] in
+  let names = ref [] in
+  List.iter
+    (fun (g : Campaign.Artifact.aggregate) ->
+      List.iter (fun (k, _) -> push names k) g.Campaign.Artifact.a_axes)
+    a.Campaign.Artifact.aggregates;
+  List.map
+    (fun name ->
+      let vals = ref [] in
+      List.iter
+        (fun (g : Campaign.Artifact.aggregate) ->
+          match List.assoc_opt name g.Campaign.Artifact.a_axes with
+          | Some v -> push vals v
+          | None -> ())
+        a.Campaign.Artifact.aggregates;
+      (name, !vals))
+    !names
+
+(* One line per (schedule, protocol): mean loss-window seconds across the
+   degree axis, FRR off against on. Only meaningful on artifacts whose axes
+   carry a "frr" dimension and whose cells report [loss_window_s]. *)
+let print_loss_window_summary (a : Campaign.Artifact.t) ~schedules ~protocols =
+  let mean_for ~sched ~proto ~frr =
+    let samples =
+      List.filter_map
+        (fun (g : Campaign.Artifact.aggregate) ->
+          let axis k = List.assoc_opt k g.Campaign.Artifact.a_axes in
+          if
+            g.Campaign.Artifact.a_protocol = proto
+            && axis "schedule" = Some sched
+            && axis "frr" = Some frr
+          then
+            Option.map
+              (fun (s : Campaign.Artifact.stat) -> s.Campaign.Artifact.mean)
+              (List.assoc_opt "loss_window_s" g.Campaign.Artifact.a_metrics)
+          else None)
+        a.Campaign.Artifact.aggregates
+    in
+    if samples = [] then None else Some (Dessim.Stat.mean samples)
+  in
+  Fmt.pr "loss window (s at zero delivery, mean over degrees, FRR off -> on):@.";
+  List.iter
+    (fun sched ->
+      let cols =
+        List.filter_map
+          (fun proto ->
+            match (mean_for ~sched ~proto ~frr:"off", mean_for ~sched ~proto ~frr:"on") with
+            | Some off, Some on ->
+              Some (Printf.sprintf "%-6s %6.1f -> %6.1f" proto off on)
+            | _ -> None)
+          protocols
+      in
+      if cols <> [] then
+        Fmt.pr "  %-8s %s@." sched (String.concat "   " cols))
+    schedules
 
 (* A journaled campaign shuts down gracefully on the first SIGINT/SIGTERM:
    the handler only sets the cooperative stop flag (workers abandon their
@@ -1387,6 +1476,27 @@ let campaign_cmd =
           | Some section ->
             Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
             section.Campaign.Sections.render Fmt.stdout artifact;
+            (match artifact_axes artifact with
+            | [] -> ()
+            | axes ->
+              Fmt.pr "axes:   %s@."
+                (String.concat " x "
+                   (List.map
+                      (fun (name, vals) ->
+                        Printf.sprintf "%s {%s}" name (String.concat " " vals))
+                      axes));
+              if List.mem_assoc "frr" axes then begin
+                let push xs x = if List.mem x !xs then () else xs := !xs @ [ x ] in
+                let protocols = ref [] in
+                List.iter
+                  (fun (g : Campaign.Artifact.aggregate) ->
+                    push protocols g.Campaign.Artifact.a_protocol)
+                  artifact.Campaign.Artifact.aggregates;
+                print_loss_window_summary artifact
+                  ~schedules:
+                    (Option.value ~default:[] (List.assoc_opt "schedule" axes))
+                  ~protocols:!protocols
+              end);
             (match artifact.Campaign.Artifact.timing with
             | None -> ()
             | Some t ->

@@ -1,5 +1,7 @@
-(* v3 adds the optional per-cell "perf" object inside timing cells. *)
-let version = 3
+(* v3 adds the optional per-cell "perf" object inside timing cells. v4 adds
+   the optional self-describing "axes" object on cells and aggregates, used
+   by sections whose grid has more dimensions than (protocol, degree). *)
+let version = 4
 
 let min_version = 1
 
@@ -23,6 +25,7 @@ type aggregate = {
   a_protocol : string;
   a_degree : int;
   a_runs : int;
+  a_axes : (string * string) list;
   a_metrics : (string * stat) list;
   a_series : (string * Cell_result.series) list;
 }
@@ -144,7 +147,12 @@ let aggregate cells =
               } ))
           first.Cell_result.series
     in
-    { a_protocol = protocol; a_degree = degree; a_runs = n; a_metrics; a_series }
+    (* cells sharing an axis code share their axes by construction, so the
+       group's annotation is the first member's *)
+    let a_axes =
+      match members with [] -> [] | c :: _ -> c.Cell_result.axes
+    in
+    { a_protocol = protocol; a_degree = degree; a_runs = n; a_axes; a_metrics; a_series }
   in
   List.map one (List.rev !groups)
 
@@ -196,13 +204,23 @@ let aggregate_to_json ~include_series a : Obs.Json.t =
       ]
     | _ -> []
   in
+  let axes =
+    match a.a_axes with
+    | [] -> []
+    | xs ->
+      [
+        ( "axes",
+          Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.String v)) xs) );
+      ]
+  in
   Obj
     ([
        ("protocol", Obs.Json.String a.a_protocol);
        ("degree", Obs.Json.Int a.a_degree);
        ("runs", Obs.Json.Int a.a_runs);
-       ("metrics", Obs.Json.Obj metrics);
      ]
+    @ axes
+    @ [ ("metrics", Obs.Json.Obj metrics) ]
     @ series)
 
 let quarantine_to_json q : Obs.Json.t =
@@ -245,10 +263,20 @@ let timing_to_json t : Obs.Json.t =
              t.t_cells) );
     ]
 
+(* The writer stamps the lowest version whose features the file actually
+   uses: a grid without axis annotations keeps byte-identical v3 output, so
+   regenerating a pre-v4 artifact still diffs clean. *)
+let written_version t =
+  if
+    List.exists (fun (c : Cell_result.t) -> c.Cell_result.axes <> []) t.cells
+    || List.exists (fun a -> a.a_axes <> []) t.aggregates
+  then version
+  else 3
+
 let to_json_inner ~timing t : Obs.Json.t =
   let base =
     [
-      ("schema_version", Obs.Json.Int version);
+      ("schema_version", Obs.Json.Int (written_version t));
       ("kind", Obs.Json.String kind);
       ("section", Obs.Json.String t.section);
       ("git_sha", Obs.Json.String t.git_sha);
@@ -326,6 +354,20 @@ let aggregate_of_json j =
   in
   let* degree = need "degree" (Option.bind (Obs.Json.member "degree" j) Obs.Json.to_int) in
   let* runs = need "runs" (Option.bind (Obs.Json.member "runs" j) Obs.Json.to_int) in
+  let* axes =
+    match Obs.Json.member "axes" j with
+    | None -> Ok []
+    | Some (Obs.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Obs.Json.to_string_val v with
+          | Some s -> Ok (acc @ [ (k, s) ])
+          | None ->
+            Error (Printf.sprintf "aggregate: axis %S is not a string" k))
+        (Ok []) fields
+    | Some _ -> Error "aggregate: axes is not an object"
+  in
   let* metrics =
     match Obs.Json.member "metrics" j with
     | Some (Obs.Json.Obj fields) ->
@@ -355,6 +397,7 @@ let aggregate_of_json j =
       a_protocol = protocol;
       a_degree = degree;
       a_runs = runs;
+      a_axes = axes;
       a_metrics = metrics;
       a_series = series;
     }

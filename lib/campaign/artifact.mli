@@ -6,10 +6,10 @@
     plus averaged time series where the section has them), and a [timing]
     block (worker count, total and per-cell wall-clock).
 
-    {2 Schema v3}
+    {2 Schema v4}
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "kind": "rcsim-campaign",
       "section": "fig3",
       "git_sha": "<short sha or "unknown">",
@@ -18,11 +18,12 @@
                   "rate_pps": 200.0, "warmup": 390.0, "sim_end": 800.0 },
       "cells": [ { "protocol": "RIP", "degree": 3, "seed": 1,
                    "sent": ..., "drops_no_route": ..., ...,
-                   "extras": {...}?, "series": {...}? }, ... ],
+                   "extras": {...}?, "axes": {...}?, "series": {...}? }, ... ],
       "quarantined": [ { "protocol": "RIP", "degree": 3, "seed": 7,
                          "error": "wall budget exceeded (2.0 s)",
                          "attempts": 2 }, ... ],
       "aggregates": [ { "protocol": "RIP", "degree": 3, "runs": 10,
+                        "axes": {...}?,
                         "metrics": { "drops_no_route":
                                        { "mean": ..., "stddev": ... }, ... },
                         "series": {...}? }, ... ],
@@ -39,10 +40,17 @@
     bounded same-seed retries) are recorded there instead of aborting the
     whole campaign, and aggregates are computed from the surviving cells
     only. A key may not appear both as a cell and as a quarantine entry.
-    v3 (current) adds the optional per-cell ["perf"] object inside timing
+    v3 adds the optional per-cell ["perf"] object inside timing
     cells — machine-speed measurements from the perf section (ns/event,
     events/sec, GC promotion), kept in [timing] because they are as
-    non-deterministic as wall time.
+    non-deterministic as wall time. v4 (current) adds the optional
+    self-describing ["axes"] object on cells and aggregates: sections whose
+    grid has more dimensions than (protocol, degree) — e.g. the resilience
+    section's schedule x FRR x mesh-degree cross — name each coordinate
+    explicitly, so readers need not decode the packed [degree] axis code.
+    The writer stamps the lowest version whose features the file actually
+    uses (an axes-free grid still writes byte-identical v3), so
+    regenerating a pre-v4 artifact diffs clean across the version bump.
 
     Determinism contract: everything except [timing] is a pure function of
     (code, section, params) — cells are merged in cell-key order and
@@ -71,6 +79,10 @@ type aggregate = {
   a_protocol : string;
   a_degree : int;
   a_runs : int;
+  a_axes : (string * string) list;
+      (** the group's {!Cell_result.t.axes} annotation (cells sharing an
+          axis code share their axes); empty on plain grids and pre-v4
+          artifacts *)
   a_metrics : (string * stat) list;  (** one entry per scalar metric, in
                                          {!Cell_result.metrics} order *)
   a_series : (string * Cell_result.series) list;
@@ -126,7 +138,9 @@ val quarantine_of_json : Obs.Json.t -> (quarantine, string) result
     per-record format. *)
 
 val version : int
-(** The schema version this module writes: [3]. *)
+(** The newest schema version this module understands: [4]. The writer
+    stamps [4] only on artifacts that use a v4 feature (an [axes]
+    annotation); axes-free artifacts keep writing [3]. *)
 
 val min_version : int
 (** The oldest schema version {!of_json} and {!validate} accept: [1]. *)

@@ -23,13 +23,14 @@ type t = {
   routing_convergence : float;
   transient_paths : int;
   extras : (string * float) list;
+  axes : (string * string) list;
   series : (string * series) list;
   wall_s : float;
   perf : (string * float) list;
   events : int;
 }
 
-let of_run ?(extras = []) ?(series = []) (r : Convergence.Metrics.run) =
+let of_run ?(extras = []) ?(axes = []) ?(series = []) (r : Convergence.Metrics.run) =
   {
     protocol = r.Convergence.Metrics.protocol;
     degree = r.Convergence.Metrics.degree;
@@ -48,13 +49,14 @@ let of_run ?(extras = []) ?(series = []) (r : Convergence.Metrics.run) =
     routing_convergence = r.Convergence.Metrics.routing_convergence;
     transient_paths = r.Convergence.Metrics.transient_paths;
     extras;
+    axes;
     series;
     wall_s = 0.;
     perf = [];
     events = r.Convergence.Metrics.sched_events;
   }
 
-let of_multi ?(extras = []) (m : Convergence.Metrics.multi) =
+let of_multi ?(extras = []) ?(axes = []) (m : Convergence.Metrics.multi) =
   let flows = m.Convergence.Metrics.m_flows in
   let sum f = List.fold_left (fun acc fl -> acc + f fl) 0 flows in
   let mean f =
@@ -78,6 +80,7 @@ let of_multi ?(extras = []) (m : Convergence.Metrics.multi) =
     routing_convergence = m.Convergence.Metrics.m_routing_convergence;
     transient_paths = sum (fun f -> f.Convergence.Metrics.f_transient_paths);
     extras;
+    axes;
     series = [];
     wall_s = 0.;
     perf = [];
@@ -184,13 +187,22 @@ let to_json ~include_series t : Obs.Json.t =
     | [] -> []
     | xs -> [ ("extras", Obs.Json.Obj (List.map (fun (k, v) -> (k, fnum v)) xs)) ]
   in
+  let axes =
+    match t.axes with
+    | [] -> []
+    | xs ->
+      [
+        ( "axes",
+          Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.String v)) xs) );
+      ]
+  in
   let series =
     match t.series with
     | xs when include_series && xs <> [] ->
       [ ("series", Obs.Json.Obj (List.map (fun (k, s) -> (k, series_to_json s)) xs)) ]
     | _ -> []
   in
-  Obj (base @ extras @ series)
+  Obj (base @ extras @ axes @ series)
 
 let of_json j =
   let str name = Option.bind (Obs.Json.member name j) Obs.Json.to_string_val in
@@ -230,6 +242,19 @@ let of_json j =
         (Ok []) fields
     | Some _ -> Error "cell: extras is not an object"
   in
+  let* axes =
+    match Obs.Json.member "axes" j with
+    | None -> Ok []
+    | Some (Obs.Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Obs.Json.to_string_val v with
+          | Some s -> Ok (acc @ [ (k, s) ])
+          | None -> Error (Printf.sprintf "cell: axis %S is not a string" k))
+        (Ok []) fields
+    | Some _ -> Error "cell: axes is not an object"
+  in
   let* series =
     match Obs.Json.member "series" j with
     | None -> Ok []
@@ -262,6 +287,7 @@ let of_json j =
       routing_convergence;
       transient_paths;
       extras;
+      axes;
       series;
       wall_s = 0.;
       perf = [];

@@ -48,6 +48,13 @@ type t = {
   extras : (string * float) list;
       (** section-specific scalars (e.g. [delivery_ratio], [completion_s]),
           in a fixed per-section order *)
+  axes : (string * string) list;
+      (** self-describing grid coordinates (schema v4): sections whose grid
+          has more dimensions than (protocol, degree) name each extra axis
+          here — e.g. [("schedule", "flap"); ("frr", "on");
+          ("mesh_degree", "4")] — so readers need not decode the packed
+          [degree] axis code. Empty for plain (protocol, degree) grids and
+          for rows read from pre-v4 artifacts. *)
   series : (string * series) list;
       (** windowed time series (e.g. ["throughput"], ["delay"]); serialized
           only for sections that render them *)
@@ -64,12 +71,13 @@ type t = {
           events/sec heartbeat *)
 }
 
-val of_run : ?extras:(string * float) list -> ?series:(string * series) list ->
-  Convergence.Metrics.run -> t
+val of_run : ?extras:(string * float) list -> ?axes:(string * string) list ->
+  ?series:(string * series) list -> Convergence.Metrics.run -> t
 (** [of_run run] lifts a single-flow run result into a cell row; [wall_s] is
     [0.] until the driver stamps it. *)
 
-val of_multi : ?extras:(string * float) list -> Convergence.Metrics.multi -> t
+val of_multi : ?extras:(string * float) list -> ?axes:(string * string) list ->
+  Convergence.Metrics.multi -> t
 (** [of_multi m] lifts a multi-flow outcome: packet counters are summed over
     the flows, [fwd_convergence] is the per-flow mean, and
     [routing_convergence] spans all failures (as {!Convergence.Metrics}

@@ -321,22 +321,31 @@ let ablation_damping =
           ~metric:"ctrl_messages" ppf a);
   }
 
-(* A link on the flow's shortest path flaps three times (4 s down, 4 s up),
-   then stays up — the scenario the intro's route-flap-damping references
-   [4]/[15] describe. *)
-let flap_scenario (cfg : C.t) =
+(* A corner-to-corner flow pinned on the mesh diagonal, with the middle link
+   of its shortest path as the failure target. Pinning (rather than the
+   paper's random flow) keeps the failure geometry identical across the
+   on/off arms of an ablation. *)
+let pinned_midlink_flow (cfg : C.t) ~what =
   let topo = Netsim.Mesh.generate ~rows:cfg.C.rows ~cols:cfg.C.cols ~degree:cfg.C.degree in
   let src = 0 and dst = C.nodes cfg - 1 in
   let path =
     match Netsim.Topology.shortest_path topo src dst with
     | Some p -> p
-    | None -> invalid_arg "campaign rfd: disconnected mesh"
+    | None -> invalid_arg (what ^ ": disconnected mesh")
   in
   let rec nth_link i = function
     | a :: (b :: _ as rest) -> if i = 0 then (a, b) else nth_link (i - 1) rest
-    | _ -> invalid_arg "campaign rfd: path too short"
+    | _ -> invalid_arg (what ^ ": path too short")
   in
   let u, v = nth_link (List.length path / 2) path in
+  let flow = { R.default_flow with flow_src = Some src; flow_dst = Some dst } in
+  (flow, (u, v))
+
+(* A link on the flow's shortest path flaps three times (4 s down, 4 s up),
+   then stays up — the scenario the intro's route-flap-damping references
+   [4]/[15] describe. *)
+let flap_scenario (cfg : C.t) =
+  let flow, (u, v) = pinned_midlink_flow cfg ~what:"campaign rfd" in
   let flap i =
     {
       R.fail_at = cfg.C.failure_time +. (float_of_int i *. 8.);
@@ -344,7 +353,6 @@ let flap_scenario (cfg : C.t) =
       heal_after = Some 4.;
     }
   in
-  let flow = { R.default_flow with flow_src = Some src; flow_dst = Some dst } in
   (flow, List.init 3 flap)
 
 let rfd_cell cfg engine =
@@ -791,17 +799,16 @@ let topo_axis ~family_idx ~nodes = (family_idx * 100_000) + nodes
    state, not the generators: the path-vector pair keeps full AS paths per
    (node, neighbor, destination) in its adj-RIB-in — measured at several GB
    for one 1024-node cell — so BGP and BGP-3 stop at 256 nodes and the
-   larger sizes run the O(n·deg) distance-vector pair. At 4096 DBF hits a
-   second wall: it re-arms a 180 s cache timeout per (neighbor, destination)
-   on every heard entry, each re-arm leaves the cancelled event queued until
-   its fire time, and the tombstone population (entry rate × 180 s, × degree
-   versus RIP's one timer per destination) OOM-killed an ER DBF cell past
-   110 GB. RIP stays within ~30 GB there. The full scale audit is
+   larger sizes run the O(n·deg) distance-vector pair. DBF used to stop at
+   1024 as well: re-arming a 180 s cache timeout per (neighbor, destination)
+   by cancel + reschedule left a tombstone population (entry rate × 180 s,
+   × degree versus RIP's one timer per destination) that OOM-killed an ER
+   DBF cell past 110 GB. With the in-place deadline re-arm
+   (Route_table.Deadline_vec) the queue carries one event per live timer and
+   DBF joins RIP in the 4096-node rows. The full scale audit is
    DESIGN.md §15. *)
 let topo_protocols nodes =
-  if nodes <= 256 then E.paper_four
-  else if nodes <= 1024 then [ E.rip; E.dbf ]
-  else [ E.rip ]
+  if nodes <= 256 then E.paper_four else [ E.rip; E.dbf ]
 
 let topo_build family ~nodes ~seed =
   let rng = Dessim.Rng.create seed in
@@ -959,6 +966,201 @@ let topo =
     render = render_topo;
   }
 
+(* ---------- resilience: fast reroute ---------- *)
+
+(* The resilience grid crosses failure schedule x FRR x degree on the
+   default corner-to-corner flow: cells reuse the artifact's degree field as
+   the axis code [sched_idx * 2000 + frr * 1000 + degree] — and carry the
+   same coordinates as self-describing v4 [axes] — so the renderer can slice
+   FRR-on against FRR-off per schedule. The mesh degree itself stays in
+   3..6, the range where loop-free-alternate coverage changes. *)
+let resilience_scheds = [ `Single; `Flap; `Pair; `Surge ]
+
+let resilience_sched_name = function
+  | `Single -> "single"
+  | `Flap -> "flap"
+  | `Pair -> "pair"
+  | `Surge -> "surge"
+
+let resilience_sched_idx = function
+  | `Single -> 0
+  | `Flap -> 1
+  | `Pair -> 2
+  | `Surge -> 3
+
+let resilience_code sched ~frr degree =
+  (resilience_sched_idx sched * 2000) + (if frr then 1000 else 0) + degree
+
+(* [`Single] is the paper's one mid-path failure, never healed. The other
+   schedules re-target the flow's {e current} path at each failure instant,
+   so every cut hits a link the traffic actually crosses at that moment:
+   [`Flap] re-cuts on an 8 s cadence (three times, 4 s down each); [`Pair]
+   cuts two path links simultaneously in four 10 s-spaced rounds — two
+   concurrent cuts exhaust single-alternate coverage around the cut even on
+   richly connected meshes; [`Surge] piles ten overlapping 10 s outages at
+   4 s spacing, the sustained-churn regime where even neighbor-caching
+   protocols develop transient no-route windows. *)
+let resilience_failures (cfg : C.t) sched =
+  let path ~at ~heal =
+    { R.fail_at = at; target = R.Flow_path 0; heal_after = heal }
+  in
+  let t0 = cfg.C.failure_time in
+  match sched with
+  | `Single -> [ path ~at:t0 ~heal:None ]
+  | `Flap ->
+    List.init 3 (fun i ->
+        path ~at:(t0 +. (float_of_int i *. 8.)) ~heal:(Some 4.))
+  | `Pair ->
+    List.concat
+      (List.init 4 (fun i ->
+           let t = t0 +. (float_of_int i *. 10.) in
+           [ path ~at:t ~heal:(Some 6.); path ~at:t ~heal:(Some 6.) ]))
+  | `Surge ->
+    List.init 10 (fun i ->
+        path ~at:(t0 +. (float_of_int i *. 4.)) ~heal:(Some 10.))
+
+(* Seconds of zero flow delivery from the first failure to sim_end — the
+   union of the paper's loss windows across the schedule's failure events,
+   measured on the flow's 1 s throughput buckets. *)
+let loss_window_seconds (cfg : C.t) (m : M.multi) =
+  match m.M.m_flows with
+  | [ f ] ->
+    let g = f.M.f_throughput in
+    let from_bucket =
+      match Dessim.Series.bucket_of_time g cfg.C.failure_time with
+      | Some b -> b
+      | None -> 0
+    in
+    let count = ref 0 in
+    for i = from_bucket to Dessim.Series.buckets g - 1 do
+      if Dessim.Series.count g i = 0 then incr count
+    done;
+    float_of_int !count
+  | _ -> Float.nan
+
+let resilience_cell sched ~frr cfg engine =
+  let failures = resilience_failures cfg sched in
+  let metrics = Obs.Registry.create () in
+  let m =
+    E.run_multi ~frr ~metrics ~flows:[ R.default_flow ] ~failures cfg engine
+  in
+  let gauge name =
+    match Obs.Registry.lookup metrics name with
+    | Some (Obs.Registry.Gauge_value v) -> v
+    | Some _ | None -> 0.
+  in
+  {
+    (Cell_result.of_multi
+       ~extras:
+         [
+           ("loss_window_s", loss_window_seconds cfg m);
+           ("frr_installs", gauge "frr.installs");
+           ("frr_activations", gauge "frr.activations");
+           ("frr_forwards", gauge "frr.forwards");
+           ("frr_exhausted", gauge "frr.exhausted");
+         ]
+       ~axes:
+         [
+           ("schedule", resilience_sched_name sched);
+           ("frr", if frr then "on" else "off");
+           ("mesh_degree", string_of_int cfg.C.degree);
+         ]
+       m)
+    with
+    Cell_result.degree = resilience_code sched ~frr cfg.C.degree;
+  }
+
+let resilience_tasks (sweep : X.sweep) =
+  E.paper_four
+  |> List.concat_map (fun engine ->
+         resilience_scheds
+         |> List.concat_map (fun sched ->
+                [ false; true ]
+                |> List.concat_map (fun frr ->
+                       sweep.X.degrees
+                       |> List.concat_map (fun degree ->
+                              List.init sweep.X.runs (fun i ->
+                                  let cfg = cfg_of sweep degree i in
+                                  {
+                                    t_protocol = E.name engine;
+                                    t_degree = resilience_code sched ~frr degree;
+                                    t_seed = cfg.C.seed;
+                                    t_run =
+                                      (fun () ->
+                                        resilience_cell sched ~frr cfg engine);
+                                  })))))
+  |> Array.of_list
+
+(* FRR-off and FRR-on columns side by side, per protocol, rows = degree. *)
+let resilience_slice (a : Artifact.t) metric ~base =
+  List.concat_map
+    (fun proto ->
+      List.map
+        (fun (tag, b) ->
+          ( proto ^ "/" ^ tag,
+            List.filter_map
+              (fun (g : Artifact.aggregate) ->
+                if
+                  g.Artifact.a_protocol <> proto
+                  || g.Artifact.a_degree < b
+                  || g.Artifact.a_degree >= b + 1000
+                then None
+                else
+                  Option.map
+                    (fun (s : Artifact.stat) ->
+                      (g.Artifact.a_degree - b, s.Artifact.mean))
+                    (List.assoc_opt metric g.Artifact.a_metrics))
+              a.Artifact.aggregates ))
+        [ ("off", base); ("on", base + 1000) ])
+    (protocols_of a)
+
+let render_resilience ppf (a : Artifact.t) =
+  let table ~base ~metric ~title ~unit_label =
+    Fmt.pf ppf "%a@.@."
+      (Convergence.Report.scalar_table ~title ~unit_label)
+      (resilience_slice a metric ~base)
+  in
+  let sched ~base ~label =
+    table ~base ~metric:"drops_no_route"
+      ~title:(label ^ ": no-route drops, FRR off vs on")
+      ~unit_label:"packets; rows are node degree";
+    table ~base ~metric:"drops_ttl"
+      ~title:(label ^ ": TTL expirations, FRR off vs on")
+      ~unit_label:"packets; rows are node degree";
+    table ~base ~metric:"loss_window_s"
+      ~title:(label ^ ": loss window after the first failure, FRR off vs on")
+      ~unit_label:"seconds at zero delivery; rows are node degree";
+    table ~base ~metric:"frr_forwards"
+      ~title:(label ^ ": packets rerouted onto backups (FRR-on cells)")
+      ~unit_label:"packets; rows are node degree"
+  in
+  List.iteri
+    (fun i s ->
+      let label =
+        match s with
+        | `Single -> "single failure"
+        | `Flap -> "flapping link"
+        | `Pair -> "simultaneous pair"
+        | `Surge -> "failure surge"
+      in
+      sched ~base:(i * 2000) ~label)
+    resilience_scheds
+
+let resilience =
+  {
+    name = "resilience";
+    family = "resilience";
+    title =
+      "Fast reroute: loss window with and without precomputed loop-free \
+       backups, across failure schedules and node degree";
+    doc =
+      "no-route drops, TTL drops and loss-window duration, FRR on vs off, \
+       across single / flap / pair / surge failure schedules";
+    include_series = false;
+    tasks = resilience_tasks;
+    render = render_resilience;
+  }
+
 (* ---------- sweep scaling ---------- *)
 
 let ablation_scale ~full (sweep : X.sweep) =
@@ -979,6 +1181,12 @@ let sweep_for t ~full sweep =
     X.scale ~runs:1
       ~degrees:(if full then [ 49; 256; 1024; 4096 ] else [ 49; 256; 1024 ])
       sweep
+  (* the resilience grid crosses schedule x frr x degree, an 8x multiplier
+     on every (protocol, degree) pair, so seeds are capped at 5 even in full
+     mode; the degree range is pinned to 3..6 in every mode *)
+  | "resilience" ->
+    X.scale ~runs:(min 5 sweep.X.runs)
+      ~degrees:(List.filter (fun d -> d >= 3 && d <= 6) sweep.X.degrees) sweep
   | _ -> ablation_scale ~full sweep
 
 (* ---------- registry ---------- *)
@@ -1001,6 +1209,7 @@ let all =
     faults;
     perf;
     topo;
+    resilience;
   ]
 
 let names = List.map (fun s -> s.name) all

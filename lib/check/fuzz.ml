@@ -35,6 +35,7 @@ type scenario = {
   dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
   dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
   mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)
+  frr : bool;  (** enable the fast-reroute layer (backup-path forwarding) *)
 }
 
 (* The schedule leaves generous convergence windows on either side of the
@@ -231,10 +232,12 @@ let run_scenario ~proto sc =
   let failures, live = resolve_failures topo sc in
   ignore
     (Convergence.Engine_registry.run_multi ~topology:topo
-       ~faults:(faults_of ~live sc)
+       ~faults:(faults_of ~live sc) ~frr:sc.frr
        ~monitors:[ Monitor.sink monitor ]
        ~on_quiesce:(fun view ->
-         mismatches := Oracle.check ?max_metric:(max_metric_of ~proto sc) view)
+         mismatches :=
+           Oracle.check ?max_metric:(max_metric_of ~proto sc) view
+           @ Oracle.check_frr view)
        ~flows:(flows_of topo sc) ~failures cfg eng);
   { o_violations = Monitor.finish monitor; o_mismatches = !mismatches }
 
@@ -287,6 +290,7 @@ let scenario_gen =
   let* dv_period = int_range 20 30 in
   let* dv_damp_max = int_range 2 5 in
   let* mrai_pct = int_range 50 100 in
+  let* frr = bool in
   return
     {
       topo;
@@ -299,6 +303,7 @@ let scenario_gen =
       dv_period;
       dv_damp_max;
       mrai_pct;
+      frr;
     }
 
 (* ---------- printing ---------- *)
@@ -322,7 +327,7 @@ let pp_flap ppf f =
 let pp_scenario ppf sc =
   Fmt.pf ppf
     "@[<h>%a; flows %a; rate %d pps; cfg_seed %d; failures %a; loss %d%%; \
-     flap %a; dv period %d damp_max %d; mrai %d%%@]"
+     flap %a; dv period %d damp_max %d; mrai %d%%; frr %s@]"
     pp_topo sc.topo
     Fmt.(list ~sep:comma (pair ~sep:(any "->") int int))
     sc.flows sc.rate sc.cfg_seed
@@ -330,6 +335,7 @@ let pp_scenario ppf sc =
     sc.failures sc.loss_pct
     Fmt.(option ~none:(any "none") pp_flap)
     sc.flap sc.dv_period sc.dv_damp_max sc.mrai_pct
+    (if sc.frr then "on" else "off")
 
 let show_scenario sc = Fmt.str "%a" pp_scenario sc
 

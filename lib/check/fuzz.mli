@@ -55,6 +55,7 @@ type scenario = {
   dv_period : int;  (** RIP/DBF periodic-update interval, seconds *)
   dv_damp_max : int;  (** RIP/DBF triggered-update damping upper bound *)
   mrai_pct : int;  (** BGP MRAI mean as a percentage of the stock value *)
+  frr : bool;  (** enable the fast-reroute layer (backup-path forwarding) *)
 }
 
 val scenario_gen : scenario QCheck2.Gen.t

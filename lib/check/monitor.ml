@@ -8,6 +8,8 @@ type kind =
   | Wrong_delivery_node
   | Non_neighbor_ctrl
   | Conservation
+  | Frr_revisit
+  | Frr_failed_link
 
 let string_of_kind = function
   | Duplicate_send -> "duplicate_send"
@@ -19,6 +21,8 @@ let string_of_kind = function
   | Wrong_delivery_node -> "wrong_delivery_node"
   | Non_neighbor_ctrl -> "non_neighbor_ctrl"
   | Conservation -> "conservation"
+  | Frr_revisit -> "frr_revisit"
+  | Frr_failed_link -> "frr_failed_link"
 
 type violation = { v_kind : kind; v_time : float; v_seq : int; v_what : string }
 
@@ -34,6 +38,10 @@ type pstate = {
   p_dst : int;
   mutable at : int;
   mutable last_ttl : int option;
+  visited : (int, unit) Hashtbl.t;
+      (* every node this packet has been seen at; ordinary forwarding may
+         legally revisit (transient loops are the object of study), but a
+         fast-reroute hop toward a visited node is a violation *)
 }
 
 type t = {
@@ -42,6 +50,7 @@ type t = {
   live : (int, pstate) Hashtbl.t;  (* flow packets still in flight *)
   anon : (int, pstate) Hashtbl.t;  (* packets never announced (transport ACKs) *)
   closed : (int, unit) Hashtbl.t;  (* flow packets already delivered/dropped *)
+  failed_links : (int * int, unit) Hashtbl.t;  (* currently-down links, u < v *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -56,6 +65,7 @@ let create ?initial_ttl ?(max_violations = 1000) ~topo () =
     live = Hashtbl.create 256;
     anon = Hashtbl.create 16;
     closed = Hashtbl.create 256;
+    failed_links = Hashtbl.create 8;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -103,7 +113,25 @@ let check_hop t ~time ~seq ~pkt (ps : pstate) ~node ~next_hop ~ttl =
     flag t ~time ~seq Ttl_violation
       "packet %d forwarded with ttl %d (loops must be cut before 0)" pkt ttl;
   ps.at <- next_hop;
-  ps.last_ttl <- Some ttl
+  ps.last_ttl <- Some ttl;
+  Hashtbl.replace ps.visited next_hop ()
+
+(* Position state for a forwarded packet, adopting unannounced packets
+   (transport ACKs) on first sight so they obey the same hop invariants. *)
+let pstate_of t ~node pkt =
+  match Hashtbl.find_opt t.live pkt with
+  | Some ps -> ps
+  | None -> (
+    match Hashtbl.find_opt t.anon pkt with
+    | Some ps -> ps
+    | None ->
+      let visited = Hashtbl.create 8 in
+      Hashtbl.replace visited node ();
+      let ps = { p_src = node; p_dst = -1; at = node; last_ttl = None; visited } in
+      Hashtbl.replace t.anon pkt ps;
+      ps)
+
+let link_key u v = if u < v then (u, v) else (v, u)
 
 let terminate t ~time ~seq ~verb ~pkt = function
   | Some ps ->
@@ -124,25 +152,32 @@ let on_record t { Obs.Sink.time; seq; event } =
       flag t ~time ~seq Duplicate_send "packet id %d sent twice" pkt
     else begin
       t.sent <- t.sent + 1;
+      let visited = Hashtbl.create 8 in
+      Hashtbl.replace visited src ();
       Hashtbl.replace t.live pkt
-        { p_src = src; p_dst = dst; at = src; last_ttl = None }
+        { p_src = src; p_dst = dst; at = src; last_ttl = None; visited }
     end
   | Obs.Event.Packet_forwarded { pkt; node; next_hop; ttl } ->
-    let ps =
-      match Hashtbl.find_opt t.live pkt with
-      | Some ps -> ps
-      | None -> (
-        match Hashtbl.find_opt t.anon pkt with
-        | Some ps -> ps
-        | None ->
-          (* First sighting of an unannounced packet (a transport ACK): adopt
-             its current position and ttl, then hold it to the same hop
-             invariants as flow packets. *)
-          let ps = { p_src = node; p_dst = -1; at = node; last_ttl = None } in
-          Hashtbl.replace t.anon pkt ps;
-          ps)
-    in
+    check_hop t ~time ~seq ~pkt (pstate_of t ~node pkt) ~node ~next_hop ~ttl
+  (* A fast-reroute hop obeys every ordinary hop invariant {e plus} the
+     backup-path guarantees: it must never aim at a node the packet already
+     visited (residual loops are cut at the data plane) and never cross a
+     link that is currently down (the backup exists precisely to route
+     around failures, not through them). *)
+  | Obs.Event.Frr_forwarded { pkt; node; next_hop; ttl } ->
+    let ps = pstate_of t ~node pkt in
+    if Hashtbl.mem ps.visited next_hop then
+      flag t ~time ~seq Frr_revisit
+        "packet %d frr-forwarded %d -> %d, a node it already visited" pkt node
+        next_hop;
+    if Hashtbl.mem t.failed_links (link_key node next_hop) then
+      flag t ~time ~seq Frr_failed_link
+        "packet %d frr-forwarded %d -> %d across a failed link" pkt node
+        next_hop;
     check_hop t ~time ~seq ~pkt ps ~node ~next_hop ~ttl
+  | Obs.Event.Link_failed { u; v } ->
+    Hashtbl.replace t.failed_links (link_key u v) ()
+  | Obs.Event.Link_healed { u; v } -> Hashtbl.remove t.failed_links (link_key u v)
   | Obs.Event.Packet_delivered { pkt; _ } -> (
     match
       terminate t ~time ~seq ~verb:"delivered" ~pkt (Hashtbl.find_opt t.live pkt)

@@ -15,7 +15,11 @@
       where the previous hop ended (no teleporting);
     - {b delivery locality} — a packet is delivered only at its destination;
     - {b control-plane adjacency} — routing messages travel only between
-      neighboring routers.
+      neighboring routers;
+    - {b fast-reroute discipline} — a backup-forwarded packet
+      ([Frr_forwarded]) never hops toward a node it already visited and never
+      crosses a link currently down (tracked from [Link_failed]/[Link_healed]),
+      on top of every ordinary hop invariant.
 
     Attach one via {!Runner.Make.run_multi}'s [?monitors], which feeds it the
     complete unfiltered event stream. *)
@@ -31,6 +35,8 @@ type kind =
   | Wrong_delivery_node
   | Non_neighbor_ctrl
   | Conservation
+  | Frr_revisit  (** fast-reroute hop toward an already-visited node *)
+  | Frr_failed_link  (** fast-reroute hop across a failed link *)
 
 val string_of_kind : kind -> string
 

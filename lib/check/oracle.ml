@@ -4,6 +4,10 @@ type mismatch_kind =
   | Wrong_metric of { expected : int; got : int option }
   | Invalid_next_hop of { next_hop : int }
   | Non_shortest_next_hop of { next_hop : int; dist : int; dist_nh : int }
+  | Frr_invalid_backup of { backup : int }
+  | Frr_backup_is_primary of { backup : int }
+  | Frr_not_loop_free of { backup : int; dist : int; dist_b : int }
+  | Frr_missing_backup of { alt : int; dist : int; dist_alt : int }
 
 type mismatch = { m_src : int; m_dst : int; m_kind : mismatch_kind }
 
@@ -31,6 +35,20 @@ let pp_mismatch ppf m =
     p "%d -> %d: next hop %d is %d hops from the destination, but %d is %d \
        (metric must strictly decrease along the path)"
       m.m_src m.m_dst next_hop dist_nh m.m_src dist
+  | Frr_invalid_backup { backup } ->
+    p "%d -> %d: backup next hop %d is not a surviving neighbor" m.m_src
+      m.m_dst backup
+  | Frr_backup_is_primary { backup } ->
+    p "%d -> %d: backup next hop %d equals the primary next hop" m.m_src
+      m.m_dst backup
+  | Frr_not_loop_free { backup; dist; dist_b } ->
+    p "%d -> %d: backup %d violates the LFA condition: dist(backup) = %d, \
+       needs < 1 + dist(self) = %d"
+      m.m_src m.m_dst backup dist_b (1 + dist)
+  | Frr_missing_backup { alt; dist; dist_alt } ->
+    p "%d -> %d: no backup installed, but neighbor %d qualifies \
+       (dist %d < 1 + %d)"
+      m.m_src m.m_dst alt dist_alt dist
 
 (* Compare a converged routing view against an independent all-pairs BFS on
    the surviving topology. For each (src, dst) pair the router must:
@@ -40,6 +58,17 @@ let pp_mismatch ppf m =
      condition that makes the converged forwarding graph loop-free;
    - hold no route at all otherwise. *)
 let prof_check = Obs.Prof.scope "check.oracle"
+let prof_frr = Obs.Prof.scope "check.oracle_frr"
+
+let resolve_dests ~n = function
+  | None -> List.init n (fun dst -> n - 1 - dst)
+  | Some ds ->
+    List.iter
+      (fun d ->
+        if d < 0 || d >= n then
+          invalid_arg (Printf.sprintf "Oracle.check: dest %d out of range" d))
+      ds;
+    ds
 
 let check ?max_metric ?dests (view : Convergence.Runner.routing_view) =
   Obs.Prof.time prof_check @@ fun () ->
@@ -49,17 +78,7 @@ let check ?max_metric ?dests (view : Convergence.Runner.routing_view) =
   let add src dst kind =
     mismatches := { m_src = src; m_dst = dst; m_kind = kind } :: !mismatches
   in
-  let dests =
-    match dests with
-    | None -> List.init n (fun dst -> n - 1 - dst)
-    | Some ds ->
-      List.iter
-        (fun d ->
-          if d < 0 || d >= n then
-            invalid_arg (Printf.sprintf "Oracle.check: dest %d out of range" d))
-        ds;
-      ds
-  in
+  let dests = resolve_dests ~n dests in
   List.iter (fun dst ->
     let dist = Netsim.Topology.bfs_distances topo dst in
     for src = n - 1 downto 0 do
@@ -91,3 +110,57 @@ let check ?max_metric ?dests (view : Convergence.Runner.routing_view) =
     done)
     dests;
   !mismatches
+
+(* The fast-reroute backup table is settled against the final routing state
+   (the runner forces a last sweep before the quiescence hook), so at
+   quiescence — where the protocol metrics the sweep read agree with BFS,
+   per [check] — every installed alternate must satisfy the LFA condition
+   against independent BFS distances, and every cell with a qualifying
+   neighbor must hold one. Cells whose primary route is absent are skipped:
+   by design they retain the alternate of the last converged view (which
+   the surviving topology can no longer justify), and the forwarding layer
+   re-validates liveness per packet. *)
+let check_frr ?dests (view : Convergence.Runner.routing_view) =
+  match view.Convergence.Runner.rv_backup with
+  | None -> []
+  | Some backup ->
+    Obs.Prof.time prof_frr @@ fun () ->
+    let topo = view.Convergence.Runner.rv_topology in
+    let n = Netsim.Topology.node_count topo in
+    let mismatches = ref [] in
+    let add src dst kind =
+      mismatches := { m_src = src; m_dst = dst; m_kind = kind } :: !mismatches
+    in
+    let dests = resolve_dests ~n dests in
+    List.iter
+      (fun dst ->
+        let dist = Netsim.Topology.bfs_distances topo dst in
+        for src = n - 1 downto 0 do
+          if src <> dst then
+            match view.Convergence.Runner.rv_next_hop ~src ~dst with
+            | None -> ()
+            | Some prim -> (
+              let d = dist.(src) in
+              match backup ~src ~dst with
+              | Some b ->
+                if not (Netsim.Topology.has_edge topo src b) then
+                  add src dst (Frr_invalid_backup { backup = b })
+                else if b = prim then
+                  add src dst (Frr_backup_is_primary { backup = b })
+                else if d = max_int || dist.(b) >= 1 + d then
+                  add src dst
+                    (Frr_not_loop_free { backup = b; dist = d; dist_b = dist.(b) })
+              | None ->
+                if d < max_int then (
+                  match
+                    List.find_opt
+                      (fun alt -> alt <> prim && dist.(alt) < 1 + d)
+                      (Netsim.Topology.neighbors topo src)
+                  with
+                  | Some alt ->
+                    add src dst
+                      (Frr_missing_backup { alt; dist = d; dist_alt = dist.(alt) })
+                  | None -> ()))
+        done)
+      dests;
+    !mismatches

@@ -38,6 +38,15 @@ type mismatch_kind =
       (** the next hop is not strictly closer to the destination:
           [dist_nh >= dist], so some shortest path is not being followed —
           the signature of a routing loop frozen into the final tables *)
+  | Frr_invalid_backup of { backup : int }
+      (** the installed fast-reroute alternate is not a surviving neighbor *)
+  | Frr_backup_is_primary of { backup : int }
+      (** the alternate duplicates the primary next hop, protecting nothing *)
+  | Frr_not_loop_free of { backup : int; dist : int; dist_b : int }
+      (** the alternate fails the LFA condition
+          [dist(backup, dst) < 1 + dist(self, dst)] on BFS distances *)
+  | Frr_missing_backup of { alt : int; dist : int; dist_alt : int }
+      (** no alternate installed although neighbor [alt] qualifies *)
 
 type mismatch = { m_src : int; m_dst : int; m_kind : mismatch_kind }
 (** One disagreement, identified by the (source, destination) pair whose
@@ -66,3 +75,17 @@ val check :
     strided sample to stay inside the wall budget — a spot check rather than
     a proof, per the scale audit in DESIGN.md §15.
     @raise Invalid_argument if a sampled destination is out of range. *)
+
+val check_frr :
+  ?dests:int list ->
+  Convergence.Runner.routing_view ->
+  mismatch list
+(** [check_frr view] verifies the installed fast-reroute backup table
+    ([view.rv_backup]) against independent BFS distances on the surviving
+    topology: every installed alternate must be a surviving neighbor distinct
+    from the primary satisfying the loop-free condition
+    [dist(alt, dst) < 1 + dist(self, dst)], and every (src, dst) cell with a
+    live primary and a qualifying neighbor must hold one. Cells without a
+    primary route are skipped — they deliberately retain the last converged
+    view's alternate (DESIGN.md §16). Returns [[]] immediately when the run
+    had [~frr:false]. [?dests] as in {!check}. *)

@@ -35,20 +35,20 @@ let find label =
   let target = String.lowercase_ascii label in
   List.find_opt (fun e -> String.lowercase_ascii (name e) = target) all
 
-let run ?topology ?faults ?src ?dst ?trace ?monitors ?metrics ?on_quiesce
+let run ?topology ?faults ?frr ?src ?dst ?trace ?monitors ?metrics ?on_quiesce
     ?fail_link ?restore_after cfg (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run ~label ?topology ?faults ?src ?dst ?trace ?monitors ?metrics
+  R.run ~label ?topology ?faults ?frr ?src ?dst ?trace ?monitors ?metrics
     ?on_quiesce ?fail_link ?restore_after cfg pcfg
 
-let run_multi ?topology ?faults ?trace ?monitors ?metrics ?on_quiesce ~flows
-    ~failures cfg (Engine ((module P), pcfg, label)) =
+let run_multi ?topology ?faults ?frr ?trace ?monitors ?metrics ?on_quiesce
+    ~flows ~failures cfg (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run_multi ~label ?topology ?faults ?trace ?monitors ?metrics ?on_quiesce
-    ~flows ~failures cfg pcfg
+  R.run_multi ~label ?topology ?faults ?frr ?trace ?monitors ?metrics
+    ?on_quiesce ~flows ~failures cfg pcfg
 
-let run_transport ?topology ?faults ?trace ?metrics ?src ?dst ~failures tc cfg
-    (Engine ((module P), pcfg, label)) =
+let run_transport ?topology ?faults ?frr ?trace ?metrics ?src ?dst ~failures tc
+    cfg (Engine ((module P), pcfg, label)) =
   let module R = Runner.Make (P) in
-  R.run_transport ~label ?topology ?faults ?trace ?metrics ?src ?dst ~failures
-    tc cfg pcfg
+  R.run_transport ~label ?topology ?faults ?frr ?trace ?metrics ?src ?dst
+    ~failures tc cfg pcfg

@@ -42,6 +42,7 @@ val find : string -> t option
 val run :
   ?topology:Netsim.Topology.t ->
   ?faults:Fault.Spec.t ->
+  ?frr:bool ->
   ?src:Netsim.Types.node_id ->
   ?dst:Netsim.Types.node_id ->
   ?trace:Obs.Trace.t ->
@@ -60,6 +61,7 @@ val run :
 val run_multi :
   ?topology:Netsim.Topology.t ->
   ?faults:Fault.Spec.t ->
+  ?frr:bool ->
   ?trace:Obs.Trace.t ->
   ?monitors:Obs.Sink.t list ->
   ?metrics:Obs.Registry.t ->
@@ -74,6 +76,7 @@ val run_multi :
 val run_transport :
   ?topology:Netsim.Topology.t ->
   ?faults:Fault.Spec.t ->
+  ?frr:bool ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Registry.t ->
   ?src:Netsim.Types.node_id ->

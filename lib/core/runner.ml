@@ -47,6 +47,11 @@ type routing_view = {
     Netsim.Types.node_id option;
   rv_metric :
     src:Netsim.Types.node_id -> dst:Netsim.Types.node_id -> int option;
+  rv_backup :
+    (src:Netsim.Types.node_id -> dst:Netsim.Types.node_id ->
+     Netsim.Types.node_id option)
+    option;
+      (* installed fast-reroute backup next hops; [None] when frr is off *)
 }
 
 let default_transport =
@@ -158,6 +163,12 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     (* per-category event counts for the perf harness *)
     mutable timer_fires : int;
     mutable data_forwards : int;
+    (* fast reroute; [None] leaves every pre-existing code path untouched *)
+    frr : Frr.t option;
+    mutable frr_installs : int;
+    mutable frr_activations : int;
+    mutable frr_forwards : int;
+    mutable frr_exhausted : int;
   }
 
   (* Slot of directed link [u -> v] in the CSR arrays, or -1 when absent.
@@ -206,6 +217,68 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     Obs.Trace.emit st.trace ~time:(Dessim.Scheduler.now st.sched) ev
 
   let next_hop_of st n ~dst = P.next_hop st.routers.(n) ~dst
+
+  (* ---------- fast reroute ---------- *)
+
+  (* Backup recomputation is debounced: route changes mark destinations
+     dirty, and one sweep this long after the first marking recomputes only
+     the dirty columns. Long enough to batch a convergence burst's worth of
+     changes, short enough that backups track the control plane closely. *)
+  let frr_sweep_delay = 1.0
+
+  let frr_metric st ~node ~dst = P.metric st.routers.(node) ~dst
+
+  let frr_next_hop st ~node ~dst = P.next_hop st.routers.(node) ~dst
+
+  let frr_sweep ?(installs_traced = true) st f =
+    let trace_env = installs_traced && tracing st Obs.Event.Env in
+    Frr.sweep f
+      ~metric:(fun ~node ~dst -> frr_metric st ~node ~dst)
+      ~next_hop:(fun ~node ~dst -> frr_next_hop st ~node ~dst)
+      ~on_install:(fun ~node ~dst ~backup ->
+        st.frr_installs <- st.frr_installs + 1;
+        if trace_env then
+          emit st (Obs.Event.Frr_installed { node; dst; backup }))
+
+  let frr_arm st f =
+    if Frr.arm_sweep f then
+      ignore
+        (Dessim.Scheduler.after st.sched ~delay:frr_sweep_delay (fun () ->
+             frr_sweep st f))
+
+  let frr_route_changed st f dst =
+    Frr.mark_dirty f ~dst;
+    frr_arm st f
+
+  (* One endpoint's local failure detection: activate fast reroute at [node]
+     for traffic that would have crossed the dead link, and queue the
+     recomputation of the alternates that crossed it themselves. Fires at
+     the same instant the routing protocol learns of the failure. *)
+  let frr_detect_down st f node neighbor =
+    if Frr.mark_down f ~node ~neighbor then begin
+      st.frr_activations <- st.frr_activations + 1;
+      if tracing st Obs.Event.Env then
+        emit st (Obs.Event.Frr_activated { node; neighbor })
+    end;
+    Frr.dirty_backups_via f ~node ~neighbor
+
+  let frr_link_down st u v =
+    match st.frr with
+    | Some f ->
+      frr_detect_down st f u v;
+      frr_detect_down st f v u;
+      frr_arm st f
+    | None -> ()
+
+  let frr_link_up st u v =
+    match st.frr with
+    | Some f ->
+      Frr.mark_up f ~node:u ~neighbor:v;
+      Frr.mark_up f ~node:v ~neighbor:u;
+      Frr.dirty_missing_backups f ~node:u;
+      Frr.dirty_missing_backups f ~node:v;
+      frr_arm st f
+    | None -> ()
 
   let sample_path st (f : flow_state) =
     Observer.current_path
@@ -263,6 +336,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     let now = Dessim.Scheduler.now st.sched in
     if tracing st Obs.Event.Env then
       emit st (Obs.Event.Route_changed { node = router; dst });
+    (match st.frr with
+    | Some f -> frr_route_changed st f dst
+    | None -> ());
     (match st.first_failure_at with
     | Some t0 when now >= t0 -> st.last_route_change <- now
     | Some _ | None -> ());
@@ -285,20 +361,65 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     Netsim.Packet.visit p node;
     if node = p.dst then d.d_handler.h_deliver p
     else
-      match next_hop_of st node ~dst:p.dst with
-      | None -> drop_data d Netsim.Types.No_route
-      | Some nh ->
-        if p.ttl <= 0 then drop_data d Netsim.Types.Ttl_expired
-        else begin
-          if tracing st Obs.Event.Data then
-            emit st
-              (Obs.Event.Packet_forwarded
-                 { pkt = p.id; node; next_hop = nh; ttl = p.ttl });
-          p.ttl <- p.ttl - 1;
-          (* Rejections are accounted by the link's [dropped] callback. *)
-          ignore
-            (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits payload)
-        end
+      match st.frr with
+      | Some f -> frr_forward st f node payload d
+      | None -> (
+        match next_hop_of st node ~dst:p.dst with
+        | None -> drop_data d Netsim.Types.No_route
+        | Some nh -> forward_via st node payload d nh)
+
+  and forward_via st node payload (d : data) nh =
+    let p = d.d_pkt in
+    if p.ttl <= 0 then drop_data d Netsim.Types.Ttl_expired
+    else begin
+      if tracing st Obs.Event.Data then
+        emit st
+          (Obs.Event.Packet_forwarded
+             { pkt = p.id; node; next_hop = nh; ttl = p.ttl });
+      p.ttl <- p.ttl - 1;
+      (* Rejections are accounted by the link's [dropped] callback. *)
+      ignore (Netsim.Link.send (link st node nh) ~size_bits:p.size_bits payload)
+    end
+
+  (* Forwarding with fast reroute enabled: graceful degradation of the data
+     plane. The primary route is used whenever it is usable; the precomputed
+     backup covers exactly the convergence gap — primary still aimed at a
+     locally-detected-dead link, or withdrawn/invalidated by the protocol's
+     reconvergence churn. Once the protocol installs a fresh usable primary,
+     the first branch takes over again: deactivation on reconvergence needs
+     no extra state. *)
+  and frr_forward st f node payload (d : data) =
+    let p = d.d_pkt in
+    let primary = next_hop_of st node ~dst:p.dst in
+    match primary with
+    | Some nh when not (Frr.is_down f ~node ~neighbor:nh) ->
+      forward_via st node payload d nh
+    | _ ->
+      let b = Frr.backup_id f ~node ~dst:p.dst in
+      let usable =
+        b >= 0 && p.ttl > 0
+        && (not (Frr.is_down f ~node ~neighbor:b))
+        && Netsim.Link.is_up (link st node b)
+        && not (Netsim.Packet.visited p b)
+      in
+      if usable then begin
+        st.frr_forwards <- st.frr_forwards + 1;
+        if tracing st Obs.Event.Data then
+          emit st
+            (Obs.Event.Frr_forwarded
+               { pkt = p.id; node; next_hop = b; ttl = p.ttl });
+        p.ttl <- p.ttl - 1;
+        ignore (Netsim.Link.send (link st node b) ~size_bits:p.size_bits payload)
+      end
+      else begin
+        st.frr_exhausted <- st.frr_exhausted + 1;
+        if tracing st Obs.Event.Data then
+          emit st (Obs.Event.Frr_exhausted { pkt = p.id; node });
+        (* Fall through to exactly the frr-off outcome. *)
+        match primary with
+        | None -> drop_data d Netsim.Types.No_route
+        | Some nh -> forward_via st node payload d nh
+      end
 
   and deliver_ctrl st ~from at_node msg =
     if tracing st Obs.Event.Control then
@@ -698,6 +819,9 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       ignore
         (Dessim.Scheduler.after st.sched ~delay:cfg.Config.detection_delay
            (fun () ->
+             (* Guarded on physical state so a heal racing the detection
+                delay cannot leave a stale detection mark behind. *)
+             if not (Netsim.Link.is_up (link st u v)) then frr_link_down st u v;
              rtx_link_down st u v;
              P.on_link_down st.routers.(u) ~neighbor:v;
              P.on_link_down st.routers.(v) ~neighbor:u;
@@ -714,6 +838,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
                  emit st (Obs.Event.Link_healed { u; v });
                Netsim.Link.restore (link st u v);
                Netsim.Link.restore (link st v u);
+               frr_link_up st u v;
                rtx_link_up st u v;
                P.on_link_up st.routers.(u) ~neighbor:v;
                P.on_link_up st.routers.(v) ~neighbor:u))
@@ -756,6 +881,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
                 shorter than the detection delay is invisible to routing,
                 exactly like a real loss-of-signal debounce. *)
              if !(down_ref st u v) > 0 then begin
+               frr_link_down st u v;
                rtx_link_down st u v;
                P.on_link_down st.routers.(u) ~neighbor:v;
                P.on_link_down st.routers.(v) ~neighbor:u;
@@ -771,6 +897,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         if tracing st Obs.Event.Env then emit st (Obs.Event.Link_healed { u; v });
         Netsim.Link.restore (link st u v);
         Netsim.Link.restore (link st v u);
+        frr_link_up st u v;
         rtx_link_up st u v;
         P.on_link_up st.routers.(u) ~neighbor:v;
         P.on_link_up st.routers.(v) ~neighbor:u
@@ -910,8 +1037,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
      the master RNG, positioned identically regardless of what traffic will
      run on top — so a CBR run and a transport run over the same seed see the
      same flow endpoints and failure choices. *)
-  let prepare ?topology ?(faults = Fault.Spec.none) ~trace ~monitors ~metrics
-      ~flows (cfg : Config.t) (pcfg : P.config) =
+  let prepare ?topology ?(faults = Fault.Spec.none) ?(frr = false) ~trace
+      ~monitors ~metrics ~flows (cfg : Config.t) (pcfg : P.config) =
     (match Config.validate cfg with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Runner.run: " ^ msg));
@@ -1046,6 +1173,17 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         session_resets = 0;
         timer_fires = 0;
         data_forwards = 0;
+        frr =
+          (if frr then
+             Some
+               (Frr.create
+                  ~n:(Netsim.Topology.node_count topo)
+                  ~neighbors:(Netsim.Topology.neighbors topo))
+           else None);
+        frr_installs = 0;
+        frr_activations = 0;
+        frr_forwards = 0;
+        frr_exhausted = 0;
       }
     in
     make_links st;
@@ -1129,6 +1267,22 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       Obs.Registry.incr ~by:st.ctrl_messages (Obs.Registry.counter m "ctrl.messages");
       Obs.Registry.incr ~by:st.ctrl_bytes (Obs.Registry.counter m "ctrl.bytes");
       Obs.Registry.incr ~by:st.ctrl_lost (Obs.Registry.counter m "ctrl.lost");
+      (* FRR gauges appear only for frr runs, so a plain run's metric
+         listing is unchanged. *)
+      if st.frr <> None then begin
+        Obs.Registry.set
+          (Obs.Registry.gauge m "frr.installs")
+          (float_of_int st.frr_installs);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "frr.activations")
+          (float_of_int st.frr_activations);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "frr.forwards")
+          (float_of_int st.frr_forwards);
+        Obs.Registry.set
+          (Obs.Registry.gauge m "frr.exhausted")
+          (float_of_int st.frr_exhausted)
+      end;
       (* Fault gauges appear only for faulted runs, so a plain run's metric
          listing is unchanged. *)
       if not (Fault.Spec.is_none st.faults) then begin
@@ -1165,21 +1319,32 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
           ~edges:surviving;
       rv_next_hop = (fun ~src ~dst -> next_hop_of st src ~dst);
       rv_metric = (fun ~src ~dst -> P.metric st.routers.(src) ~dst);
+      rv_backup =
+        Option.map
+          (fun f -> fun ~src ~dst -> Frr.backup f ~node:src ~dst)
+          st.frr;
     }
 
-  let run_multi ?label ?topology ?faults ?(trace = Obs.Trace.null)
+  let run_multi ?label ?topology ?faults ?frr ?(trace = Obs.Trace.null)
       ?(monitors = []) ?metrics ?on_quiesce ~flows ~failures (cfg : Config.t)
       (pcfg : P.config) =
     let st, rng =
-      prepare ?topology ?faults ~trace ~monitors ~metrics ~flows cfg pcfg
+      prepare ?topology ?faults ?frr ~trace ~monitors ~metrics ~flows cfg pcfg
     in
     Array.iter (start_traffic st) st.flows;
     List.iter (inject_failure st rng) failures;
     run_scheduler st;
+    (* Settle the backup table against the final routing state before the
+       quiescence hook reads it: a sweep still pending (debounce armed past
+       [sim_end]) would leave the last route changes unapplied, and the
+       differential oracle checks backups against converged tables. *)
+    (match st.frr with
+    | Some f when on_quiesce <> None -> frr_sweep ~installs_traced:false st f
+    | Some _ | None -> ());
     (match on_quiesce with Some f -> f (routing_view st) | None -> ());
     collect_multi ?label st
 
-  let run ?label ?topology ?faults ?src ?dst ?trace ?monitors ?metrics
+  let run ?label ?topology ?faults ?frr ?src ?dst ?trace ?monitors ?metrics
       ?on_quiesce ?fail_link ?restore_after (cfg : Config.t) (pcfg : P.config)
       =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
@@ -1191,8 +1356,8 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
       }
     in
     Metrics.run_of_multi
-      (run_multi ?label ?topology ?faults ?trace ?monitors ?metrics ?on_quiesce
-         ~flows:[ flow ] ~failures:[ failure ] cfg pcfg)
+      (run_multi ?label ?topology ?faults ?frr ?trace ?monitors ?metrics
+         ?on_quiesce ~flows:[ flow ] ~failures:[ failure ] cfg pcfg)
 
   (* ---------- reliable transport on top of the data plane ---------- *)
 
@@ -1356,13 +1521,13 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
     ignore (Dessim.Scheduler.schedule st.sched ~at:f.start fill_window);
     outcome
 
-  let run_transport ?label ?topology ?faults ?(trace = Obs.Trace.null) ?metrics
-      ?src ?dst ~failures (tc : transport_config) (cfg : Config.t)
+  let run_transport ?label ?topology ?faults ?frr ?(trace = Obs.Trace.null)
+      ?metrics ?src ?dst ~failures (tc : transport_config) (cfg : Config.t)
       (pcfg : P.config) =
     let flow = { default_flow with flow_src = src; flow_dst = dst } in
     let st, rng =
-      prepare ?topology ?faults ~trace ~monitors:[] ~metrics ~flows:[ flow ]
-        cfg pcfg
+      prepare ?topology ?faults ?frr ~trace ~monitors:[] ~metrics
+        ~flows:[ flow ] cfg pcfg
     in
     let outcome = start_transport st st.flows.(0) tc in
     List.iter (inject_failure st rng) failures;

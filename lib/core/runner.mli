@@ -58,6 +58,12 @@ type routing_view = {
     Netsim.Types.node_id option;
   rv_metric :
     src:Netsim.Types.node_id -> dst:Netsim.Types.node_id -> int option;
+  rv_backup :
+    (src:Netsim.Types.node_id -> dst:Netsim.Types.node_id ->
+     Netsim.Types.node_id option)
+    option;
+      (** the installed fast-reroute backup next hops (settled against the
+          final routing tables); [None] when the run had [~frr:false] *)
 }
 (** A protocol-agnostic snapshot of every router's converged forwarding
     decisions, taken once the scheduler has drained to [sim_end]. The check
@@ -99,12 +105,23 @@ type transport_outcome = {
       takes exactly its pre-fault code paths (bit-identical traces and
       metrics). When faults are active the registry additionally gains
       [fault.injected_data_drops], [fault.injected_ctrl_drops],
-      [rtx.retransmissions], [rtx.timeouts], and [rtx.session_resets]. *)
+      [rtx.retransmissions], [rtx.timeouts], and [rtx.session_resets].
+    - [?frr] — enable the fast-reroute layer: every router precomputes a
+      loop-free backup next hop per destination ({!Frr}) and degrades
+      gracefully onto it whenever its primary route is unusable — aimed at a
+      locally-detected-down link, or withdrawn/invalidated by reconvergence
+      churn — falling back to normal forwarding once the protocol installs a
+      fresh usable primary. Defaults to
+      [false], in which case the run takes exactly its pre-frr code paths
+      (bit-identical traces and metrics). When on, the registry gains
+      [frr.installs], [frr.activations], [frr.forwards] and
+      [frr.exhausted] gauges, and the trace gains the [Frr_*] events. *)
 module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
   val run_multi :
     ?label:string ->
     ?topology:Netsim.Topology.t ->
     ?faults:Fault.Spec.t ->
+    ?frr:bool ->
     ?trace:Obs.Trace.t ->
     ?monitors:Obs.Sink.t list ->
     ?metrics:Obs.Registry.t ->
@@ -130,6 +147,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     ?label:string ->
     ?topology:Netsim.Topology.t ->
     ?faults:Fault.Spec.t ->
+    ?frr:bool ->
     ?src:Netsim.Types.node_id ->
     ?dst:Netsim.Types.node_id ->
     ?trace:Obs.Trace.t ->
@@ -159,6 +177,7 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) : sig
     ?label:string ->
     ?topology:Netsim.Topology.t ->
     ?faults:Fault.Spec.t ->
+    ?frr:bool ->
     ?trace:Obs.Trace.t ->
     ?metrics:Obs.Registry.t ->
     ?src:Netsim.Types.node_id ->

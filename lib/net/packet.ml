@@ -44,6 +44,13 @@ let visit p n =
   else if (not p.revisited) && List.mem n p.visits then p.revisited <- true;
   p.visits <- n :: p.visits
 
+(* Non-mutating membership test over the same bitset/list hybrid as [visit];
+   fast reroute uses it to refuse a backup hop that would close a loop. *)
+let visited p n =
+  if n < 63 then p.vmask0 land (1 lsl n) <> 0
+  else if n < 126 then p.vmask1 land (1 lsl (n - 63)) <> 0
+  else List.mem n p.visits
+
 let hop_count p = max 0 (List.length p.visits - 1)
 
 let path p = List.rev p.visits

@@ -29,6 +29,10 @@ val create :
 val visit : t -> Types.node_id -> unit
 (** [visit p n] records that [p] is being processed by router [n]. *)
 
+val visited : t -> Types.node_id -> bool
+(** [visited p n] is true when [n] already appears in [p]'s journey. Unlike
+    {!visit} it never mutates the packet. *)
+
 val hop_count : t -> int
 (** [hop_count p] is the number of routers visited so far minus one. *)
 

@@ -79,6 +79,11 @@ type t =
     }
   | Loop_enter of { flow : int; cycle : int list }
   | Loop_exit of { flow : int; cycle : int list; duration : float }
+  (* fast reroute *)
+  | Frr_installed of { node : int; dst : int; backup : int }
+  | Frr_activated of { node : int; neighbor : int }
+  | Frr_forwarded of { pkt : int; node : int; next_hop : int; ttl : int }
+  | Frr_exhausted of { pkt : int; node : int }
   (* control plane *)
   | Ctrl_sent of { proto : string; src : int; dst : int; kind : msg_kind; bits : int }
   | Ctrl_received of { proto : string; src : int; dst : int; kind : msg_kind }
@@ -102,25 +107,27 @@ type t =
 
 let category = function
   | Packet_sent _ | Packet_forwarded _ | Packet_delivered _ | Packet_dropped _
-  | Loop_enter _ | Loop_exit _ ->
+  | Loop_enter _ | Loop_exit _ | Frr_forwarded _ | Frr_exhausted _ ->
     Data
   | Ctrl_sent _ | Ctrl_received _ | Ctrl_lost _ | Timer_fired _ | Mrai_defer _
   | Rtx_sent _ | Rtx_timeout _ | Session_reset _ ->
     Control
   | Link_failed _ | Link_healed _ | Route_changed _ | Path_changed _
-  | Fault_injected _ | Node_crash _ | Node_reboot _ ->
+  | Fault_injected _ | Node_crash _ | Node_reboot _ | Frr_installed _
+  | Frr_activated _ ->
     Env
   | Sched_stats _ -> Sched
 
 let severity = function
-  | Packet_forwarded _ | Timer_fired _ -> Debug
+  | Packet_forwarded _ | Timer_fired _ | Frr_installed _ -> Debug
   | Packet_dropped _ | Loop_enter _ | Ctrl_lost _ | Link_failed _
   | Link_healed _ | Node_crash _ | Node_reboot _ | Rtx_timeout _
   | Session_reset _ ->
     Warn
   | Packet_sent _ | Packet_delivered _ | Loop_exit _ | Ctrl_sent _
   | Ctrl_received _ | Mrai_defer _ | Route_changed _ | Path_changed _
-  | Fault_injected _ | Rtx_sent _ | Sched_stats _ ->
+  | Fault_injected _ | Rtx_sent _ | Sched_stats _ | Frr_activated _
+  | Frr_forwarded _ | Frr_exhausted _ ->
     Info
 
 let name = function
@@ -130,6 +137,10 @@ let name = function
   | Packet_dropped _ -> "packet_dropped"
   | Loop_enter _ -> "loop_enter"
   | Loop_exit _ -> "loop_exit"
+  | Frr_installed _ -> "frr_installed"
+  | Frr_activated _ -> "frr_activated"
+  | Frr_forwarded _ -> "frr_forwarded"
+  | Frr_exhausted _ -> "frr_exhausted"
   | Ctrl_sent _ -> "ctrl_sent"
   | Ctrl_received _ -> "ctrl_received"
   | Ctrl_lost _ -> "ctrl_lost"
@@ -165,6 +176,14 @@ let pp ppf ev =
   | Loop_exit { flow; cycle; duration } ->
     Fmt.pf ppf "flow %d path leaves loop %a after %.2fs" flow
       Netsim.Types.pp_path cycle duration
+  | Frr_installed { node; dst; backup } ->
+    Fmt.pf ppf "router %d installs backup next hop %d for %d" node backup dst
+  | Frr_activated { node; neighbor } ->
+    Fmt.pf ppf "router %d activates fast reroute around %d" node neighbor
+  | Frr_forwarded { pkt; node; next_hop; ttl } ->
+    Fmt.pf ppf "packet %d rerouted %d -> %d (ttl %d)" pkt node next_hop ttl
+  | Frr_exhausted { pkt; node } ->
+    Fmt.pf ppf "packet %d has no usable backup at %d" pkt node
   | Ctrl_sent { proto; src; dst; kind; bits } ->
     Fmt.pf ppf "%s %s %d -> %d (%d bits)" proto (string_of_msg_kind kind) src
       dst bits
@@ -239,6 +258,13 @@ let to_fields ev : (string * Json.t) list =
       ("cycle", List (List.map (fun n -> Int n) cycle));
       ("duration", Float duration);
     ]
+  | Frr_installed { node; dst; backup } ->
+    [ ("node", Int node); ("dst", Int dst); ("backup", Int backup) ]
+  | Frr_activated { node; neighbor } ->
+    [ ("node", Int node); ("neighbor", Int neighbor) ]
+  | Frr_forwarded { pkt; node; next_hop; ttl } ->
+    [ ("pkt", Int pkt); ("node", Int node); ("next", Int next_hop); ("ttl", Int ttl) ]
+  | Frr_exhausted { pkt; node } -> [ ("pkt", Int pkt); ("node", Int node) ]
   | Ctrl_sent { proto; src; dst; kind; bits } ->
     [
       ("proto", String proto);
@@ -333,6 +359,25 @@ let of_fields json : t option =
     let* cycle = ints "cycle" in
     let* duration = float "duration" in
     Some (Loop_exit { flow; cycle; duration })
+  | "frr_installed" ->
+    let* node = int "node" in
+    let* dst = int "dst" in
+    let* backup = int "backup" in
+    Some (Frr_installed { node; dst; backup })
+  | "frr_activated" ->
+    let* node = int "node" in
+    let* neighbor = int "neighbor" in
+    Some (Frr_activated { node; neighbor })
+  | "frr_forwarded" ->
+    let* pkt = int "pkt" in
+    let* node = int "node" in
+    let* next_hop = int "next" in
+    let* ttl = int "ttl" in
+    Some (Frr_forwarded { pkt; node; next_hop; ttl })
+  | "frr_exhausted" ->
+    let* pkt = int "pkt" in
+    let* node = int "node" in
+    Some (Frr_exhausted { pkt; node })
   | "ctrl_sent" ->
     let* proto = str "proto" in
     let* src = int "src" in

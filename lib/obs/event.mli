@@ -60,6 +60,17 @@ type t =
   | Loop_enter of { flow : int; cycle : int list }
       (** the flow's sampled forwarding path entered this cycle *)
   | Loop_exit of { flow : int; cycle : int list; duration : float }
+  | Frr_installed of { node : int; dst : int; backup : int }
+      (** the fast-reroute layer (re)computed a loop-free backup next hop *)
+  | Frr_activated of { node : int; neighbor : int }
+      (** [node] locally detected its link to [neighbor] down and switched
+          affected traffic onto backup next hops until reconvergence *)
+  | Frr_forwarded of { pkt : int; node : int; next_hop : int; ttl : int }
+      (** one hop taken via a backup next hop instead of the (dead) primary;
+          [ttl] is the value {e before} decrement, as in [Packet_forwarded] *)
+  | Frr_exhausted of { pkt : int; node : int }
+      (** fast reroute was active at [node] but no usable backup existed; the
+          packet falls through to the normal (drop) path *)
   | Ctrl_sent of { proto : string; src : int; dst : int; kind : msg_kind; bits : int }
   | Ctrl_received of { proto : string; src : int; dst : int; kind : msg_kind }
   | Ctrl_lost of { reason : Netsim.Types.drop_reason }

@@ -308,6 +308,141 @@ let link_report records =
 let link_episode_duration e =
   match e.lk_up with Some up -> Some (up -. e.lk_down) | None -> None
 
+(* Fast-reroute report, reconstructed from the [Frr_*] events.
+
+   An {e episode} is one router's local-detection window: it opens at the
+   first [Frr_activated] on the node, tracks the set of neighbors the node
+   currently believes down, and closes when the last of them heals
+   ([Link_healed]). Backup-forwarded packets at the node during the window
+   are attributed to the episode — the "packets saved" of the resilience
+   study. Forwards outside any window (graceful degradation at routers that
+   never detected a failure themselves, routing around a withdrawn primary)
+   count only toward the totals.
+
+   [Frr_exhausted] events — a packet met an unusable primary {e and} an
+   unusable backup — are clustered into windows by inter-arrival gap, which
+   renders the trace's residual loss bursts. *)
+
+type frr_episode = {
+  fe_node : int;
+  fe_started : float;
+  fe_ended : float option;  (* [None]: still detected-down at end of trace *)
+  fe_forwards : int;  (* backup-forwarded events at this node in the window *)
+  fe_packets : int;  (* distinct packets among them *)
+}
+
+type frr_window = { fw_started : float; fw_ended : float; fw_count : int }
+
+type frr_summary = {
+  fr_installs : int;
+  fr_activations : int;
+  fr_forwards : int;
+  fr_exhausted : int;
+  fr_episodes : frr_episode list;  (* by start time *)
+  fr_exhausted_windows : frr_window list;  (* by start time *)
+}
+
+type open_episode = {
+  oe_started : float;
+  mutable oe_down : int list;  (* neighbors currently believed down *)
+  mutable oe_forwards : int;
+  oe_pkts : (int, unit) Hashtbl.t;
+}
+
+let frr_report ?(gap = 1.0) records =
+  if gap <= 0. then invalid_arg "Replay.frr_report: gap";
+  let installs = ref 0 in
+  let activations = ref 0 in
+  let forwards = ref 0 in
+  let exhausted = ref 0 in
+  let open_eps = Hashtbl.create 8 in
+  (* node -> open_episode *)
+  let episodes = ref [] in
+  let exh_times = ref [] in
+  let close node (oe : open_episode) ended =
+    Hashtbl.remove open_eps node;
+    episodes :=
+      {
+        fe_node = node;
+        fe_started = oe.oe_started;
+        fe_ended = ended;
+        fe_forwards = oe.oe_forwards;
+        fe_packets = Hashtbl.length oe.oe_pkts;
+      }
+      :: !episodes
+  in
+  let heal_side time node neighbor =
+    match Hashtbl.find_opt open_eps node with
+    | Some oe when List.mem neighbor oe.oe_down ->
+      oe.oe_down <- List.filter (fun x -> x <> neighbor) oe.oe_down;
+      if oe.oe_down = [] then close node oe (Some time)
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun r ->
+      match r.Sink.event with
+      | Event.Frr_installed _ -> incr installs
+      | Event.Frr_activated { node; neighbor } ->
+        incr activations;
+        let oe =
+          match Hashtbl.find_opt open_eps node with
+          | Some oe -> oe
+          | None ->
+            let oe =
+              {
+                oe_started = r.Sink.time;
+                oe_down = [];
+                oe_forwards = 0;
+                oe_pkts = Hashtbl.create 32;
+              }
+            in
+            Hashtbl.replace open_eps node oe;
+            oe
+        in
+        if not (List.mem neighbor oe.oe_down) then
+          oe.oe_down <- neighbor :: oe.oe_down
+      | Event.Frr_forwarded { pkt; node; _ } -> (
+        incr forwards;
+        match Hashtbl.find_opt open_eps node with
+        | Some oe ->
+          oe.oe_forwards <- oe.oe_forwards + 1;
+          Hashtbl.replace oe.oe_pkts pkt ()
+        | None -> ())
+      | Event.Frr_exhausted _ ->
+        incr exhausted;
+        exh_times := r.Sink.time :: !exh_times
+      | Event.Link_healed { u; v } ->
+        heal_side r.Sink.time u v;
+        heal_side r.Sink.time v u
+      | _ -> ())
+    records;
+  Hashtbl.iter (fun node oe -> close node oe None) open_eps;
+  let windows =
+    let rec cluster acc = function
+      | [] -> List.rev acc
+      | t :: rest -> (
+        match acc with
+        | { fw_ended; fw_count; fw_started } :: acc' when t -. fw_ended <= gap ->
+          cluster ({ fw_started; fw_ended = t; fw_count = fw_count + 1 } :: acc') rest
+        | _ -> cluster ({ fw_started = t; fw_ended = t; fw_count = 1 } :: acc) rest)
+    in
+    cluster [] (List.sort compare !exh_times)
+  in
+  {
+    fr_installs = !installs;
+    fr_activations = !activations;
+    fr_forwards = !forwards;
+    fr_exhausted = !exhausted;
+    fr_episodes =
+      List.sort
+        (fun a b ->
+          match compare a.fe_started b.fe_started with
+          | 0 -> compare a.fe_node b.fe_node
+          | c -> c)
+        !episodes;
+    fr_exhausted_windows = windows;
+  }
+
 (* ---------- rendering ---------- *)
 
 let pp_totals ppf t =
@@ -350,6 +485,24 @@ let pp_link_episode ppf e =
   | None ->
     Fmt.pf ppf "link %d-%d: down from t=%.2f (still down at end of trace)"
       e.lk_u e.lk_v e.lk_down
+
+let pp_frr_episode ppf e =
+  match e.fe_ended with
+  | Some ended ->
+    Fmt.pf ppf
+      "node %d: reroute active t=%.2f to t=%.2f (%.2fs), %d packets saved \
+       over %d backup hops"
+      e.fe_node e.fe_started ended (ended -. e.fe_started) e.fe_packets
+      e.fe_forwards
+  | None ->
+    Fmt.pf ppf
+      "node %d: reroute active from t=%.2f (unresolved at end of trace), %d \
+       packets saved over %d backup hops"
+      e.fe_node e.fe_started e.fe_packets e.fe_forwards
+
+let pp_frr_window ppf w =
+  Fmt.pf ppf "t=%.2f to t=%.2f: %d packets met an exhausted backup" w.fw_started
+    w.fw_ended w.fw_count
 
 let pp_loop_episode ppf e =
   match e.le_ended with

@@ -112,7 +112,46 @@ val link_report : Sink.record list -> link_episode list
 
 val link_episode_duration : link_episode -> float option
 
+(** {2 Fast-reroute report} *)
+
+type frr_episode = {
+  fe_node : int;  (** the router whose local detection opened the window *)
+  fe_started : float;  (** first [Frr_activated] at the node *)
+  fe_ended : float option;
+      (** when the node's last detected-down neighbor healed; [None] when
+          still detected-down at end of trace *)
+  fe_forwards : int;  (** backup-forwarded events at the node in the window *)
+  fe_packets : int;  (** distinct packets among them — "packets saved" *)
+}
+
+type frr_window = {
+  fw_started : float;
+  fw_ended : float;
+  fw_count : int;  (** [Frr_exhausted] events in the burst *)
+}
+
+type frr_summary = {
+  fr_installs : int;
+  fr_activations : int;
+  fr_forwards : int;
+  fr_exhausted : int;
+  fr_episodes : frr_episode list;  (** by start time *)
+  fr_exhausted_windows : frr_window list;  (** by start time *)
+}
+
+val frr_report : ?gap:float -> Sink.record list -> frr_summary
+(** Reconstructs the fast-reroute story of one trace from the [Frr_*]
+    events: per-router local-detection episodes with the packets their
+    backups carried, plus bursts of [Frr_exhausted] residual losses
+    (events closer than [?gap] seconds — default 1.0 — form one window).
+    Backup forwards outside any detection window (graceful degradation
+    around a withdrawn primary at a non-detecting router) count toward
+    [fr_forwards] only. All-zero summary on an frr-off trace.
+    @raise Invalid_argument when [gap <= 0]. *)
+
 val pp_totals : totals Fmt.t
 val pp_timeline : timeline Fmt.t
 val pp_loop_episode : loop_episode Fmt.t
 val pp_link_episode : link_episode Fmt.t
+val pp_frr_episode : frr_episode Fmt.t
+val pp_frr_window : frr_window Fmt.t

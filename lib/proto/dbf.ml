@@ -21,8 +21,8 @@ let message_size_bits msg = Dv_core.message_size_bits Dv_core.default_config msg
    presence bit — infinity is the fill value. *)
 type neighbor_cache = {
   heard : Route_table.Int_vec.t;
-  ctimeout : Route_table.Handle_vec.t;
-  expire_fns : Route_table.Fn_vec.t;  (* memoised per-destination expiry *)
+  ctimeout : Route_table.Deadline_vec.t;
+  fire_fns : Route_table.Fn_vec.t;  (* memoised per-destination fire actions *)
 }
 
 type t = {
@@ -62,8 +62,8 @@ let neighbor_cache t neighbor =
     let nc =
       {
         heard = Route_table.Int_vec.create ~default:(infinity_of t);
-        ctimeout = Route_table.Handle_vec.create ();
-        expire_fns = Route_table.Fn_vec.create ();
+        ctimeout = Route_table.Deadline_vec.create ();
+        fire_fns = Route_table.Fn_vec.create ();
       }
     in
     set_cache_slot t neighbor (Some nc);
@@ -173,21 +173,43 @@ let recompute t dst =
     end
   end
 
-let cache_expire t nc ~dst () =
-  Route_table.Handle_vec.clear nc.ctimeout dst;
+let cache_expire t nc ~dst =
   if Route_table.Int_vec.get nc.heard dst < infinity_of t then begin
     Route_table.Int_vec.set nc.heard dst (infinity_of t);
     if recompute t dst then trigger t
   end
 
-(* The expiry closure for this cache entry, built once and re-armed for every
+(* The single outstanding fire event per (neighbor, dst) slot — the re-arm
+   protocol of [Route_table.Deadline_vec] (see Rip.timer_fire; this is the
+   same machine over the per-neighbor cache). The closure captures [nc], so
+   an event left over from a discarded cache (the neighbor's link went down
+   and [on_link_down] dropped the slot) keeps operating on the orphan record
+   — exactly the inert late fire the cancel-based implementation produced
+   for slots it could not reach. *)
+let rec cache_timer_fire t nc dst () =
+  Route_table.Deadline_vec.set_armed nc.ctimeout dst false;
+  let d = Route_table.Deadline_vec.get nc.ctimeout dst in
+  if d <> Route_table.Deadline_vec.inactive then begin
+    let now = t.actions.Proto_intf.now () in
+    let delay = d -. now in
+    if delay > 0. && now +. delay > now then begin
+      Route_table.Deadline_vec.set_armed nc.ctimeout dst true;
+      ignore (t.actions.Proto_intf.after delay (cache_fire_fn t nc dst))
+    end
+    else begin
+      Route_table.Deadline_vec.cancel nc.ctimeout dst;
+      cache_expire t nc ~dst
+    end
+  end
+
+(* The fire closure for this cache entry, built once and reused for every
    subsequent refresh of the same (neighbor, dst) slot. *)
-let cache_expire_fn t nc dst =
-  let f = Route_table.Fn_vec.get nc.expire_fns dst in
+and cache_fire_fn t nc dst =
+  let f = Route_table.Fn_vec.get nc.fire_fns dst in
   if f != Route_table.Fn_vec.nop then f
   else begin
-    let f = cache_expire t nc ~dst in
-    Route_table.Fn_vec.set nc.expire_fns dst f;
+    let f = cache_timer_fire t nc dst in
+    Route_table.Fn_vec.set nc.fire_fns dst f;
     f
   end
 
@@ -195,15 +217,17 @@ let store_heard t nc (e : Dv_core.entry) =
   let inf = infinity_of t in
   let advertised = min e.metric inf in
   Route_table.Int_vec.set nc.heard e.dst advertised;
-  let h = Route_table.Handle_vec.get nc.ctimeout e.dst in
-  if h != Route_table.Handle_vec.none then begin
-    Dessim.Scheduler.cancel h;
-    Route_table.Handle_vec.clear nc.ctimeout e.dst
-  end;
-  if advertised < inf then
-    Route_table.Handle_vec.set nc.ctimeout e.dst
-      (t.actions.Proto_intf.after t.cfg.Dv_core.timeout
-         (cache_expire_fn t nc e.dst))
+  if advertised < inf then begin
+    Route_table.Deadline_vec.set nc.ctimeout e.dst
+      (t.actions.Proto_intf.now () +. t.cfg.Dv_core.timeout);
+    if not (Route_table.Deadline_vec.armed nc.ctimeout e.dst) then begin
+      Route_table.Deadline_vec.set_armed nc.ctimeout e.dst true;
+      ignore
+        (t.actions.Proto_intf.after t.cfg.Dv_core.timeout
+           (cache_fire_fn t nc e.dst))
+    end
+  end
+  else Route_table.Deadline_vec.cancel nc.ctimeout e.dst
 
 let create cfg ~rng ~id ~neighbors ~actions =
   let t =
@@ -267,8 +291,7 @@ let on_link_down t ~neighbor =
   (match cache_slot t neighbor with
   | Some nc ->
     Route_table.iter t.table (fun dst ->
-        let h = Route_table.Handle_vec.get nc.ctimeout dst in
-        if h != Route_table.Handle_vec.none then Dessim.Scheduler.cancel h);
+        Route_table.Deadline_vec.cancel nc.ctimeout dst);
     set_cache_slot t neighbor None
   | None -> ());
   (* Instant switch-over: recompute every known destination from the cache. *)

@@ -19,8 +19,8 @@ type t = {
   actions : message Proto_intf.actions;
   mutable up : Netsim.Types.node_id list;
   table : Route_table.t;
-  timeouts : Route_table.Handle_vec.t;  (* per-destination route timeouts *)
-  expire_fns : Route_table.Fn_vec.t;  (* memoised per-destination expiry *)
+  timeouts : Route_table.Deadline_vec.t;  (* per-destination route timeouts *)
+  fire_fns : Route_table.Fn_vec.t;  (* memoised per-destination fire actions *)
   order : (Netsim.Types.node_id, unit) Hashtbl.t;
       (* Destinations in hash-table iteration order. The dense table has no
          insertion order, but the order in which [on_link_down] invalidates
@@ -74,37 +74,64 @@ let mark_changed t dst =
   Hashtbl.replace t.changed dst ();
   t.actions.Proto_intf.route_changed dst
 
-let cancel_timeout t dst =
-  let h = Route_table.Handle_vec.get t.timeouts dst in
-  if h != Route_table.Handle_vec.none then begin
-    Dessim.Scheduler.cancel h;
-    Route_table.Handle_vec.clear t.timeouts dst
-  end
+(* Lazy cancel: the outstanding fire event (if any) observes [inactive] and
+   falls silent — no tombstone is left in the scheduler queue. *)
+let cancel_timeout t dst = Route_table.Deadline_vec.cancel t.timeouts dst
 
-let expire t dst () =
-  Route_table.Handle_vec.clear t.timeouts dst;
+let expire t dst =
   if Route_table.metric t.table dst < infinity_of t then begin
     Route_table.set_metric t.table ~dst ~metric:(infinity_of t);
     mark_changed t dst;
     trigger t
   end
 
-(* The expiry closure for [dst], built once and re-armed ever after: resets
-   happen for every entry of every update from the current next hop, so a
-   fresh closure per reset would dominate the control plane's allocation. *)
-let expire_fn t dst =
-  let f = Route_table.Fn_vec.get t.expire_fns dst in
+(* The single outstanding fire event per destination. On fire: cancelled
+   slots disarm silently; a deadline pushed into the future (the common case
+   — the route was refreshed since this event was armed) re-arms for the
+   remaining delay; otherwise the route really timed out. The [now + delay >
+   now] guard keeps a sub-ulp residue from chaining a zero-advance event at
+   the same instant forever. *)
+let rec timer_fire t dst () =
+  Route_table.Deadline_vec.set_armed t.timeouts dst false;
+  let d = Route_table.Deadline_vec.get t.timeouts dst in
+  if d <> Route_table.Deadline_vec.inactive then begin
+    let now = t.actions.Proto_intf.now () in
+    let delay = d -. now in
+    if delay > 0. && now +. delay > now then begin
+      Route_table.Deadline_vec.set_armed t.timeouts dst true;
+      ignore (t.actions.Proto_intf.after delay (fire_fn t dst))
+    end
+    else begin
+      Route_table.Deadline_vec.cancel t.timeouts dst;
+      expire t dst
+    end
+  end
+
+(* The fire closure for [dst], built once and reused for the slot's whole
+   life: resets happen for every entry of every update from the current next
+   hop, so a fresh closure per reset would dominate the control plane's
+   allocation. *)
+and fire_fn t dst =
+  let f = Route_table.Fn_vec.get t.fire_fns dst in
   if f != Route_table.Fn_vec.nop then f
   else begin
-    let f = expire t dst in
-    Route_table.Fn_vec.set t.expire_fns dst f;
+    let f = timer_fire t dst in
+    Route_table.Fn_vec.set t.fire_fns dst f;
     f
   end
 
+(* Refresh in place: writing the new deadline is the whole steady-state
+   cost. A scheduler event is armed only when none is outstanding; a refresh
+   can only move the deadline forward of the armed event's fire time (the
+   timeout is constant), so the chain always terminates on the latest
+   deadline. *)
 let reset_timeout t dst =
-  cancel_timeout t dst;
-  Route_table.Handle_vec.set t.timeouts dst
-    (t.actions.Proto_intf.after t.cfg.Dv_core.timeout (expire_fn t dst))
+  Route_table.Deadline_vec.set t.timeouts dst
+    (t.actions.Proto_intf.now () +. t.cfg.Dv_core.timeout);
+  if not (Route_table.Deadline_vec.armed t.timeouts dst) then begin
+    Route_table.Deadline_vec.set_armed t.timeouts dst true;
+    ignore (t.actions.Proto_intf.after t.cfg.Dv_core.timeout (fire_fn t dst))
+  end
 
 (* Returns true when the route changed (caller batches the trigger request). *)
 let process_entry t ~from:neighbor (e : Dv_core.entry) =
@@ -150,8 +177,8 @@ let create cfg ~rng ~id ~neighbors ~actions =
       actions;
       up = List.sort compare neighbors;
       table = Route_table.create ();
-      timeouts = Route_table.Handle_vec.create ();
-      expire_fns = Route_table.Fn_vec.create ();
+      timeouts = Route_table.Deadline_vec.create ();
+      fire_fns = Route_table.Fn_vec.create ();
       order = Hashtbl.create 64;
       changed = Hashtbl.create 16;
       trigger = None;

@@ -29,31 +29,64 @@ module Int_vec = struct
     v.a.(i) <- x
 end
 
-(* Sentinel-based rather than [option]-based: arming a protocol timeout is a
-   per-routing-entry, per-message operation, and wrapping every stored handle
-   in [Some] would allocate on each arm. Absence is the shared [none] handle,
-   compared physically. *)
-module Handle_vec = struct
-  let none = Dessim.Scheduler.fresh_handle ()
+(* Per-slot re-armable timer deadlines. Scheduler cancellation is lazy (a
+   cancelled event stays queued until its fire time), so the old
+   cancel-and-reschedule idiom for the 180 s route timeouts left one
+   tombstone per refresh in the queue — a population of (refreshes per
+   sim-second x 180 s) dead events that became the binding memory constraint
+   at 4096 nodes (DESIGN.md 15). A slot now stores the absolute expiry
+   deadline plus one "armed" bit: refreshing writes the deadline in place,
+   and the single outstanding scheduler event re-arms itself on fire when the
+   deadline has moved. Cancellation writes the [inactive] sentinel; the
+   outstanding event (if any) sees it and falls silent. At most one queued
+   event per slot exists at any time, and expiry instants are preserved
+   exactly: the chain always lands on the latest written deadline because a
+   refresh never moves the deadline below the outstanding event's fire
+   time. *)
+module Deadline_vec = struct
+  let inactive = neg_infinity
 
-  type t = { mutable a : Dessim.Scheduler.handle array }
+  type t = {
+    mutable d : float array;  (* absolute expiry time, or [inactive] *)
+    mutable armed : Bytes.t;  (* bitset: a scheduler event is outstanding *)
+  }
 
-  let create () = { a = [||] }
+  let create () = { d = [||]; armed = Bytes.empty }
 
-  let get v i = if i < Array.length v.a then v.a.(i) else none
+  let get v i = if i < Array.length v.d then v.d.(i) else inactive
 
   let grow v i =
-    let cap = Array.length v.a in
+    let cap = Array.length v.d in
     let cap' = max 16 (max (i + 1) (2 * cap)) in
-    let bigger = Array.make cap' none in
-    Array.blit v.a 0 bigger 0 cap;
-    v.a <- bigger
+    let bigger = Array.make cap' inactive in
+    Array.blit v.d 0 bigger 0 cap;
+    v.d <- bigger
 
-  let set v i h =
-    if i >= Array.length v.a then grow v i;
-    v.a.(i) <- h
+  let set v i x =
+    if i >= Array.length v.d then grow v i;
+    v.d.(i) <- x
 
-  let clear v i = if i < Array.length v.a then v.a.(i) <- none
+  let cancel v i = if i < Array.length v.d then v.d.(i) <- inactive
+
+  let armed v i =
+    let byte = i lsr 3 in
+    byte < Bytes.length v.armed
+    && Char.code (Bytes.unsafe_get v.armed byte) land (1 lsl (i land 7)) <> 0
+
+  let grow_armed v byte =
+    let cap = Bytes.length v.armed in
+    let cap' = max 16 (max (byte + 1) (2 * cap)) in
+    let bigger = Bytes.make cap' '\000' in
+    Bytes.blit v.armed 0 bigger 0 cap;
+    v.armed <- bigger
+
+  let set_armed v i b =
+    let byte = i lsr 3 in
+    if byte >= Bytes.length v.armed then grow_armed v byte;
+    let cur = Char.code (Bytes.get v.armed byte) in
+    let bit = 1 lsl (i land 7) in
+    Bytes.set v.armed byte
+      (Char.chr (if b then cur lor bit else cur land lnot bit))
 end
 
 (* Per-slot memoised thunks (e.g. a destination's timeout-expiry action), so

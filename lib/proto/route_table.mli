@@ -51,25 +51,43 @@ module Int_vec : sig
   val set : t -> int -> int -> unit
 end
 
-(** Growable vector of cancellation handles, for per-route and
-    per-cache-entry timeouts. Absence is the shared sentinel {!Handle_vec.none}
-    (compare physically); the sentinel avoids boxing a [Some] on every
-    timer (re)arm. *)
-module Handle_vec : sig
+(** Growable vector of re-armable timer deadlines, for per-route and
+    per-cache-entry timeouts.
+
+    Scheduler cancellation is lazy, so the cancel-and-reschedule idiom left
+    one tombstone event in the queue per timer refresh — the 4096-node
+    memory wall of DESIGN.md §15. A slot here stores the absolute expiry
+    deadline plus an "armed" bit; refreshing a timer writes the deadline in
+    place and the {e single} outstanding scheduler event re-arms itself on
+    fire whenever the deadline has moved, so the queue carries at most one
+    event per slot while expiry instants are preserved exactly. Protocols
+    own the fire protocol: on fire, clear the armed bit, then either fall
+    silent (deadline {!Deadline_vec.inactive}), re-arm for the remaining
+    delay (deadline still in the future), or run the expiry action. *)
+module Deadline_vec : sig
   type t
 
-  val none : Dessim.Scheduler.handle
-  (** Sentinel meaning "no handle stored". Never schedule with it. *)
+  val inactive : float
+  (** Sentinel deadline meaning "no live timer": the expiry action must not
+      run. Compares below every real simulation time. *)
 
   val create : unit -> t
 
-  val get : t -> int -> Dessim.Scheduler.handle
-  (** [get v i] is the stored handle, or {!none}. *)
+  val get : t -> int -> float
+  (** [get v i] is the stored deadline, or {!inactive}. *)
 
-  val set : t -> int -> Dessim.Scheduler.handle -> unit
+  val set : t -> int -> float -> unit
 
-  val clear : t -> int -> unit
-  (** [clear v i] resets slot [i] to {!none}. *)
+  val cancel : t -> int -> unit
+  (** [cancel v i] resets slot [i] to {!inactive} without growing the
+      vector; any outstanding event disarms itself at its next fire. *)
+
+  val armed : t -> int -> bool
+  (** Whether a scheduler event is outstanding for slot [i]. Independent of
+      the deadline value: a cancelled slot stays armed until the outstanding
+      event fires and observes {!inactive}. *)
+
+  val set_armed : t -> int -> bool -> unit
 end
 
 (** Growable vector of memoised [unit -> unit] thunks (timeout-expiry

@@ -51,7 +51,7 @@ let test_default_jobs_positive () =
 (* ---------- aggregation fixtures ---------- *)
 
 let cell ?(protocol = "P") ?(degree = 3) ~seed ~drops ?(conv = 1.5) ?(extras = [])
-    ?(series = []) () =
+    ?(axes = []) ?(series = []) () =
   {
     Campaign.Cell_result.protocol;
     degree;
@@ -70,6 +70,7 @@ let cell ?(protocol = "P") ?(degree = 3) ~seed ~drops ?(conv = 1.5) ?(extras = [
     routing_convergence = 2. *. conv;
     transient_paths = 1;
     extras;
+    axes;
     series;
     wall_s = 0.;
     perf = [];
@@ -218,6 +219,53 @@ let test_artifact_file_roundtrip () =
           "identical including timing"
           (Campaign.Artifact.to_string a)
           (Campaign.Artifact.to_string b))
+
+let test_artifact_v4_axes () =
+  let schema_of a =
+    match
+      Option.bind
+        (Obs.Json.member "schema_version" (Campaign.Artifact.to_json a))
+        Obs.Json.to_int
+    with
+    | Some v -> v
+    | None -> Alcotest.fail "artifact without schema_version"
+  in
+  (* An axes-free artifact keeps stamping v3, so regenerating committed
+     pre-v4 artifacts still diffs byte-identical. *)
+  Alcotest.(check int) "axes-free artifacts stay v3" 3
+    (schema_of (fixture_artifact ()));
+  let ax d = [ ("schedule", "flap"); ("frr", "on"); ("mesh_degree", d) ] in
+  let a =
+    Campaign.Artifact.build ~section:"fig3" ~git_sha:"cafe123"
+      ~include_series:false params
+      [
+        cell ~seed:1 ~drops:1 ~axes:(ax "3") ();
+        cell ~seed:2 ~drops:2 ~axes:(ax "3") ();
+        cell ~degree:4 ~seed:1 ~drops:3 ~axes:(ax "4") ();
+      ]
+  in
+  Alcotest.(check int) "axes promote the artifact to v4" 4 (schema_of a);
+  Alcotest.(check (list string))
+    "v4 artifact validates" []
+    (Campaign.Artifact.validate (Campaign.Artifact.to_json a));
+  match Campaign.Artifact.of_json (Campaign.Artifact.to_json a) with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+    Alcotest.(check string)
+      "axes round-trip bytes"
+      (Campaign.Artifact.canonical_string a)
+      (Campaign.Artifact.canonical_string b);
+    (match b.Campaign.Artifact.cells with
+    | c :: _ ->
+      Alcotest.(check (list (pair string string)))
+        "cell axes preserved" (ax "3") c.Campaign.Cell_result.axes
+    | [] -> Alcotest.fail "no cells");
+    (match b.Campaign.Artifact.aggregates with
+    | g :: _ ->
+      Alcotest.(check (list (pair string string)))
+        "aggregate inherits its group's axes" (ax "3")
+        g.Campaign.Artifact.a_axes
+    | [] -> Alcotest.fail "no aggregates")
 
 let test_validate_accepts_fixture () =
   Alcotest.(check (list string))
@@ -471,6 +519,7 @@ let () =
       ( "artifact",
         [
           Alcotest.test_case "json round-trip" `Quick test_artifact_json_roundtrip;
+          Alcotest.test_case "v4 axes" `Quick test_artifact_v4_axes;
           Alcotest.test_case "nan round-trip" `Quick test_artifact_nan_roundtrip;
           Alcotest.test_case "file round-trip" `Quick test_artifact_file_roundtrip;
           Alcotest.test_case "validate accepts fixture" `Quick

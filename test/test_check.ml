@@ -128,6 +128,48 @@ let test_non_neighbor_ctrl () =
     ]
     [ Check.Monitor.Non_neighbor_ctrl ]
 
+(* ---------- monitor: fast-reroute discipline ---------- *)
+
+let test_frr_hop_clean () =
+  (* A backup hop is a real hop: it advances the packet and decrements the
+     TTL, and a legal one raises nothing. *)
+  expect_kinds "legal backup forwarding is clean"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 2 });
+      (1.1, Obs.Event.Frr_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 127 });
+      (1.2, Obs.Event.Packet_forwarded { pkt = 0; node = 1; next_hop = 2; ttl = 126 });
+      (1.3, Obs.Event.Packet_delivered { flow = 0; pkt = 0; delay = 0.3; looped = false });
+    ]
+    []
+
+let test_frr_revisit () =
+  expect_kinds "backup forwarding to a visited node flagged"
+    [
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 0; dst = 8 });
+      (1.1, Obs.Event.Packet_forwarded { pkt = 0; node = 0; next_hop = 1; ttl = 127 });
+      (1.2, Obs.Event.Frr_forwarded { pkt = 0; node = 1; next_hop = 0; ttl = 126 });
+    ]
+    [ Check.Monitor.Frr_revisit ]
+
+let test_frr_failed_link () =
+  expect_kinds "backup forwarding across a failed link flagged"
+    [
+      (0.5, Obs.Event.Link_failed { u = 2; v = 1 });
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 1; dst = 8 });
+      (1.1, Obs.Event.Frr_forwarded { pkt = 0; node = 1; next_hop = 2; ttl = 127 });
+    ]
+    [ Check.Monitor.Frr_failed_link ]
+
+let test_frr_healed_link_legal () =
+  expect_kinds "backup forwarding across a healed link is clean"
+    [
+      (0.5, Obs.Event.Link_failed { u = 1; v = 2 });
+      (0.9, Obs.Event.Link_healed { u = 1; v = 2 });
+      (1.0, Obs.Event.Packet_sent { flow = 0; pkt = 0; src = 1; dst = 8 });
+      (1.1, Obs.Event.Frr_forwarded { pkt = 0; node = 1; next_hop = 2; ttl = 127 });
+    ]
+    []
+
 (* ---------- monitor on a real run ---------- *)
 
 let quick_cfg =
@@ -175,6 +217,7 @@ let view_of_tables topo ~next_hop ~metric =
     Convergence.Runner.rv_topology = topo;
     rv_next_hop = (fun ~src ~dst -> next_hop src dst);
     rv_metric = (fun ~src ~dst -> metric src dst);
+    rv_backup = None;
   }
 
 (* A synthetic, perfectly converged view: BFS tables computed right here. *)
@@ -288,6 +331,133 @@ let test_oracle_on_converged_runs () =
         Alcotest.failf "%s: %a" name Fmt.(Dump.list Check.Oracle.pp_mismatch) ms)
     Convergence.Engine_registry.paper_four
 
+(* ---------- oracle: fast-reroute backups ---------- *)
+
+let with_backup view backup =
+  { view with Convergence.Runner.rv_backup = Some (fun ~src ~dst -> backup src dst) }
+
+let frr_kinds ms =
+  List.map (fun m -> m.Check.Oracle.m_kind) ms
+
+let test_oracle_frr_matches_frr_module () =
+  (* Differential: the backups the Frr module computes from perfect tables
+     must satisfy the oracle's independent BFS re-derivation — and leave no
+     cell the oracle considers coverable without a backup. *)
+  let view = perfect_view mesh33 in
+  let n = Netsim.Topology.node_count mesh33 in
+  let f = Frr.create ~n ~neighbors:(Netsim.Topology.neighbors mesh33) in
+  for dst = 0 to n - 1 do
+    Frr.mark_dirty f ~dst
+  done;
+  ignore (Frr.arm_sweep f);
+  Frr.sweep f
+    ~metric:(fun ~node ~dst -> view.Convergence.Runner.rv_metric ~src:node ~dst)
+    ~next_hop:(fun ~node ~dst -> view.Convergence.Runner.rv_next_hop ~src:node ~dst)
+    ~on_install:(fun ~node:_ ~dst:_ ~backup:_ -> ());
+  let v = with_backup view (fun src dst -> Frr.backup f ~node:src ~dst) in
+  Alcotest.(check int) "frr table passes the oracle" 0
+    (List.length (Check.Oracle.check_frr v))
+
+let test_oracle_frr_skipped_without_backups () =
+  Alcotest.(check int) "no backup view, no frr mismatches" 0
+    (List.length (Check.Oracle.check_frr (perfect_view mesh33)))
+
+let test_oracle_frr_teeth () =
+  let view = perfect_view mesh33 in
+  (* echoing the primary as its own backup *)
+  let as_primary =
+    with_backup view (fun src dst -> view.Convergence.Runner.rv_next_hop ~src ~dst)
+  in
+  let ms = Check.Oracle.check_frr as_primary in
+  Alcotest.(check bool) "primary-as-backup flagged" true (ms <> []);
+  List.iter
+    (function
+      | Check.Oracle.Frr_backup_is_primary _ -> ()
+      | k ->
+        Alcotest.failf "unexpected kind %a" Check.Oracle.pp_mismatch
+          { Check.Oracle.m_src = 0; m_dst = 0; m_kind = k })
+    (frr_kinds ms);
+  (* a backup that is not even a neighbor *)
+  let teleporting =
+    with_backup view (fun src dst ->
+        if src = 0 && dst = 2 then Some 8 else None)
+  in
+  Alcotest.(check bool) "non-neighbor backup flagged" true
+    (List.exists
+       (function Check.Oracle.Frr_invalid_backup _ -> true | _ -> false)
+       (frr_kinds (Check.Oracle.check_frr teleporting)));
+  (* a neighbor that fails the loop-free inequality: for 0 -> 2 the detour
+     via 3 is as long as going back (dist(3,2) = 3 = 1 + dist(0,2)) *)
+  let looping_backup =
+    with_backup view (fun src dst ->
+        if src = 0 && dst = 2 then Some 3 else None)
+  in
+  Alcotest.(check bool) "non-loop-free backup flagged" true
+    (List.exists
+       (function Check.Oracle.Frr_not_loop_free _ -> true | _ -> false)
+       (frr_kinds (Check.Oracle.check_frr looping_backup)));
+  (* an empty table where alternates exist: e.g. 0 -> 4 is coverable via 3 *)
+  let empty = with_backup view (fun _ _ -> None) in
+  let ms = Check.Oracle.check_frr empty in
+  Alcotest.(check bool) "missing backups flagged" true (ms <> []);
+  List.iter
+    (function
+      | Check.Oracle.Frr_missing_backup _ -> ()
+      | k ->
+        Alcotest.failf "unexpected kind %a" Check.Oracle.pp_mismatch
+          { Check.Oracle.m_src = 0; m_dst = 0; m_kind = k })
+    (frr_kinds ms)
+
+(* ---------- fast reroute on a real run ---------- *)
+
+(* A 7x7 degree-4 mesh with the paper's single mid-path failure: RIP's slow
+   detection leaves a long no-route window that precomputed backups should
+   mostly cover. Both arms must stay violation-free under the full monitor,
+   including the FRR hop discipline. *)
+let frr_cfg =
+  {
+    Convergence.Config.quick with
+    rows = 7;
+    cols = 7;
+    degree = 4;
+    send_rate_pps = 50.;
+    traffic_start = 60.;
+    warmup = 70.;
+    failure_time = 80.;
+    sim_end = 200.;
+    seed = 3;
+  }
+
+let frr_arm ~frr =
+  let topo =
+    Netsim.Mesh.generate ~rows:frr_cfg.Convergence.Config.rows
+      ~cols:frr_cfg.Convergence.Config.cols
+      ~degree:frr_cfg.Convergence.Config.degree
+  in
+  let mon =
+    Check.Monitor.create ~initial_ttl:frr_cfg.Convergence.Config.ttl ~topo ()
+  in
+  let r =
+    Convergence.Engine_registry.run ~frr ~monitors:[ Check.Monitor.sink mon ]
+      frr_cfg Convergence.Engine_registry.rip
+  in
+  (List.length (Check.Monitor.finish mon), r.Convergence.Metrics.drops_no_route)
+
+let test_frr_run_reduces_drops () =
+  let violations_off, drops_off = frr_arm ~frr:false in
+  let violations_on, drops_on = frr_arm ~frr:true in
+  Alcotest.(check int) "frr-off run is violation-free" 0 violations_off;
+  Alcotest.(check int) "frr-on run is violation-free" 0 violations_on;
+  Alcotest.(check bool)
+    (Printf.sprintf "backups reduce no-route drops (%d -> %d)" drops_off drops_on)
+    true
+    (drops_on < drops_off)
+
+let test_frr_run_deterministic () =
+  let _, a = frr_arm ~frr:true in
+  let _, b = frr_arm ~frr:true in
+  Alcotest.(check int) "frr-on runs are reproducible" a b
+
 (* ---------- the injected-bug demo ---------- *)
 
 (* RIP with failure detection ripped out: the router next to the broken link
@@ -365,6 +535,12 @@ let () =
           Alcotest.test_case "wrong delivery node" `Quick
             test_wrong_delivery_node;
           Alcotest.test_case "non-neighbor ctrl" `Quick test_non_neighbor_ctrl;
+          Alcotest.test_case "legal frr hop" `Quick test_frr_hop_clean;
+          Alcotest.test_case "frr revisit" `Quick test_frr_revisit;
+          Alcotest.test_case "frr across failed link" `Quick
+            test_frr_failed_link;
+          Alcotest.test_case "frr across healed link" `Quick
+            test_frr_healed_link_legal;
           Alcotest.test_case "real runs are violation-free" `Quick
             test_real_runs_hold_invariants;
         ] );
@@ -374,6 +550,16 @@ let () =
             test_oracle_accepts_perfect_tables;
           Alcotest.test_case "bounded metric" `Quick test_oracle_max_metric;
           Alcotest.test_case "rejects corrupted tables" `Quick test_oracle_teeth;
+          Alcotest.test_case "frr differential vs frr module" `Quick
+            test_oracle_frr_matches_frr_module;
+          Alcotest.test_case "frr skipped without backups" `Quick
+            test_oracle_frr_skipped_without_backups;
+          Alcotest.test_case "frr rejects bad backups" `Quick
+            test_oracle_frr_teeth;
+          Alcotest.test_case "frr reduces no-route drops" `Quick
+            test_frr_run_reduces_drops;
+          Alcotest.test_case "frr runs are deterministic" `Quick
+            test_frr_run_deterministic;
           Alcotest.test_case "matches all four converged protocols" `Quick
             test_oracle_on_converged_runs;
           Alcotest.test_case "catches RIP without failure detection" `Quick

@@ -485,6 +485,7 @@ let fixture_cell ?(degree = 3) ~seed () =
     routing_convergence = 3.0;
     transient_paths = 1;
     extras = [];
+    axes = [];
     series = [];
     wall_s = 0.;
     perf = [];

@@ -221,6 +221,7 @@ let perf_cell ~eps ~extras_events =
     routing_convergence = 3.0;
     transient_paths = 1;
     extras = [ ("sched_events", extras_events) ];
+    axes = [];
     series = [];
     wall_s = 0.;
     perf = [ ("ns_per_event", 1e9 /. eps); ("events_per_s", eps) ];

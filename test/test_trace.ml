@@ -27,6 +27,10 @@ let sample_events =
     Obs.Event.Link_failed { u = 5; v = 9 };
     Obs.Event.Link_healed { u = 5; v = 9 };
     Obs.Event.Route_changed { node = 3; dst = 13 };
+    Obs.Event.Frr_installed { node = 3; dst = 13; backup = 5 };
+    Obs.Event.Frr_activated { node = 3; neighbor = 5 };
+    Obs.Event.Frr_forwarded { pkt = 1; node = 3; next_hop = 5; ttl = 62 };
+    Obs.Event.Frr_exhausted { pkt = 1; node = 3 };
     Obs.Event.Path_changed
       { flow = 0; kind = Obs.Event.Path_looping; path = [ 3; 7; 6; 7 ] };
     Obs.Event.Sched_stats { events = 1000; max_queue = 50; cpu_s = 0.25 };
@@ -266,6 +270,48 @@ let test_replay_loop_report () =
     Alcotest.(check bool) "unresolved" true (b.Obs.Replay.le_ended = None)
   | l -> Alcotest.failf "expected 2 episodes, got %d" (List.length l)
 
+let test_replay_frr_report () =
+  let mk time seq event = { Obs.Sink.time; seq; event } in
+  let records =
+    [
+      mk 0.5 0 (Obs.Event.Frr_installed { node = 2; dst = 7; backup = 3 });
+      (* node 2 detects its link to 1 down and saves two packets, one of
+         them over two backup hops *)
+      mk 1.0 1 (Obs.Event.Frr_activated { node = 2; neighbor = 1 });
+      mk 1.1 2 (Obs.Event.Frr_forwarded { pkt = 10; node = 2; next_hop = 3; ttl = 9 });
+      mk 1.2 3 (Obs.Event.Frr_forwarded { pkt = 10; node = 2; next_hop = 3; ttl = 8 });
+      mk 1.3 4 (Obs.Event.Frr_forwarded { pkt = 11; node = 2; next_hop = 3; ttl = 9 });
+      mk 2.0 5 (Obs.Event.Link_healed { u = 1; v = 2 });
+      (* a graceful-degradation forward outside any detection window *)
+      mk 3.0 6 (Obs.Event.Frr_forwarded { pkt = 12; node = 5; next_hop = 6; ttl = 9 });
+      (* two exhaustion bursts, 0.4 s apart inside, 5 s between *)
+      mk 4.0 7 (Obs.Event.Frr_exhausted { pkt = 13; node = 4 });
+      mk 4.4 8 (Obs.Event.Frr_exhausted { pkt = 14; node = 4 });
+      mk 9.4 9 (Obs.Event.Frr_exhausted { pkt = 15; node = 4 });
+    ]
+  in
+  let s = Obs.Replay.frr_report records in
+  Alcotest.(check int) "installs" 1 s.Obs.Replay.fr_installs;
+  Alcotest.(check int) "activations" 1 s.Obs.Replay.fr_activations;
+  Alcotest.(check int) "forwards" 4 s.Obs.Replay.fr_forwards;
+  Alcotest.(check int) "exhausted" 3 s.Obs.Replay.fr_exhausted;
+  (match s.Obs.Replay.fr_episodes with
+  | [ e ] ->
+    Alcotest.(check int) "episode node" 2 e.Obs.Replay.fe_node;
+    Alcotest.(check (float 1e-9)) "episode start" 1.0 e.Obs.Replay.fe_started;
+    Alcotest.(check (option (float 1e-9))) "episode end" (Some 2.0)
+      e.Obs.Replay.fe_ended;
+    Alcotest.(check int) "backup hops" 3 e.Obs.Replay.fe_forwards;
+    Alcotest.(check int) "packets saved" 2 e.Obs.Replay.fe_packets
+  | l -> Alcotest.failf "expected 1 episode, got %d" (List.length l));
+  match s.Obs.Replay.fr_exhausted_windows with
+  | [ w1; w2 ] ->
+    Alcotest.(check int) "first burst" 2 w1.Obs.Replay.fw_count;
+    Alcotest.(check (float 1e-9)) "first burst span" 0.4
+      (w1.Obs.Replay.fw_ended -. w1.Obs.Replay.fw_started);
+    Alcotest.(check int) "second burst" 1 w2.Obs.Replay.fw_count
+  | l -> Alcotest.failf "expected 2 windows, got %d" (List.length l)
+
 (* ---------- conservation: trace vs runner accounting ---------- *)
 
 (* Replay the full event stream of a run and require the reconstructed packet
@@ -371,6 +417,7 @@ let () =
           Alcotest.test_case "json parser never raises" `Quick
             test_json_opt_never_raises;
           Alcotest.test_case "loop report" `Quick test_replay_loop_report;
+          Alcotest.test_case "frr report" `Quick test_replay_frr_report;
         ] );
       ( "conservation",
         [
