@@ -1,6 +1,7 @@
 (* The benchmark / reproduction harness.
 
    Usage: main.exe [SECTION ...] [--quick | --full] [--jobs N] [--out-dir DIR]
+          [--backend domains|proc] [--cache DIR]
 
    Sections (default: all): micro, plus every campaign section of
    [Campaign.Sections.all] (fig3..fig7, overhead, scenarios, the ablations
@@ -29,7 +30,11 @@ let usage oc =
     \  --quick           tiny sweeps, short timeline (CI smoke)\n\
     \  --full            the paper's full setup (10 seeds, degrees 3..8)\n\
     \  --jobs N          parallel worker domains (default %d on this machine)\n\
-    \  --out-dir DIR     also write BENCH_<section>.json artifacts into DIR\n"
+    \  --out-dir DIR     also write BENCH_<section>.json artifacts into DIR\n\
+    \  --backend B       cell execution backend: domains (default, in-process)\n\
+    \                    or proc (supervised worker processes)\n\
+    \  --cache DIR       content-addressed cell cache: identical re-runs load\n\
+    \                    finished cells instead of re-simulating them\n"
     Sys.executable_name
     (String.concat "\n"
        (List.map
@@ -52,6 +57,11 @@ type options = {
   full : bool;
   jobs : int;
   out_dir : string option;
+  backend : [ `Domains | `Proc ];
+  cache : string option;
+  worker_section : string option;
+      (** set by the internal --cells-worker flag: run as a proc-backend
+          cell worker for that section instead of as the bench harness *)
   sections : string list;  (** empty = all *)
 }
 
@@ -60,7 +70,8 @@ let known_sections = "micro" :: Campaign.Sections.names
 let parse_args argv =
   let opts =
     ref { quick = false; full = false; jobs = Campaign.Pool.default_jobs ();
-          out_dir = None; sections = [] }
+          out_dir = None; backend = `Domains; cache = None;
+          worker_section = None; sections = [] }
   in
   let n = Array.length argv in
   let rec go i =
@@ -79,11 +90,24 @@ let parse_args argv =
         | Some j when j >= 1 -> opts := { !opts with jobs = j }
         | Some _ | None -> die "--jobs expects a positive integer")
       | "--out-dir" -> opts := { !opts with out_dir = Some (next "--out-dir") }
+      | "--backend" -> (
+        match next "--backend" with
+        | "domains" -> opts := { !opts with backend = `Domains }
+        | "proc" -> opts := { !opts with backend = `Proc }
+        | b -> die "--backend expects domains or proc, not %S" b)
+      | "--cache" -> opts := { !opts with cache = Some (next "--cache") }
+      | "--cells-worker" ->
+        opts := { !opts with worker_section = Some (next "--cells-worker") }
       | s when String.length s > 0 && s.[0] = '-' -> die "unknown flag %S" s
       | s when List.mem s known_sections || s = "all" ->
         opts := { !opts with sections = !opts.sections @ [ s ] }
       | s -> die "unknown section %S (try --help)" s);
-      let consumed = match argv.(i) with "--jobs" | "--out-dir" -> 2 | _ -> 1 in
+      let consumed =
+        match argv.(i) with
+        | "--jobs" | "--out-dir" | "--backend" | "--cache" | "--cells-worker" ->
+          2
+        | _ -> 1
+      in
       go (i + consumed)
     end
   in
@@ -243,6 +267,57 @@ let render_artifact (section : Campaign.Sections.t) artifact =
   heading section.Campaign.Sections.title;
   section.Campaign.Sections.render Fmt.stdout artifact
 
+(* Child side of --backend proc: this same binary re-exec'd with
+   --cells-worker SECTION (plus the parent's --quick/--full), so worker and
+   parent decompose the identical sweep. Never returns. *)
+let run_cells_worker section_name =
+  match Campaign.Sections.find section_name with
+  | None ->
+    Printf.eprintf "%s: --cells-worker: unknown section %S\n"
+      Sys.executable_name section_name;
+    exit 2
+  | Some section ->
+    let sweep = Campaign.Sections.sweep_for section ~full:opts.full sweep in
+    let tasks = section.Campaign.Sections.tasks sweep in
+    let run_cell i =
+      if i < 0 || i >= Array.length tasks then
+        Error (Printf.sprintf "cell index %d out of range" i)
+      else begin
+        let a0 = Unix.gettimeofday () in
+        match Campaign.Driver.attempt_once tasks.(i) with
+        | Ok cell -> Ok (Unix.gettimeofday () -. a0, cell)
+        | Error e -> Error e
+      end
+    in
+    Campaign.Proc_backend.worker ~run_cell ()
+
+let backend_for (lead : Campaign.Sections.t) =
+  match opts.backend with
+  | `Domains -> Campaign.Driver.Domains
+  | `Proc ->
+    Campaign.Driver.Proc
+      {
+        argv =
+          Array.of_list
+            ([ Sys.executable_name; "--cells-worker"; lead.Campaign.Sections.name ]
+            @ (if opts.quick then [ "--quick" ] else [])
+            @ if opts.full then [ "--full" ] else []);
+      }
+
+let cache_for family =
+  Option.map
+    (fun dir ->
+      Campaign.Cache.open_ ~dir
+        {
+          Campaign.Cache.git_sha = Campaign.Artifact.git_sha ();
+          family;
+          mode;
+          runs = None;
+          degrees = None;
+          seed = None;
+        })
+    opts.cache
+
 let run_campaigns () =
   let requested =
     List.filter
@@ -272,6 +347,7 @@ let run_campaigns () =
       let cells, quarantined, timing =
         Campaign.Driver.run_tasks ~jobs:opts.jobs ~progress
           ~heartbeat:(fun line -> Fmt.epr "  %s@." line)
+          ?cache:(cache_for family) ~backend:(backend_for lead)
           (lead.Campaign.Sections.tasks sweep)
       in
       List.iter
@@ -283,8 +359,12 @@ let run_campaigns () =
     families
 
 let () =
-  let t0 = Unix.gettimeofday () in
-  Fmt.pr "routing-convergence bench harness (%s mode, %d jobs)@." mode opts.jobs;
-  if wants "micro" then run_micro ();
-  run_campaigns ();
-  Fmt.pr "@.total wall clock: %.1f s@." (Unix.gettimeofday () -. t0)
+  match opts.worker_section with
+  | Some name -> run_cells_worker name
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    Fmt.pr "routing-convergence bench harness (%s mode, %d jobs)@." mode
+      opts.jobs;
+    if wants "micro" then run_micro ();
+    run_campaigns ();
+    Fmt.pr "@.total wall clock: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1123,16 +1123,50 @@ let campaign_cmd =
     in
     Arg.(value & flag & info [ "prof" ] ~doc)
   in
-  let hang_of = function
+  let backend_arg =
+    let doc =
+      "Cell execution backend. $(b,domains) (default) runs cells on an \
+       in-process pool of OCaml domains; $(b,proc) runs each cell in one of \
+       $(b,--jobs) supervised worker processes (separate $(b,rcsim) \
+       invocations), so a crashing, hanging or OOM-killed cell costs one \
+       worker — killed and respawned — instead of the campaign. The merged \
+       artifact is byte-identical across backends."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("domains", `Domains); ("proc", `Proc) ]) `Domains
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Content-addressed cell cache directory (created if missing). \
+       Finished cells are stored under a digest of (artifact schema, git \
+       sha, section family, sweep preset, CLI overrides, cell key); later \
+       runs with identical inputs load the hits and run only the rest, \
+       producing byte-identical artifacts. Corrupt or truncated entries \
+       are treated as misses, never as errors."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let die_cell_arg =
+    let doc =
+      "CI fault hook (requires $(b,--backend proc)): the worker picking up \
+       cell $(docv) (PROTO:DEGREE:SEED) SIGKILLs itself, proving the \
+       supervisor respawns workers and retries or quarantines the cell."
+    in
+    Arg.(value & opt (some string) None & info [ "die-cell" ] ~docv:"CELL" ~doc)
+  in
+  let cell_key_of ~flag = function
     | None -> Ok None
     | Some s -> (
       match String.split_on_char ':' s with
       | [ proto; degree; seed ] -> (
         match (int_of_string_opt degree, int_of_string_opt seed) with
         | Some d, Some sd -> Ok (Some (proto, d, sd))
-        | _ -> Error (Printf.sprintf "--hang-cell %S: DEGREE and SEED must be integers" s))
-      | _ -> Error (Printf.sprintf "--hang-cell %S is not PROTO:DEGREE:SEED" s))
+        | _ -> Error (Printf.sprintf "%s %S: DEGREE and SEED must be integers" flag s))
+      | _ -> Error (Printf.sprintf "%s %S is not PROTO:DEGREE:SEED" flag s))
   in
+  let hang_of = cell_key_of ~flag:"--hang-cell" in
   let sweep_of ~quick ~full ~runs ~degrees ~seed =
     let base =
       if quick then
@@ -1163,6 +1197,38 @@ let campaign_cmd =
           { base.Convergence.Experiments.base with Convergence.Config.seed = s };
       }
   in
+  (* The proc backend's worker command: this same executable, re-invoked
+     into the hidden [campaign worker] mode with every flag that shapes the
+     task decomposition, so worker and supervisor rebuild identical sweeps
+     (the driver quarantines any cell whose key disagrees, so skew is
+     detected, not trusted). *)
+  let worker_argv ~section_name ~mode ~runs ~degrees ~seed ~cell_budget
+      ~hang_cell ~die_cell =
+    let opt flag v f = match v with None -> [] | Some x -> [ flag; f x ] in
+    Array.of_list
+      ([ Sys.executable_name; "campaign"; "worker"; section_name; "--mode"; mode ]
+      @ opt "--runs" runs string_of_int
+      @ opt "--degrees" degrees (fun ds ->
+            String.concat "," (List.map string_of_int ds))
+      @ opt "--seed" seed string_of_int
+      @ opt "--cell-budget" cell_budget string_of_float
+      @ opt "--hang-cell" hang_cell Fun.id
+      @ opt "--die-cell" die_cell Fun.id)
+  in
+  let cache_of ~dir ~family ~mode ~runs ~degrees ~seed =
+    Option.map
+      (fun dir ->
+        Campaign.Cache.open_ ~dir
+          {
+            Campaign.Cache.git_sha = Campaign.Artifact.git_sha ();
+            family;
+            mode;
+            runs;
+            degrees;
+            seed;
+          })
+      dir
+  in
   let render_result (section : Campaign.Sections.t) ~out artifact =
     Campaign.Artifact.write ~path:out artifact;
     Fmt.pr "=== %s ===@." section.Campaign.Sections.title;
@@ -1190,22 +1256,40 @@ let campaign_cmd =
   in
   let section_cmd (section : Campaign.Sections.t) =
     let action quick full jobs out runs degrees seed quiet cell_budget retries
-        hang_cell journal_path stop_after prof =
+        hang_cell die_cell backend cache_dir journal_path stop_after prof =
       if quick && full then `Error (true, "--quick and --full are exclusive")
       else if jobs < 1 then `Error (true, "--jobs must be at least 1")
       else if retries < 0 then `Error (true, "--retries must be >= 0")
       else if stop_after <> None && stop_after < Some 1 then
         `Error (true, "--stop-after-cells must be >= 1")
+      else if die_cell <> None && backend <> `Proc then
+        `Error (true, "--die-cell requires --backend proc")
       else begin
-        match hang_of hang_cell with
-        | Error e -> `Error (true, e)
-        | Ok (Some _) when cell_budget = None ->
+        match (hang_of hang_cell, cell_key_of ~flag:"--die-cell" die_cell) with
+        | Error e, _ | _, Error e -> `Error (true, e)
+        | Ok (Some _), _ when cell_budget = None ->
           `Error (true, "--hang-cell requires --cell-budget")
-        | Ok hang ->
+        | Ok hang, Ok _ ->
           let mode = if quick then "quick" else if full then "full" else "standard" in
           let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
           let sweep = Campaign.Sections.sweep_for section ~full sweep in
           let tasks = section.Campaign.Sections.tasks sweep in
+          let backend =
+            match backend with
+            | `Domains -> Campaign.Driver.Domains
+            | `Proc ->
+              Campaign.Driver.Proc
+                {
+                  argv =
+                    worker_argv ~section_name:section.Campaign.Sections.name
+                      ~mode ~runs ~degrees ~seed ~cell_budget ~hang_cell
+                      ~die_cell;
+                }
+          in
+          let cache =
+            cache_of ~dir:cache_dir ~family:section.Campaign.Sections.family
+              ~mode ~runs ~degrees ~seed
+          in
           let journal =
             Option.map
               (fun jp ->
@@ -1228,7 +1312,7 @@ let campaign_cmd =
           let heartbeat line = if not quiet then Fmt.epr "  %s@." line in
           let cells, quarantined, timing =
             Campaign.Driver.run_tasks ~jobs ~progress ~heartbeat ?cell_budget
-              ~retries ?hang ?stop_after ?journal tasks
+              ~retries ?hang ?stop_after ?journal ?cache ~backend tasks
           in
           Option.iter Campaign.Journal.close journal;
           let missing =
@@ -1249,8 +1333,8 @@ let campaign_cmd =
           (const action $ quick_arg $ full_arg $ jobs_arg
          $ out_arg section.Campaign.Sections.name
          $ runs_opt_arg $ degrees_opt_arg $ seed_opt_arg $ quiet_arg
-         $ cell_budget_arg $ retries_arg $ hang_cell_arg $ journal_arg
-         $ stop_after_arg $ prof_arg))
+         $ cell_budget_arg $ retries_arg $ hang_cell_arg $ die_cell_arg
+         $ backend_arg $ cache_arg $ journal_arg $ stop_after_arg $ prof_arg))
     in
     Cmd.v
       (Cmd.info section.Campaign.Sections.name
@@ -1269,7 +1353,8 @@ let campaign_cmd =
       in
       Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
     in
-    let action path jobs out_override quiet cell_budget retries stop_after =
+    let action path jobs out_override quiet cell_budget retries stop_after
+        backend cache_dir =
       if jobs < 1 then `Error (true, "--jobs must be at least 1")
       else if retries < 0 then `Error (true, "--retries must be >= 0")
       else if stop_after <> None && stop_after < Some 1 then
@@ -1328,9 +1413,35 @@ let campaign_cmd =
               let journal = Campaign.Journal.append_to ~path in
               let progress line = if not quiet then Fmt.epr "  .. %s@." line in
               let heartbeat line = if not quiet then Fmt.epr "  %s@." line in
+              (* Same sweep-shaping inputs the original run recorded, so a
+                 resume's workers decompose identically too. *)
+              let backend =
+                match backend with
+                | `Domains -> Campaign.Driver.Domains
+                | `Proc ->
+                  Campaign.Driver.Proc
+                    {
+                      argv =
+                        worker_argv
+                          ~section_name:section.Campaign.Sections.name
+                          ~mode:h.Campaign.Journal.h_mode
+                          ~runs:h.Campaign.Journal.h_runs
+                          ~degrees:h.Campaign.Journal.h_degrees
+                          ~seed:h.Campaign.Journal.h_seed ~cell_budget
+                          ~hang_cell:None ~die_cell:None;
+                    }
+              in
+              let cache =
+                cache_of ~dir:cache_dir
+                  ~family:section.Campaign.Sections.family
+                  ~mode:h.Campaign.Journal.h_mode
+                  ~runs:h.Campaign.Journal.h_runs
+                  ~degrees:h.Campaign.Journal.h_degrees
+                  ~seed:h.Campaign.Journal.h_seed
+              in
               match
                 Campaign.Driver.run_tasks ~jobs ~progress ~heartbeat
-                  ?cell_budget ~retries ?stop_after ~journal
+                  ?cell_budget ~retries ?stop_after ~journal ?cache ~backend
                   ~completed:c.Campaign.Journal.j_cells
                   ~prior_quarantine:c.Campaign.Journal.j_quarantined tasks
               with
@@ -1361,7 +1472,8 @@ let campaign_cmd =
       Term.(
         ret
           (const action $ journal_pos $ jobs_arg $ out_override_arg
-         $ quiet_arg $ cell_budget_arg $ retries_arg $ stop_after_arg))
+         $ quiet_arg $ cell_budget_arg $ retries_arg $ stop_after_arg
+         $ backend_arg $ cache_arg))
     in
     Cmd.v
       (Cmd.info "resume"
@@ -1507,6 +1619,23 @@ let campaign_cmd =
                 (if wall > 0. && n > 0 then
                    Printf.sprintf ", %.2f cells/s" (float_of_int n /. wall)
                  else "");
+              (match t.Campaign.Artifact.t_exec with
+              | None -> ()
+              | Some x ->
+                Fmt.pr "exec:   %s backend, cache %d hit(s) / %d miss(es)%s@."
+                  x.Campaign.Artifact.x_backend
+                  x.Campaign.Artifact.x_cache_hits
+                  x.Campaign.Artifact.x_cache_misses
+                  (if x.Campaign.Artifact.x_backend = "proc" then
+                     Printf.sprintf
+                       ", %d worker spawn(s), %d restart(s), cells per worker \
+                        [%s]"
+                       x.Campaign.Artifact.x_spawns
+                       x.Campaign.Artifact.x_restarts
+                       (String.concat " "
+                          (List.map string_of_int
+                             x.Campaign.Artifact.x_worker_cells))
+                   else ""));
               match overall_events_per_s artifact with
               | Some eps -> Fmt.pr "perf:   %.0f events/s overall@." eps
               | None -> ());
@@ -1519,6 +1648,66 @@ let campaign_cmd =
            "Summarize a campaign file: re-render a section's tables from an \
             artifact, or report a journal's checkpoint state and the exact \
             resume command")
+      term
+  in
+  let worker_cmd =
+    let section_pos =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"SECTION")
+    in
+    let mode_arg =
+      let doc = "Sweep preset of the supervising campaign." in
+      Arg.(
+        value
+        & opt (Arg.enum [ ("quick", "quick"); ("standard", "standard"); ("full", "full") ])
+            "standard"
+        & info [ "mode" ] ~docv:"MODE" ~doc)
+    in
+    let action section_name mode runs degrees seed cell_budget hang_cell
+        die_cell =
+      match Campaign.Sections.find section_name with
+      | None -> `Error (false, Printf.sprintf "unknown section %S" section_name)
+      | Some section -> (
+        match
+          (hang_of hang_cell, cell_key_of ~flag:"--die-cell" die_cell)
+        with
+        | Error e, _ | _, Error e -> `Error (true, e)
+        | Ok hang, Ok die ->
+          let quick = mode = "quick" and full = mode = "full" in
+          let sweep = sweep_of ~quick ~full ~runs ~degrees ~seed in
+          let sweep = Campaign.Sections.sweep_for section ~full sweep in
+          let tasks = section.Campaign.Sections.tasks sweep in
+          let run_cell i =
+            if i < 0 || i >= Array.length tasks then
+              Error (Printf.sprintf "cell index %d out of range" i)
+            else begin
+              let t = tasks.(i) in
+              let key = Campaign.Driver.task_key t in
+              (* Fault hooks mirror the in-process ones: --die-cell is the
+                 crash the supervisor must absorb, --hang-cell the wedge
+                 its deadline must break. *)
+              if die = Some key then Unix.kill (Unix.getpid ()) Sys.sigkill;
+              let hung = hang = Some key in
+              let a0 = Unix.gettimeofday () in
+              match Campaign.Driver.attempt_once ?cell_budget ~hung t with
+              | Ok cell -> Ok (Unix.gettimeofday () -. a0, cell)
+              | Error e -> Error e
+            end
+          in
+          Campaign.Proc_backend.worker ~run_cell ())
+    in
+    let term =
+      Term.(
+        ret
+          (const action $ section_pos $ mode_arg $ runs_opt_arg
+         $ degrees_opt_arg $ seed_opt_arg $ cell_budget_arg $ hang_cell_arg
+         $ die_cell_arg))
+    in
+    Cmd.v
+      (Cmd.info "worker"
+         ~doc:
+           "(internal) Cell worker for $(b,--backend proc): speaks the \
+            supervisor protocol on stdin/stdout/stderr. Not for interactive \
+            use.")
       term
   in
   let perfguard_cmd =
@@ -1591,7 +1780,7 @@ let campaign_cmd =
   in
   Cmd.group info
     (List.map section_cmd Campaign.Sections.all
-    @ [ resume_cmd; diff_cmd; validate_cmd; show_cmd; perfguard_cmd ])
+    @ [ resume_cmd; diff_cmd; validate_cmd; show_cmd; worker_cmd; perfguard_cmd ])
 
 let () =
   let doc =

@@ -40,7 +40,24 @@ type cell_timing = {
          empty for sections that do not measure them *)
 }
 
-type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
+type exec = {
+  x_backend : string;
+  x_cache_hits : int;
+  x_cache_misses : int;
+  x_spawns : int;
+  x_restarts : int;
+  x_worker_cells : int list;
+}
+
+type timing = {
+  t_jobs : int;
+  t_wall_s : float;
+  t_exec : exec option;
+      (* how the cells were executed (backend, cache traffic, worker
+         supervision counters); absent for plain in-process runs, and
+         always absent pre-PR-10 — an optional key, not a schema bump *)
+  t_cells : cell_timing list;
+}
 
 type quarantine = {
   q_protocol : string;
@@ -233,11 +250,24 @@ let quarantine_to_json q : Obs.Json.t =
       ("attempts", Int q.q_attempts);
     ]
 
-let timing_to_json t : Obs.Json.t =
+let exec_to_json x : Obs.Json.t =
   Obj
     [
-      ("jobs", Int t.t_jobs);
-      ("wall_s", fnum t.t_wall_s);
+      ("backend", String x.x_backend);
+      ("cache_hits", Int x.x_cache_hits);
+      ("cache_misses", Int x.x_cache_misses);
+      ("spawns", Int x.x_spawns);
+      ("restarts", Int x.x_restarts);
+      ("worker_cells", List (List.map (fun c -> Obs.Json.Int c) x.x_worker_cells));
+    ]
+
+let timing_to_json t : Obs.Json.t =
+  Obj
+    ([ ("jobs", Obs.Json.Int t.t_jobs); ("wall_s", fnum t.t_wall_s) ]
+    @ (match t.t_exec with
+      | None -> []
+      | Some x -> [ ("exec", exec_to_json x) ])
+    @ [
       ( "cells",
         List
           (List.map
@@ -261,7 +291,7 @@ let timing_to_json t : Obs.Json.t =
                   ]
                  @ perf))
              t.t_cells) );
-    ]
+    ])
 
 (* The writer stamps the lowest version whose features the file actually
    uses: a grid without axis annotations keeps byte-identical v3 output, so
@@ -426,6 +456,36 @@ let timing_of_json j =
   in
   let* jobs = need "jobs" (Option.bind (Obs.Json.member "jobs" j) Obs.Json.to_int) in
   let* wall_s = need "wall_s" (Option.bind (Obs.Json.member "wall_s" j) float_of_json) in
+  let* exec =
+    match Obs.Json.member "exec" j with
+    | None -> Ok None
+    | Some xj -> (
+      let str n = Option.bind (Obs.Json.member n xj) Obs.Json.to_string_val in
+      let int n = Option.bind (Obs.Json.member n xj) Obs.Json.to_int in
+      let worker_cells =
+        Option.bind (Obs.Json.member "worker_cells" xj) Obs.Json.to_int_list
+      in
+      match
+        ( str "backend",
+          int "cache_hits",
+          int "cache_misses",
+          int "spawns",
+          int "restarts",
+          worker_cells )
+      with
+      | Some b, Some h, Some m, Some sp, Some r, Some wc ->
+        Ok
+          (Some
+             {
+               x_backend = b;
+               x_cache_hits = h;
+               x_cache_misses = m;
+               x_spawns = sp;
+               x_restarts = r;
+               x_worker_cells = wc;
+             })
+      | _ -> Error "timing: malformed exec block")
+  in
   let* cells =
     match Obs.Json.member "cells" j with
     | Some (Obs.Json.List items) ->
@@ -467,7 +527,7 @@ let timing_of_json j =
         (Ok []) items
     | _ -> Error "timing: missing cells list"
   in
-  Ok { t_jobs = jobs; t_wall_s = wall_s; t_cells = cells }
+  Ok { t_jobs = jobs; t_wall_s = wall_s; t_exec = exec; t_cells = cells }
 
 let of_json j =
   let ( let* ) = Result.bind in

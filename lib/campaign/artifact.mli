@@ -100,7 +100,27 @@ type cell_timing = {
           that do not measure machine speed *)
 }
 
-type timing = { t_jobs : int; t_wall_s : float; t_cells : cell_timing list }
+type exec = {
+  x_backend : string;  (** ["domains"] or ["proc"] *)
+  x_cache_hits : int;  (** cells satisfied from the {!Cache} *)
+  x_cache_misses : int;  (** cache lookups that had to run the cell *)
+  x_spawns : int;  (** worker processes launched (proc backend; else 0) *)
+  x_restarts : int;  (** supervised worker respawns (proc backend; else 0) *)
+  x_worker_cells : int list;
+      (** cells completed per worker slot, slot order; empty for domains *)
+}
+(** How a campaign's cells were executed. Like the rest of [timing], this
+    is honest non-determinism — cache traffic and worker churn vary run to
+    run — so it lives inside the strippable timing block and never affects
+    {!canonical_string}. Serialized as an optional ["exec"] key: artifacts
+    from plain in-process runs keep their exact pre-existing byte layout. *)
+
+type timing = {
+  t_jobs : int;
+  t_wall_s : float;
+  t_exec : exec option;  (** absent for plain in-process, uncached runs *)
+  t_cells : cell_timing list;
+}
 
 type quarantine = {
   q_protocol : string;

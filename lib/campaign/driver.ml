@@ -50,9 +50,18 @@ let attempt_task ?cell_budget ~hung (t : Sections.task) =
 let task_key (t : Sections.task) =
   (t.Sections.t_protocol, t.Sections.t_degree, t.Sections.t_seed)
 
+let attempt_once ?cell_budget ?(hung = false) (t : Sections.task) =
+  match attempt_task ?cell_budget ~hung t with
+  | Ok c -> Ok c
+  | Error `Stop -> Error "stop requested"
+  | Error (`Fail e) -> Error e
+
+type backend = Domains | Proc of { argv : string array }
+
 let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
-    ?cell_budget ?(retries = 1) ?hang ?stop_after ?journal ?(completed = [])
-    ?(prior_quarantine = []) (tasks : Sections.task array) =
+    ?cell_budget ?(retries = 1) ?hang ?stop_after ?journal ?cache
+    ?(backend = Domains) ?(completed = []) ?(prior_quarantine = [])
+    (tasks : Sections.task array) =
   if retries < 0 then invalid_arg "Driver.run_tasks: retries must be >= 0";
   (match (hang, cell_budget) with
   | Some _, None ->
@@ -84,6 +93,28 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
               task decomposition"
              p d s))
     pre;
+  (* Cache consultation, before any scheduling: hits enter [pre] exactly
+     like checkpoint-recovered cells — merged at canonical positions, not
+     journaled (the journal records work done *this* process), not counted
+     by the heartbeat's ETA extrapolation. *)
+  let cache_hits = ref 0 in
+  (match cache with
+  | None -> ()
+  | Some c ->
+    Array.iter
+      (fun t ->
+        let ((p, d, s) as key) = task_key t in
+        if not (Hashtbl.mem pre key) then
+          match Cache.find c ~protocol:p ~degree:d ~seed:s with
+          | Some cell ->
+            Hashtbl.replace pre key (`Cell cell);
+            incr cache_hits
+          | None -> ())
+      tasks;
+    let hits, misses = Cache.stats c in
+    progress
+      (Printf.sprintf "cache: %d of %d cells from cache, %d to run" hits
+         (hits + misses) misses));
   let base_done = Hashtbl.length pre in
   let done_count = ref base_done in
   (* Scheduler events fired by freshly-run cells: the numerator of the
@@ -123,11 +154,15 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
                 (rate_string (float_of_int !events_done /. elapsed))
             else ""
           in
+          let cached =
+            if !cache_hits > 0 then Printf.sprintf ", %d cached" !cache_hits
+            else ""
+          in
           heartbeat
-            (Printf.sprintf "%d/%d cells, %.1f s elapsed, ETA %.0f s%s"
+            (Printf.sprintf "%d/%d cells, %.1f s elapsed, ETA %.0f s%s%s"
                !done_count n elapsed
                (elapsed /. float_of_int done_here *. float_of_int remaining)
-               throughput)
+               throughput cached)
         end;
         match stop_after with
         | Some k when done_here >= k -> Dessim.Scheduler.request_stop ()
@@ -144,6 +179,7 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
         match result with
         | Ok cell ->
           let cell = { cell with Cell_result.wall_s = wall } in
+          Option.iter (fun c -> Cache.store c cell) cache;
           report ~checkpoint:(`Cell cell)
             (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
                t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
@@ -188,8 +224,92 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
          (fun i -> not (Hashtbl.mem pre (task_key tasks.(i))))
          (List.init n Fun.id))
   in
+  let exec_stats = ref None in
   let sub_outcomes =
-    Pool.run ~jobs (Array.map (fun i -> timed_task tasks.(i)) todo)
+    match backend with
+    | Domains -> Pool.run ~jobs (Array.map (fun i -> timed_task tasks.(i)) todo)
+    | Proc { argv } ->
+      let results = Hashtbl.create 64 in
+      let on_outcome = function
+        | Proc_backend.Cell { index; cell } ->
+          let t = tasks.(index) in
+          if Cell_result.key cell <> task_key t then begin
+            (* The worker rebuilt a different sweep than ours (version skew,
+               wrong flags): its data is untrustworthy for this campaign. *)
+            let error = "worker returned a cell for the wrong key" in
+            let q =
+              {
+                Artifact.q_protocol = t.Sections.t_protocol;
+                q_degree = t.Sections.t_degree;
+                q_seed = t.Sections.t_seed;
+                q_error = error;
+                q_attempts = 1;
+              }
+            in
+            report ~checkpoint:(`Quarantine q)
+              (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) QUARANTINED: %s"
+                 t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+                 !done_count n error);
+            Hashtbl.replace results index (Failed { error; attempts = 1 })
+          end
+          else begin
+            Option.iter (fun c -> Cache.store c cell) cache;
+            report ~checkpoint:(`Cell cell)
+              (Printf.sprintf "%-6s d=%d seed=%d (%d/%d) %.2fs"
+                 t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+                 !done_count n cell.Cell_result.wall_s);
+            Hashtbl.replace results index (Done cell)
+          end
+        | Proc_backend.Quarantined { index; error; attempts } ->
+          let t = tasks.(index) in
+          let q =
+            {
+              Artifact.q_protocol = t.Sections.t_protocol;
+              q_degree = t.Sections.t_degree;
+              q_seed = t.Sections.t_seed;
+              q_error = error;
+              q_attempts = attempts;
+            }
+          in
+          report ~checkpoint:(`Quarantine q)
+            (Printf.sprintf
+               "%-6s d=%d seed=%d (%d/%d) QUARANTINED after %d attempts: %s"
+               t.Sections.t_protocol t.Sections.t_degree t.Sections.t_seed
+               !done_count n attempts error);
+          Hashtbl.replace results index (Failed { error; attempts })
+      in
+      (* The supervisor's no-sample deadline floor: twice the cooperative
+         cell budget when one is set (the worker's own watchdog fires first
+         for hung-but-responsive cells; the process deadline is the backstop
+         for wedged ones), else the backend's 10 s default. *)
+      let min_deadline =
+        Option.map (fun b -> Float.max 10. (2. *. b)) cell_budget
+      in
+      let stats, leftovers =
+        Proc_backend.run ~jobs ~argv ~indices:todo ~retries ?min_deadline
+          ~progress:(fun l -> Mutex.protect progress_mutex (fun () -> progress l))
+          ~on_outcome ()
+      in
+      exec_stats := Some stats;
+      (* Graceful degradation: if the worker fleet collapsed (every slot
+         retired), finish the remaining cells in-process rather than losing
+         them — slower, but the campaign still completes. Leftovers from a
+         requested stop stay abandoned, same as the domains backend. *)
+      if leftovers <> [] && not (Dessim.Scheduler.stop_requested ()) then begin
+        Mutex.protect progress_mutex (fun () ->
+            progress
+              (Printf.sprintf
+                 "proc backend degraded: running %d remaining cell(s) \
+                  in-process"
+                 (List.length leftovers)));
+        List.iter
+          (fun i -> Hashtbl.replace results i (timed_task tasks.(i) ()))
+          leftovers
+      end;
+      Array.map
+        (fun i ->
+          match Hashtbl.find_opt results i with Some o -> o | None -> Stopped)
+        todo
   in
   let total = Unix.gettimeofday () -. t0 in
   let fresh = Hashtbl.create 64 in
@@ -223,10 +343,46 @@ let run_tasks ?(jobs = 1) ?(progress = fun _ -> ()) ?(heartbeat = fun _ -> ())
     tasks;
   let cells = Array.of_list (List.rev !cells) in
   let quarantined = List.rev !quarantined in
+  (* The exec block appears only when this run used a cache or the proc
+     backend: plain in-process campaigns keep their exact prior timing
+     layout (and byte output). *)
+  let exec =
+    let hits, misses =
+      match cache with Some c -> Cache.stats c | None -> (0, 0)
+    in
+    match (cache, backend, !exec_stats) with
+    | None, Domains, _ -> None
+    | Some _, Domains, _ ->
+      Some
+        {
+          Artifact.x_backend = "domains";
+          x_cache_hits = hits;
+          x_cache_misses = misses;
+          x_spawns = 0;
+          x_restarts = 0;
+          x_worker_cells = [];
+        }
+    | _, Proc _, st ->
+      let st =
+        Option.value st
+          ~default:
+            { Proc_backend.p_spawns = 0; p_restarts = 0; p_slot_cells = [] }
+      in
+      Some
+        {
+          Artifact.x_backend = "proc";
+          x_cache_hits = hits;
+          x_cache_misses = misses;
+          x_spawns = st.Proc_backend.p_spawns;
+          x_restarts = st.Proc_backend.p_restarts;
+          x_worker_cells = st.Proc_backend.p_slot_cells;
+        }
+  in
   let timing =
     {
       Artifact.t_jobs = max 1 (min jobs (max 1 n));
       t_wall_s = total;
+      t_exec = exec;
       t_cells =
         Array.to_list
           (Array.map
@@ -254,10 +410,11 @@ let artifact_of ~(section : Sections.t) ~mode ?timing ?quarantined sweep cells =
     (Array.to_list cells)
 
 let run ?jobs ?progress ?heartbeat ?cell_budget ?retries ?hang ?stop_after
-    ?journal ?completed ?prior_quarantine ~mode sweep (section : Sections.t) =
+    ?journal ?cache ?backend ?completed ?prior_quarantine ~mode sweep
+    (section : Sections.t) =
   let cells, quarantined, timing =
     run_tasks ?jobs ?progress ?heartbeat ?cell_budget ?retries ?hang
-      ?stop_after ?journal ?completed ?prior_quarantine
+      ?stop_after ?journal ?cache ?backend ?completed ?prior_quarantine
       (section.Sections.tasks sweep)
   in
   artifact_of ~section ~mode ~timing ~quarantined sweep cells

@@ -30,6 +30,28 @@
     merge happens in canonical task order, so an interrupted-then-resumed
     campaign returns byte-identical cells to an uninterrupted one. *)
 
+type backend =
+  | Domains  (** in-process {!Pool} of OCaml domains — the default *)
+  | Proc of { argv : string array }
+      (** supervised worker processes ({!Proc_backend}); [argv] is the
+          worker command, argv.(0) the executable path. Workers must
+          rebuild the {e same} task decomposition: a returned cell whose
+          key disagrees with the task it was asked for is quarantined,
+          not trusted. If every worker slot retires (e.g. [argv] cannot
+          exec), the driver degrades to running the remaining cells
+          in-process rather than failing the campaign. *)
+
+val task_key : Sections.task -> string * int * int
+(** The (protocol, degree, seed) cell key of a task. *)
+
+val attempt_once :
+  ?cell_budget:float -> ?hung:bool -> Sections.task -> (Cell_result.t, string) result
+(** One attempt of one task under the optional wall budget — the unit a
+    {!Proc_backend.worker} executes ([wall_s] not stamped; retry policy,
+    quarantine and reporting stay with the supervising driver). [?hung]
+    is the CI fault hook: run the watchdog-escape loop instead of the real
+    cell. A graceful-stop interruption is [Error "stop requested"]. *)
+
 val run_tasks :
   ?jobs:int ->
   ?progress:(string -> unit) ->
@@ -39,6 +61,8 @@ val run_tasks :
   ?hang:string * int * int ->
   ?stop_after:int ->
   ?journal:Journal.t ->
+  ?cache:Cache.t ->
+  ?backend:backend ->
   ?completed:Cell_result.t list ->
   ?prior_quarantine:Artifact.quarantine list ->
   Sections.task array ->
@@ -67,6 +91,16 @@ val run_tasks :
     completed cell with a one-line status including an ETA extrapolated from
     the mean wall time of the cells finished {e this} run — e.g.
     ["17/240 cells, 34.2 s elapsed, ETA 540 s"].
+
+    [?cache] is a content-addressed cell store ({!Cache}): before
+    scheduling, every task not already checkpointed is looked up, and hits
+    are merged at their canonical positions exactly like checkpointed
+    cells — not re-run, not journaled, excluded from the ETA
+    extrapolation (the heartbeat reports them as [", N cached"]). Every
+    freshly completed cell is stored back. A fully-cached re-run is
+    byte-identical to the fresh run at any [jobs]. [?backend] selects how
+    fresh cells execute (default {!Domains}); the cache composes with
+    either backend.
 
     [?journal] checkpoints each completed/quarantined cell (fsync'd) before
     its progress line. [?completed] and [?prior_quarantine] are
@@ -106,6 +140,8 @@ val run :
   ?hang:string * int * int ->
   ?stop_after:int ->
   ?journal:Journal.t ->
+  ?cache:Cache.t ->
+  ?backend:backend ->
   ?completed:Cell_result.t list ->
   ?prior_quarantine:Artifact.quarantine list ->
   mode:string ->

@@ -102,3 +102,13 @@ val is_journal : path:string -> bool
 
 val crc32 : string -> int
 (** The CRC-32 used by the record format, exposed for tests. *)
+
+val frame : string -> string
+(** [frame entry] is one CRC-tagged record line (newline included) carrying
+    the literal bytes of [entry]. The framing is shared by the {!Cache}
+    entry files and the {!Proc_backend} wire protocol, so a flipped bit in
+    either is detected the same way a torn journal line is. *)
+
+val unframe : string -> (Obs.Json.t, string) result
+(** [unframe line] verifies the CRC of one {!frame}d record line (trailing
+    newline already stripped) and parses the entry. *)

@@ -587,10 +587,19 @@ module Make (P : Protocols.Proto_intf.PROTOCOL) = struct
         st.session_resets <- st.session_resets + 1;
         if tracing st Obs.Event.Control then
           emit st (Obs.Event.Session_reset { src = a; dst = b; epoch });
-        (* Bounce the routing session: the protocol drops what it learned
-           over the dead session and re-advertises over the new epoch. *)
+        (* Bounce the routing session on BOTH ends. A transport reset tears
+           the adjacency down like a real BGP session drop, and session
+           death is mutually observable (TCP reset / missing keepalives):
+           [a] discards its Adj-RIB-in from [b] here, so if [b] did not
+           also re-advertise, every route [a] learned over the session
+           would be lost until an unrelated event resent it — a stale
+           longer path surviving to quiescence (the lossy-heal fuzz
+           counterexample). Each side withdraws what it learned and
+           re-advertises its table over the fresh epoch. *)
         P.on_link_down st.routers.(a) ~neighbor:b;
-        P.on_link_up st.routers.(a) ~neighbor:b)
+        P.on_link_down st.routers.(b) ~neighbor:a;
+        P.on_link_up st.routers.(a) ~neighbor:b;
+        P.on_link_up st.routers.(b) ~neighbor:a)
       ~on_event:(function
         | Fault.Rtx.Retransmit { seq; attempt } ->
           st.rtx_retransmissions <- st.rtx_retransmissions + 1;

@@ -189,15 +189,33 @@ let send t msg =
 let handle_ack t ~epoch ~ack =
   if t.up && epoch = t.tx_epoch && ack > t.base then begin
     let now = Dessim.Scheduler.now t.sched in
+    (* RTT-sample only the gap-filling segment (the old [base], whose arrival
+       is what let the cumulative ACK advance), and only if it was never
+       retransmitted (Karn). Segments behind it in the acked range may have
+       been delivered into the receiver's reorder buffer long ago — their
+       (send -> ack) spans include the whole wait for the gap, and feeding
+       those into Jacobson's estimator inflates SRTT by orders of magnitude,
+       pinning the RTO at [rto_max] exactly when recovery needs it small
+       (the timeout-divergence failure mode of Jain 1986). *)
+    (match Hashtbl.find_opt t.unacked t.base with
+    | Some e when not e.e_rexmit -> rtt_sample t (now -. e.e_sent_at)
+    | Some _ | None -> ());
     for seq = t.base to ack - 1 do
-      match Hashtbl.find_opt t.unacked seq with
-      | Some e ->
-        if not e.e_rexmit then rtt_sample t (now -. e.e_sent_at);
-        Hashtbl.remove t.unacked seq
-      | None -> ()
+      Hashtbl.remove t.unacked seq
     done;
     t.base <- ack;
     t.attempts <- 0;
+    (* Forward progress proves the path is alive: collapse any exponential
+       backoff back to the estimator's RTO instead of letting a stale
+       backed-off value (up to [rto_max]) pace the next loss recovery. With
+       no valid sample yet ([srtt = None]) the backed-off value is the only
+       evidence there is, so Karn's rule keeps it. *)
+    (match t.srtt with
+    | Some srtt ->
+      t.rto <-
+        Float.max t.cfg.rto_min
+          (Float.min t.cfg.rto_max (srtt +. (4. *. t.rttvar)))
+    | None -> ());
     arm t
   end
 

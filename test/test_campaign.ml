@@ -408,7 +408,7 @@ let test_fig3_quick_rows_fixture () =
 
 let test_diff_ignores_timing_and_sha () =
   let timing =
-    { Campaign.Artifact.t_jobs = 8; t_wall_s = 1.23; t_cells = [] }
+    { Campaign.Artifact.t_jobs = 8; t_wall_s = 1.23; t_exec = None; t_cells = [] }
   in
   let a = fixture_artifact () in
   let b = { (fixture_artifact ~timing ()) with Campaign.Artifact.git_sha = "beef456" } in

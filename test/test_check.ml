@@ -508,6 +508,50 @@ let test_fuzz_failures_never_partition () =
     (QCheck2.Gen.generate ~n:25 ~rand:(Random.State.make [| 3 |])
        Check.Fuzz.scenario_gen)
 
+let test_fuzz_regression_bgp_lossy_heal () =
+  (* Shrunk by [rcsim fuzz --runs 100 --seed 1234 -p bgp] (ROADMAP item 6).
+     Node 16's only neighbor is 14; a burst 14 sent while link 4-12 was down
+     lost one segment to the 9% control loss, stranding the rest — including
+     the post-heal shortest-path update — in 16's reorder buffer. The
+     cumulative ACK that finally covered them fed multi-minute
+     (send -> ack) spans into the RTO estimator, pinning the RTO at rto_max
+     (60 s); the last retransmission before sim_end was lost and 16 kept a
+     stale 5-hop path to 12 against the oracle's 3. Fixed by timing only the
+     gap-filling segment and collapsing backoff on forward progress
+     (lib/fault/rtx.ml); this scenario pins the whole arc end to end. *)
+  let sc =
+    Check.Fuzz.
+      {
+        topo = Waxman { nodes = 20; tseed = 4479 };
+        flows = [ (0, 0) ];
+        rate = 2;
+        cfg_seed = 28385;
+        failures =
+          [
+            { fail_dt = 11; pick = 4030; heal = Some 18 };
+            { fail_dt = 11; pick = 5385; heal = None };
+            { fail_dt = 28; pick = 8007; heal = Some 10 };
+          ];
+        loss_pct = 9;
+        flap = None;
+        dv_period = 20;
+        dv_damp_max = 2;
+        mrai_pct = 70;
+        frr = false;
+      }
+  in
+  List.iter
+    (fun proto ->
+      let o = Check.Fuzz.run_scenario ~proto sc in
+      (match o.Check.Fuzz.o_mismatches with
+      | [] -> ()
+      | ms ->
+        Alcotest.failf "%s: %d oracle mismatch(es), first: %a" proto
+          (List.length ms) Check.Oracle.pp_mismatch (List.hd ms));
+      Alcotest.(check bool) (proto ^ " holds invariants") true
+        (Check.Fuzz.ok o))
+    [ "bgp"; "bgp-3" ]
+
 let test_fuzz_smoke () =
   match Check.Fuzz.check ~proto:"RIP" ~runs:3 ~seed:5 with
   | Check.Fuzz.Passed { runs } -> Alcotest.(check int) "ran all" 3 runs
@@ -572,5 +616,7 @@ let () =
           Alcotest.test_case "scenario topologies are connected" `Quick
             test_fuzz_failures_never_partition;
           Alcotest.test_case "smoke" `Quick test_fuzz_smoke;
+          Alcotest.test_case "regression: BGP lossy heal (RTO divergence)"
+            `Quick test_fuzz_regression_bgp_lossy_heal;
         ] );
     ]

@@ -168,6 +168,61 @@ let test_rtx_karn_ignores_retransmitted_samples () =
   Alcotest.(check (float 1e-9)) "Karn: no sample from retransmit" 1.0 !mid_rto;
   Alcotest.(check (float 1e-9)) "clean sample adapts rto" 0.3 (Rtx.rto h.a)
 
+let test_rtx_reorder_buffer_rtt_immunity () =
+  (* A burst whose first segment is lost strands the rest in the receiver's
+     reorder buffer; when the retransmission fills the gap, one cumulative
+     ACK covers segments whose (send -> ack) span includes the entire
+     recovery wait. Feeding those spans into Jacobson's estimator inflates
+     SRTT by the recovery time — the RTO then pins at the backed-off value
+     and every later loss takes longer to repair (Jain's timeout
+     divergence). The estimator must time only the gap-filling segment,
+     which Karn's rule here skips outright (it was retransmitted). *)
+  let config =
+    { Rtx.default_config with Rtx.rto_init = 0.5; rto_min = 0.1 }
+  in
+  let h = harness ~config ~drop_data:(fun n -> n = 0) () in
+  let mid_rto = ref 0. in
+  Rtx.send h.a "m0";
+  Rtx.send h.a "m1";
+  Rtx.send h.a "m2";
+  ignore
+    (Sched.after h.sched ~delay:5.0 (fun () ->
+         mid_rto := Rtx.rto h.a;
+         Rtx.send h.a "m3"));
+  Sched.run h.sched;
+  Alcotest.(check (list string))
+    "drained in order" [ "m0"; "m1"; "m2"; "m3" ] (delivered h);
+  (* The buffered segments' ~1.1 s spans must not reach the estimator: the
+     RTO after recovery is exactly the once-backed-off initial (0.5 -> 1.0),
+     not an SRTT poisoned by buffer-wait samples. *)
+  Alcotest.(check (float 1e-9)) "no reorder-buffer samples" 1.0 !mid_rto;
+  (* The clean m3 exchange then feeds the estimator: sample 0.1 -> srtt 0.1,
+     rttvar 0.05, rto 0.3 — same arithmetic as the Karn test above. *)
+  Alcotest.(check (float 1e-9)) "clean sample adapts rto" 0.3 (Rtx.rto h.a)
+
+let test_rtx_backoff_collapses_on_progress () =
+  (* Once the estimator holds a valid SRTT, an ACK that advances the window
+     is proof the path is alive: the exponentially backed-off RTO must
+     collapse back to srtt + 4 * rttvar instead of pacing the next recovery
+     at the blackout's cadence. *)
+  let config =
+    { Rtx.default_config with Rtx.rto_init = 0.5; rto_min = 0.1 }
+  in
+  (* tx 0 is m0's clean exchange; txs 1-3 are m1's first copy and two
+     retransmissions, all dropped; tx 4 (third retransmission) survives. *)
+  let h = harness ~config ~drop_data:(fun n -> 1 <= n && n <= 3) () in
+  Rtx.send h.a "m0";
+  ignore (Sched.after h.sched ~delay:1.0 (fun () -> Rtx.send h.a "m1"));
+  Sched.run h.sched;
+  Alcotest.(check (list string)) "all delivered" [ "m0"; "m1" ] (delivered h);
+  let s = Rtx.stats h.a in
+  Alcotest.(check int) "three timeouts" 3 s.Rtx.s_timeouts;
+  (* m0's sample set srtt 0.1 / rttvar 0.05 (rto 0.3); the blackout backed
+     off 0.3 -> 0.6 -> 1.2 -> 2.4; m1's recovery ACK matched a retransmitted
+     copy, so no new sample — yet the RTO must return to the estimator's
+     0.3, not stay at 2.4. *)
+  Alcotest.(check (float 1e-9)) "backoff collapsed" 0.3 (Rtx.rto h.a)
+
 let test_rtx_epoch_staleness () =
   (* A receiver that adopted epoch 1 must drop replayed epoch-0 segments
      without delivering or re-acking them. *)
@@ -684,6 +739,10 @@ let () =
             test_rtx_backoff_and_retry_cap_reset;
           Alcotest.test_case "Karn's rule" `Quick
             test_rtx_karn_ignores_retransmitted_samples;
+          Alcotest.test_case "reorder buffer never feeds the estimator" `Quick
+            test_rtx_reorder_buffer_rtt_immunity;
+          Alcotest.test_case "backoff collapses on forward progress" `Quick
+            test_rtx_backoff_collapses_on_progress;
           Alcotest.test_case "epoch staleness" `Quick test_rtx_epoch_staleness;
           Alcotest.test_case "link-down teardown" `Quick
             test_rtx_link_down_teardown;

@@ -247,6 +247,7 @@ let perf_artifact ?(eps = 250_000.) ?(extras_events = 50_000.) () =
     {
       Campaign.Artifact.t_jobs = 1;
       t_wall_s = 1.0;
+      t_exec = None;
       t_cells =
         [
           {
